@@ -1,0 +1,21 @@
+"""Ablation: labeling stability under measurement noise.
+
+The 0.5% convolution radius exists to "screen away small fluctuations";
+sweep the noise sigma and report class structure.  Paper-scale SpMV keeps
+its 3 classes across realistic noise levels.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments import run_noise_sensitivity
+
+
+def test_noise_sensitivity(benchmark, wb, capfd):
+    result = benchmark.pedantic(
+        lambda: run_noise_sensitivity(wb, sigmas=(0.0, 0.01, 0.02, 0.05)),
+        rounds=1,
+        iterations=1,
+    )
+    emit(capfd, "Ablation: labeling vs measurement noise", result.report())
+    # Class structure is stable across realistic jitter.
+    class_counts = [int(row[1]) for row in result.rows]
+    assert max(class_counts) - min(class_counts) <= 1

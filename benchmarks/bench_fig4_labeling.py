@@ -1,0 +1,36 @@
+"""Figure 4: class-label generation (convolution + peak detection).
+
+Paper: 3 performance classes from the 2036 sorted measurements, boundaries
+where the sorted curve jumps.  Ours: 3 classes from 540 measurements.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.experiments import run_fig4
+from repro.ml.labeling import label_by_performance
+
+
+def test_fig4_labeling(benchmark, wb, capfd):
+    times = wb.full_search().times()  # warm the cache outside the bench
+    result = benchmark(lambda: label_by_performance(times))
+    fig = run_fig4(wb)
+    lines = [fig.report()]
+    conv = fig.labeling.convolution
+    lines.append(
+        f"convolution: len={len(conv)}, max={conv.max():.3g}, "
+        f"threshold={fig.labeling.prominence_threshold:.3g}"
+    )
+    emit(capfd, "Figure 4 (labeling pipeline)", "\n".join(lines))
+    assert result.n_classes == 3  # paper: 3 classes
+
+
+def test_fig4_boundaries_at_jumps(wb):
+    """Each boundary must sit on a larger-than-median gap of the curve."""
+    fig = run_fig4(wb)
+    t = fig.labeling.sorted_times
+    gaps = np.diff(t)
+    med = np.median(gaps)
+    for b in fig.labeling.boundaries:
+        local = gaps[max(0, b - 3) : b + 3].max()
+        assert local > 5 * med

@@ -1,0 +1,21 @@
+"""Figure 5: Algorithm 1's training error / tree depth vs leaf count.
+
+Paper: error shrinks (non-monotonically) as leaves grow; search settles at
+13 leaves, depth 6.  Ours settles at a comparable size (order 10-20
+leaves) with zero training error.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments import run_fig5
+from repro.ml.hyperparam import search_tree_size
+
+
+def test_fig5_algorithm1(benchmark, wb, capfd):
+    full = wb.full_pipeline()  # cached outside the bench
+    x, y = full.features.matrix, full.labeling.labels
+    benchmark.pedantic(lambda: search_tree_size(x, y), rounds=1, iterations=2)
+    fig = run_fig5(wb)
+    emit(capfd, "Figure 5 (Algorithm 1 trace)", fig.report())
+    assert fig.trace.leaf_nodes[0] == 2
+    assert fig.final_error == min(fig.trace.errors)
+    assert fig.chosen_leaves <= 30

@@ -1,0 +1,32 @@
+"""Figure 6: the intermediate 6-leaf decision tree and its rulesets.
+
+Paper: 6 leaves, depth 4, with two distinct rulesets for the fastest
+class, one mixed leaf, rules over Pack/yL/CES-b4-PostSend orderings and
+stream assignments.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments import run_fig6
+from repro.ml.tree import DecisionTree, TreeConfig
+
+
+def test_fig6_six_leaf_tree(benchmark, wb, capfd):
+    full = wb.full_pipeline()
+    x, y = full.features.matrix, full.labeling.labels
+
+    def train():
+        return DecisionTree(
+            TreeConfig(max_leaf_nodes=6, max_depth=5, class_weight="balanced")
+        ).fit(x, y)
+
+    benchmark(train)
+    fig = run_fig6(wb)
+    emit(capfd, "Figure 6 (6-leaf tree + rules)", fig.report())
+    assert fig.tree.n_leaves == 6
+    # Root is balanced (the paper's 33.3%/33.3%/33.3%).
+    props = fig.tree.root.class_proportions()
+    assert all(abs(p - 1 / len(props)) < 1e-6 for p in props)
+    # Rules must mention both orderings and stream assignments.
+    texts = [r.text for rs in fig.rulesets for r in rs.rules]
+    assert any("before" in t for t in texts)
+    assert any("stream" in t for t in texts)

@@ -1,0 +1,48 @@
+"""Extension (§VI): 3-D halo-exchange design space exploration.
+
+The per-axis fine-grained halo program's space explodes combinatorially
+(1 axis: 1600 schedules; 2 axes: ~2.3e9) — exactly the regime MCTS is
+built for.  Reports the space sizes and what MCTS finds at a small budget.
+"""
+
+from benchmarks.conftest import emit
+from repro.apps.halo import GridCase, build_halo_program
+from repro.platform import perlmutter_like
+from repro.schedule import DesignSpace
+from repro.search import MctsSearch
+from repro.sim import Benchmarker, MeasurementConfig, ScheduleExecutor
+
+
+def test_halo3d_mcts(benchmark, capfd):
+    case = GridCase(nx=256, ny=256, nz=64, px=2, py=2, pz=1)
+    machine = perlmutter_like(noise_sigma=0.01)
+    p1 = build_halo_program(case, axes=(0,))
+    p2 = build_halo_program(case, axes=(0, 1))
+    space1 = DesignSpace(p1, n_streams=2)
+    space2 = DesignSpace(p2, n_streams=2)
+
+    bench2 = Benchmarker(
+        ScheduleExecutor(p2, machine), MeasurementConfig(max_samples=2)
+    )
+
+    def explore():
+        return MctsSearch(space2, bench2).run(200)
+
+    result = benchmark.pedantic(explore, rounds=1, iterations=1)
+    best, worst = result.best(), result.worst()
+    emit(
+        capfd,
+        "Halo-3D extension (design-space sizes + MCTS)",
+        "\n".join(
+            [
+                f"1-axis space:  {space1.count():,} schedules",
+                f"2-axis space:  {space2.count():,} schedules (enumeration "
+                f"infeasible; MCTS only)",
+                f"MCTS @200 iters: best {best.time * 1e6:.1f} us, "
+                f"worst {worst.time * 1e6:.1f} us "
+                f"({worst.time / best.time:.2f}x spread discovered)",
+            ]
+        ),
+    )
+    assert space2.count() > 1_000_000
+    assert worst.time > best.time

@@ -1,0 +1,48 @@
+"""Future-work extension (§VI): rules that generalize across inputs.
+
+Runs the full pipeline on SpMV matrices with different bandwidths (which
+shift the communication/computation balance) and intersects the per-class
+rules.  Reports the generalizing core and the input-specific remainder.
+"""
+
+from benchmarks.conftest import emit
+from repro.apps.spmv import SpmvCase
+from repro.experiments import run_multi_input
+from repro.platform import perlmutter_like
+
+
+def test_multi_input_generalization(benchmark, capfd):
+    base = SpmvCase().scaled(1 / 40)
+    cases = [
+        ("bw=n/4", base),
+        (
+            "bw=n/8",
+            SpmvCase(
+                n_rows=base.n_rows,
+                nnz=base.nnz,
+                bandwidth=base.n_rows / 8,
+                n_ranks=4,
+                seed=0,
+            ),
+        ),
+        (
+            "bw=n/3",
+            SpmvCase(
+                n_rows=base.n_rows,
+                nnz=base.nnz,
+                bandwidth=base.n_rows / 3,
+                n_ranks=4,
+                seed=0,
+            ),
+        ),
+    ]
+    machine = perlmutter_like(noise_sigma=0.01)
+    result = benchmark.pedantic(
+        lambda: run_multi_input(cases, machine), rounds=1, iterations=1
+    )
+    emit(capfd, "Extension: cross-input rule generalization", result.report())
+    # Some class must have at least one generalizing rule, and the
+    # input-specific remainder must be non-empty (motivating the paper's
+    # proposed per-input features).
+    assert any(rules for rules in result.generalizing.values())
+    assert any(rules for rules in result.input_specific.values())

@@ -1,0 +1,42 @@
+"""Benchmark fixtures.
+
+The paper-scale workbench (150k-row SpMV on the perlmutter-like platform)
+is built once per session; its exhaustive sweep is cached so the per-
+figure benches measure their own stage, not the shared substrate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.spmv import SpmvCase
+from repro.experiments.workbench import SpmvWorkbench
+from repro.platform import perlmutter_like
+from repro.sim import MeasurementConfig
+
+
+@pytest.fixture(scope="session")
+def wb() -> SpmvWorkbench:
+    """Paper-scale workbench (the paper's exact SpMV case)."""
+    return SpmvWorkbench(
+        case=SpmvCase(),
+        machine=perlmutter_like(noise_sigma=0.01),
+        measurement=MeasurementConfig(max_samples=3),
+    )
+
+
+@pytest.fixture(scope="session")
+def small_wb() -> SpmvWorkbench:
+    """1/40-scale workbench for the iteration-heavy sweeps."""
+    return SpmvWorkbench(
+        case=SpmvCase().scaled(1 / 40),
+        machine=perlmutter_like(noise_sigma=0.01),
+        measurement=MeasurementConfig(max_samples=2),
+    )
+
+
+def emit(capfd, title: str, body: str) -> None:
+    """Print a report so it survives pytest's capture into tee'd output."""
+    with capfd.disabled():
+        print(f"\n==== {title} ====")
+        print(body)

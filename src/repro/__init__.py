@@ -1,0 +1,126 @@
+"""repro — reproduction of "Machine Learning for CUDA+MPI Design Rules".
+
+Pearson, Javeed, Devine (Sandia National Laboratories), IPDPSW 2022,
+arXiv:2203.02530.  See README.md for a tour and DESIGN.md for the system
+inventory and the substitutions made for the paper's hardware testbed.
+
+Quick start::
+
+    from repro import (
+        build_spmv_program, SpmvCase, perlmutter_like,
+        DesignRulePipeline, PipelineConfig,
+    )
+
+    inst = build_spmv_program(SpmvCase().scaled(1 / 40))
+    pipe = DesignRulePipeline(
+        inst.program, perlmutter_like(), PipelineConfig(strategy="mcts")
+    )
+    result = pipe.run()
+    print(result.summary())
+    for ruleset in result.rulesets:
+        print(ruleset.predicted_class, "<-", str(ruleset))
+"""
+
+from repro.version import __version__
+
+# DAG layer
+from repro.dag import (
+    Action,
+    ActionKind,
+    CommPlan,
+    Graph,
+    Message,
+    OpKind,
+    Program,
+    Vertex,
+    Work,
+    cpu_op,
+    gpu_op,
+)
+
+# Platform + simulator
+from repro.platform import (
+    CostModel,
+    MachineConfig,
+    NoiseModel,
+    noiseless,
+    perlmutter_like,
+)
+from repro.sim import (
+    Benchmarker,
+    Gantt,
+    MeasurementConfig,
+    ScheduleExecutor,
+    SimResult,
+)
+
+# Scheduling + search
+from repro.schedule import BoundOp, DesignSpace, Schedule
+from repro.search import ExhaustiveSearch, MctsConfig, MctsSearch, RandomSearch
+
+# ML + rules
+from repro.ml import (
+    DecisionTree,
+    FeatureExtractor,
+    LabelingConfig,
+    TreeConfig,
+    label_by_performance,
+    range_accuracy,
+    search_tree_size,
+)
+from repro.rules import RuleSet, compare_rulesets, extract_rulesets
+
+# Applications + pipeline
+from repro.apps.spmv import SpmvCase, build_spmv_program, spmv_paper_case
+from repro.apps.halo import GridCase, build_halo_program
+from repro.core import DesignRulePipeline, PipelineConfig, PipelineResult
+
+__all__ = [
+    "Action",
+    "ActionKind",
+    "Benchmarker",
+    "BoundOp",
+    "CommPlan",
+    "CostModel",
+    "DecisionTree",
+    "DesignRulePipeline",
+    "DesignSpace",
+    "ExhaustiveSearch",
+    "FeatureExtractor",
+    "Gantt",
+    "Graph",
+    "GridCase",
+    "LabelingConfig",
+    "MachineConfig",
+    "MctsConfig",
+    "MctsSearch",
+    "MeasurementConfig",
+    "Message",
+    "NoiseModel",
+    "OpKind",
+    "PipelineConfig",
+    "PipelineResult",
+    "Program",
+    "RandomSearch",
+    "RuleSet",
+    "Schedule",
+    "ScheduleExecutor",
+    "SimResult",
+    "SpmvCase",
+    "TreeConfig",
+    "Vertex",
+    "Work",
+    "__version__",
+    "build_halo_program",
+    "build_spmv_program",
+    "compare_rulesets",
+    "cpu_op",
+    "extract_rulesets",
+    "gpu_op",
+    "label_by_performance",
+    "noiseless",
+    "perlmutter_like",
+    "range_accuracy",
+    "search_tree_size",
+    "spmv_paper_case",
+]

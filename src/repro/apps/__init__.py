@@ -1,0 +1,11 @@
+"""Application programs whose design spaces the system explores.
+
+* :mod:`repro.apps.spmv` — the paper's demonstration workload: distributed
+  sparse-matrix vector multiplication on a band-diagonal matrix (Fig. 3).
+* :mod:`repro.apps.halo` — 3-D halo exchange, the paper's stated
+  work-in-progress extension (§VI).
+"""
+
+from repro.apps.spmv import SpmvCase, build_spmv_program, spmv_paper_case
+
+__all__ = ["SpmvCase", "build_spmv_program", "spmv_paper_case"]

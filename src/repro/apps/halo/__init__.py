@@ -1,0 +1,10 @@
+"""3-D halo exchange — the paper's work-in-progress extension (§VI).
+
+"The work is currently being extended to 3D halo-exchange communication
+modeling fine-grained communication operations in each dimension."
+"""
+
+from repro.apps.halo.grid import GridCase, GridDecomposition, decompose
+from repro.apps.halo.dag import build_halo_program
+
+__all__ = ["GridCase", "GridDecomposition", "build_halo_program", "decompose"]

@@ -1,0 +1,123 @@
+"""Program DAG for the 3-D halo exchange (paper §VI extension).
+
+Fine-grained per-dimension operations: for each axis ``a`` in the active
+set, the program has ``Pack_a`` (GPU) → ``PostSends_a`` →
+``WaitSend_a`` and ``PostRecvs_a`` → ``WaitRecv_a`` → ``Unpack_a`` (GPU);
+an ``Interior`` stencil kernel is independent of all communication, and a
+``Boundary`` kernel depends on every unpack (a GPU→GPU dependency, which
+exercises the scheduler's cross-stream ``cudaStreamWaitEvent``
+insertion).  Posts precede waits for the same SPMD-deadlock reason as the
+SpMV program.
+
+The design space grows combinatorially with the number of axes — with all
+three axes it is far beyond enumeration, which is exactly the regime the
+paper's MCTS is for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.apps.halo.grid import FACES, FACE_NAMES, GridCase, decompose
+from repro.dag.graph import Graph
+from repro.dag.program import CommPlan, Message, Program
+from repro.dag.vertex import Action, ActionKind, Work, cpu_op, gpu_op
+
+_AXIS_NAMES = ("x", "y", "z")
+
+
+def build_halo_program(
+    case: GridCase,
+    axes: Sequence[int] = (0, 1, 2),
+    *,
+    pack_efficiency: float = 0.3,
+    stencil_efficiency: float = 0.5,
+) -> Program:
+    """Build the halo-exchange Program for the chosen axes."""
+    decomp = decompose(case)
+    axes = tuple(sorted(set(axes)))
+    if not axes:
+        raise ValueError("need at least one active axis")
+    for a in axes:
+        if a not in (0, 1, 2):
+            raise ValueError(f"invalid axis {a}")
+
+    vertices = []
+    edges: List[Tuple[str, str]] = []
+    comm: Dict[str, CommPlan] = {}
+    work: Dict[Tuple[str, int], Work] = {}
+
+    interior = gpu_op(
+        "Interior",
+        work=Work(
+            flops=case.flops_per_cell * decomp.interior_cells(),
+            bytes_read=2
+            * case.bytes_per_cell
+            * decomp.interior_cells()
+            / stencil_efficiency,
+        ),
+    )
+    boundary_cells = sum(
+        decomp.face_bytes(a) / case.bytes_per_cell for a in axes
+    )
+    boundary = gpu_op(
+        "Boundary",
+        work=Work(
+            flops=case.flops_per_cell * boundary_cells,
+            bytes_read=2 * case.bytes_per_cell * boundary_cells / stencil_efficiency,
+        ),
+    )
+    vertices += [interior, boundary]
+
+    for a in axes:
+        ax = _AXIS_NAMES[a]
+        group = f"halo_{ax}"
+        face_bytes = decomp.face_bytes(a)
+        pack = gpu_op(
+            f"Pack_{ax}",
+            work=Work(bytes_read=2 * 2 * face_bytes / pack_efficiency),
+        )
+        unpack = gpu_op(
+            f"Unpack_{ax}",
+            work=Work(bytes_read=2 * 2 * face_bytes / pack_efficiency),
+        )
+        ps = cpu_op(f"PostSends_{ax}", action=Action(ActionKind.POST_SENDS, group))
+        pr = cpu_op(f"PostRecvs_{ax}", action=Action(ActionKind.POST_RECVS, group))
+        ws = cpu_op(f"WaitSend_{ax}", action=Action(ActionKind.WAIT_SENDS, group))
+        wr = cpu_op(f"WaitRecv_{ax}", action=Action(ActionKind.WAIT_RECVS, group))
+        vertices += [pack, unpack, ps, pr, ws, wr]
+        edges += [
+            (pack.name, ps.name),
+            (ps.name, ws.name),
+            (pr.name, wr.name),
+            (wr.name, unpack.name),
+            # posts-before-waits (SPMD deadlock exclusion)
+            (ps.name, wr.name),
+            (pr.name, ws.name),
+            # the boundary stencil needs every halo unpacked
+            (unpack.name, boundary.name),
+        ]
+        messages = []
+        for box in decomp.boxes:
+            for (axis, sign), neighbour in sorted(box.neighbours.items()):
+                if axis != a:
+                    continue
+                messages.append(
+                    Message(
+                        src=box.rank,
+                        dst=neighbour,
+                        nbytes=face_bytes,
+                        tag=100 + 10 * axis + (1 if sign > 0 else 0),
+                    )
+                )
+        comm[group] = CommPlan(group=group, messages=tuple(messages))
+
+    graph = Graph.from_edges(vertices, edges).with_start_end()
+    return Program(
+        graph=graph,
+        n_ranks=case.n_ranks,
+        comm=comm,
+        name=f"halo3d({case.nx}x{case.ny}x{case.nz} on "
+        f"{case.px}x{case.py}x{case.pz}, axes={''.join(_AXIS_NAMES[a] for a in axes)})",
+    )

@@ -1,0 +1,108 @@
+"""3-D structured-grid domain decomposition.
+
+Ranks tile a global ``nx × ny × nz`` cell grid as a ``px × py × pz``
+process grid; each rank owns a box of cells and exchanges one-cell-deep
+face halos with up to six neighbours each step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+#: The six face directions: (axis, sign).
+FACES: Tuple[Tuple[int, int], ...] = (
+    (0, -1),
+    (0, +1),
+    (1, -1),
+    (1, +1),
+    (2, -1),
+    (2, +1),
+)
+
+FACE_NAMES: Dict[Tuple[int, int], str] = {
+    (0, -1): "xlo",
+    (0, +1): "xhi",
+    (1, -1): "ylo",
+    (1, +1): "yhi",
+    (2, -1): "zlo",
+    (2, +1): "zhi",
+}
+
+
+@dataclass(frozen=True)
+class GridCase:
+    """One halo-exchange problem instance."""
+
+    nx: int = 256
+    ny: int = 256
+    nz: int = 256
+    px: int = 2
+    py: int = 2
+    pz: int = 1
+    #: Bytes per cell value (e.g. one double).
+    bytes_per_cell: float = 8.0
+    #: Flops per cell for the interior stencil update.
+    flops_per_cell: float = 8.0
+
+    @property
+    def n_ranks(self) -> int:
+        return self.px * self.py * self.pz
+
+    def local_shape(self) -> Tuple[int, int, int]:
+        if self.nx % self.px or self.ny % self.py or self.nz % self.pz:
+            raise ValueError("process grid must divide the cell grid")
+        return (self.nx // self.px, self.ny // self.py, self.nz // self.pz)
+
+
+@dataclass(frozen=True)
+class RankBox:
+    """One rank's coordinates and neighbours."""
+
+    rank: int
+    coords: Tuple[int, int, int]
+    #: face -> neighbour rank (absent if on the domain boundary).
+    neighbours: Dict[Tuple[int, int], int]
+
+
+@dataclass
+class GridDecomposition:
+    case: GridCase
+    boxes: List[RankBox]
+
+    def face_bytes(self, axis: int) -> float:
+        lx, ly, lz = self.case.local_shape()
+        areas = {0: ly * lz, 1: lx * lz, 2: lx * ly}
+        return areas[axis] * self.case.bytes_per_cell
+
+    def interior_cells(self) -> int:
+        lx, ly, lz = self.case.local_shape()
+        return lx * ly * lz
+
+
+def decompose(case: GridCase) -> GridDecomposition:
+    """Build the process-grid decomposition (non-periodic boundaries)."""
+
+    def rank_of(cx: int, cy: int, cz: int) -> int:
+        return (cz * case.py + cy) * case.px + cx
+
+    boxes: List[RankBox] = []
+    for cz in range(case.pz):
+        for cy in range(case.py):
+            for cx in range(case.px):
+                coords = (cx, cy, cz)
+                neigh: Dict[Tuple[int, int], int] = {}
+                for axis, sign in FACES:
+                    nc = list(coords)
+                    nc[axis] += sign
+                    dims = (case.px, case.py, case.pz)
+                    if 0 <= nc[axis] < dims[axis]:
+                        neigh[(axis, sign)] = rank_of(*nc)
+                boxes.append(
+                    RankBox(
+                        rank=rank_of(cx, cy, cz),
+                        coords=coords,
+                        neighbours=neigh,
+                    )
+                )
+    return GridDecomposition(case=case, boxes=boxes)

@@ -1,0 +1,169 @@
+"""Command-line interface: run any paper experiment.
+
+Usage::
+
+    repro fig1 [--scale 0.025]      # sorted implementation sweep
+    repro fig4                      # labeling pipeline
+    repro fig5                      # Algorithm 1 trace
+    repro fig6                      # six-leaf tree + rules
+    repro table5                    # MCTS iterations vs accuracy
+    repro rules                     # Tables VI-VIII
+    repro ablation-random           # MCTS vs random sampling
+    repro ablation-exploit          # exploitation-term ablation
+    repro ablation-noise            # labeling noise sensitivity
+    repro platform                  # Table I analog
+    repro all                       # everything above
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.platform.presets import describe
+
+
+def _wb(args):
+    from repro.experiments import default_workbench
+
+    return default_workbench(scale=args.scale, noise_sigma=args.noise)
+
+
+def _cmd_fig1(args) -> str:
+    from repro.experiments import run_fig1
+
+    r = run_fig1(_wb(args))
+    return r.report() + "\n" + r.ascii_plot()
+
+
+def _cmd_fig4(args) -> str:
+    from repro.experiments import run_fig4
+
+    return run_fig4(_wb(args)).report()
+
+
+def _cmd_fig5(args) -> str:
+    from repro.experiments import run_fig5
+
+    return run_fig5(_wb(args)).report()
+
+
+def _cmd_fig6(args) -> str:
+    from repro.experiments import run_fig6
+
+    return run_fig6(_wb(args)).report()
+
+
+def _cmd_table5(args) -> str:
+    from repro.experiments import run_table5
+
+    return run_table5(_wb(args)).report()
+
+
+def _cmd_rules(args) -> str:
+    from repro.experiments import run_rule_tables
+
+    return run_rule_tables(_wb(args)).report()
+
+
+def _cmd_ablation_random(args) -> str:
+    from repro.experiments import run_mcts_vs_random
+
+    return run_mcts_vs_random(_wb(args)).report()
+
+
+def _cmd_ablation_exploit(args) -> str:
+    from repro.experiments import run_exploitation_ablation
+
+    return run_exploitation_ablation(_wb(args)).report()
+
+
+def _cmd_ablation_noise(args) -> str:
+    from repro.experiments import run_noise_sensitivity
+
+    return run_noise_sensitivity(_wb(args)).report()
+
+
+def _cmd_platform(args) -> str:
+    from repro.platform.presets import perlmutter_like
+
+    return describe(perlmutter_like(noise_sigma=args.noise))
+
+
+def _cmd_multi_input(args) -> str:
+    from repro.apps.spmv import SpmvCase
+    from repro.experiments import run_multi_input
+    from repro.platform.presets import perlmutter_like
+
+    base = SpmvCase() if args.scale >= 1 else SpmvCase().scaled(args.scale)
+    cases = [
+        ("bw=n/4", base),
+        (
+            "bw=n/8",
+            SpmvCase(
+                n_rows=base.n_rows,
+                nnz=base.nnz,
+                bandwidth=base.n_rows / 8,
+                n_ranks=base.n_ranks,
+                seed=base.seed,
+            ),
+        ),
+    ]
+    return run_multi_input(
+        cases, perlmutter_like(noise_sigma=args.noise)
+    ).report()
+
+
+_COMMANDS: Dict[str, Callable] = {
+    "fig1": _cmd_fig1,
+    "fig4": _cmd_fig4,
+    "fig5": _cmd_fig5,
+    "fig6": _cmd_fig6,
+    "table5": _cmd_table5,
+    "rules": _cmd_rules,
+    "ablation-random": _cmd_ablation_random,
+    "ablation-exploit": _cmd_ablation_exploit,
+    "ablation-noise": _cmd_ablation_noise,
+    "platform": _cmd_platform,
+    "multi-input": _cmd_multi_input,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduce experiments from 'Machine Learning for CUDA+MPI "
+            "Design Rules' (arXiv:2203.02530) on the simulated platform."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(_COMMANDS) + ["all"],
+        help="which experiment to run",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="matrix scale factor (1.0 = the paper's 150k-row case)",
+    )
+    parser.add_argument(
+        "--noise",
+        type=float,
+        default=0.01,
+        help="measurement noise sigma (lognormal)",
+    )
+    args = parser.parse_args(argv)
+    if args.experiment == "all":
+        for name in sorted(_COMMANDS):
+            print(f"\n===== {name} =====")
+            print(_COMMANDS[name](args))
+    else:
+        print(_COMMANDS[args.experiment](args))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

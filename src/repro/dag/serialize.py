@@ -1,0 +1,134 @@
+"""JSON (de)serialization for DAGs and programs.
+
+Numeric payload callbacks are not serializable; programs round-trip
+structurally (graph, comm plans, work overrides) with payloads dropped.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.dag.graph import Graph
+from repro.dag.program import CommPlan, Message, Program
+from repro.dag.vertex import Action, ActionKind, OpKind, Vertex, Work
+
+
+def vertex_to_dict(v: Vertex) -> Dict[str, Any]:
+    d: Dict[str, Any] = {"name": v.name, "kind": v.kind.value}
+    if v.duration is not None:
+        d["duration"] = v.duration
+    if v.work is not None:
+        d["work"] = {
+            "flops": v.work.flops,
+            "bytes_read": v.work.bytes_read,
+            "bytes_written": v.work.bytes_written,
+        }
+    if v.action is not None:
+        d["action"] = {"kind": v.action.kind.value, "group": v.action.group}
+    if v.payload is not None:
+        d["payload"] = v.payload
+    if v.reads:
+        d["reads"] = list(v.reads)
+    if v.writes:
+        d["writes"] = list(v.writes)
+    return d
+
+
+def vertex_from_dict(d: Dict[str, Any]) -> Vertex:
+    work = None
+    if "work" in d:
+        work = Work(**d["work"])
+    action = None
+    if "action" in d:
+        action = Action(
+            kind=ActionKind(d["action"]["kind"]), group=d["action"]["group"]
+        )
+    return Vertex(
+        name=d["name"],
+        kind=OpKind(d["kind"]),
+        duration=d.get("duration"),
+        work=work,
+        action=action,
+        payload=d.get("payload"),
+        reads=tuple(d.get("reads", ())),
+        writes=tuple(d.get("writes", ())),
+    )
+
+
+def graph_to_dict(g: Graph) -> Dict[str, Any]:
+    return {
+        "vertices": [vertex_to_dict(v) for v in g],
+        "edges": [[u.name, v.name] for u, v in g.edges()],
+    }
+
+
+def graph_from_dict(d: Dict[str, Any]) -> Graph:
+    return Graph.from_edges(
+        (vertex_from_dict(vd) for vd in d["vertices"]),
+        ((u, v) for u, v in d["edges"]),
+    )
+
+
+def program_to_dict(p: Program) -> Dict[str, Any]:
+    return {
+        "name": p.name,
+        "n_ranks": p.n_ranks,
+        "graph": graph_to_dict(p.graph),
+        "comm": {
+            group: [
+                {
+                    "src": m.src,
+                    "dst": m.dst,
+                    "nbytes": m.nbytes,
+                    "tag": m.tag,
+                    "src_buf": m.src_buf,
+                    "dst_buf": m.dst_buf,
+                    "hazard_buf": m.hazard_buf,
+                }
+                for m in plan.messages
+            ]
+            for group, plan in p.comm.items()
+        },
+        "work_overrides": [
+            {
+                "vertex": name,
+                "rank": rank,
+                "work": {
+                    "flops": w.flops,
+                    "bytes_read": w.bytes_read,
+                    "bytes_written": w.bytes_written,
+                },
+            }
+            for (name, rank), w in p.work_overrides.items()
+        ],
+    }
+
+
+def program_from_dict(d: Dict[str, Any]) -> Program:
+    comm = {
+        group: CommPlan(
+            group=group,
+            messages=tuple(Message(**md) for md in msgs),
+        )
+        for group, msgs in d.get("comm", {}).items()
+    }
+    overrides = {
+        (o["vertex"], o["rank"]): Work(**o["work"])
+        for o in d.get("work_overrides", ())
+    }
+    return Program(
+        graph=graph_from_dict(d["graph"]),
+        n_ranks=d.get("n_ranks", 1),
+        comm=comm,
+        work_overrides=overrides,
+        name=d.get("name", "program"),
+    )
+
+
+def program_to_json(p: Program, indent: int = 2) -> str:
+    return json.dumps(program_to_dict(p), indent=indent, sort_keys=True)
+
+
+def program_from_json(s: str) -> Program:
+    return program_from_dict(json.loads(s))

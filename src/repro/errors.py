@@ -1,0 +1,58 @@
+"""Exception hierarchy for :mod:`repro`.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures without catching unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class GraphError(ReproError):
+    """Raised for structural problems in an operation graph."""
+
+
+class CycleError(GraphError):
+    """Raised when a graph that must be acyclic contains a cycle."""
+
+
+class ScheduleError(ReproError):
+    """Raised when a schedule is malformed or violates its program DAG."""
+
+
+class SimulationError(ReproError):
+    """Raised for errors during discrete-event simulation."""
+
+
+class DeadlockError(SimulationError):
+    """Raised when the simulation event queue drains with live processes.
+
+    This typically indicates an unmatched MPI receive, a CUDA event that is
+    waited on but never recorded, or a schedule whose synchronization
+    structure is inconsistent.
+    """
+
+
+class HazardError(SimulationError):
+    """Raised when the data-hazard tracker observes a read of a buffer that
+    was never marked ready (i.e. a schedule allowed a consumer to run before
+    its producer completed)."""
+
+
+class MpiError(SimulationError):
+    """Raised for misuse of the simulated MPI layer."""
+
+
+class SearchError(ReproError):
+    """Raised for errors in design-space search strategies."""
+
+
+class TrainingError(ReproError):
+    """Raised when decision-tree training cannot proceed."""
+
+
+class LabelingError(ReproError):
+    """Raised when performance-class labeling fails."""

@@ -1,0 +1,54 @@
+"""Canned paper experiments: one function per figure/table.
+
+These are the single source of truth that ``benchmarks/``, ``examples/``
+and the CLI all call; each returns a small dataclass with the series/rows
+the paper reports, plus helpers to print them.
+"""
+
+from repro.experiments.workbench import SpmvWorkbench, default_workbench
+from repro.experiments.figures import (
+    Fig1Result,
+    Fig4Result,
+    Fig5Result,
+    Fig6Result,
+    run_fig1,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+)
+from repro.experiments.tables import (
+    Table5Result,
+    RuleTableResult,
+    run_table5,
+    run_rule_tables,
+)
+from repro.experiments.ablations import (
+    AblationResult,
+    run_mcts_vs_random,
+    run_exploitation_ablation,
+    run_noise_sensitivity,
+)
+from repro.experiments.multi_input import MultiInputResult, run_multi_input
+
+__all__ = [
+    "AblationResult",
+    "MultiInputResult",
+    "run_multi_input",
+    "Fig1Result",
+    "Fig4Result",
+    "Fig5Result",
+    "Fig6Result",
+    "RuleTableResult",
+    "SpmvWorkbench",
+    "Table5Result",
+    "default_workbench",
+    "run_exploitation_ablation",
+    "run_fig1",
+    "run_fig4",
+    "run_fig5",
+    "run_fig6",
+    "run_mcts_vs_random",
+    "run_noise_sensitivity",
+    "run_rule_tables",
+    "run_table5",
+]

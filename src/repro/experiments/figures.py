@@ -1,0 +1,188 @@
+"""Figure experiments: Fig. 1 (sorted sweep), Fig. 4 (labeling),
+Fig. 5 (Algorithm 1 trace), Fig. 6 (six-leaf tree)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.experiments.workbench import SpmvWorkbench
+from repro.ml.hyperparam import HyperparamTrace
+from repro.ml.labeling import LabelResult
+from repro.ml.metrics import training_error
+from repro.ml.tree import DecisionTree, TreeConfig
+from repro.rules.extract import extract_rulesets
+from repro.rules.ruleset import RuleSet
+
+
+# ----------------------------------------------------------------------
+# Figure 1: all implementations, sorted fastest -> slowest.
+# ----------------------------------------------------------------------
+@dataclass
+class Fig1Result:
+    """The sorted elapsed-time curve (paper Fig. 1)."""
+
+    sorted_times: np.ndarray
+    n_implementations: int
+    speedup: float  # slowest / fastest
+    best_time: float
+    worst_time: float
+
+    def ascii_plot(self, width: int = 72, height: int = 14) -> str:
+        t = self.sorted_times
+        lo, hi = t.min(), t.max()
+        cols = np.linspace(0, len(t) - 1, width).astype(int)
+        vals = t[cols]
+        rows = []
+        for h in range(height, 0, -1):
+            cut = lo + (hi - lo) * h / height
+            prev_cut = lo + (hi - lo) * (h - 1) / height
+            row = "".join(
+                "#" if prev_cut <= v < cut or (h == height and v >= cut) else " "
+                for v in vals
+            )
+            rows.append(f"{cut * 1e6:7.1f}us |{row}")
+        rows.append(" " * 10 + "+" + "-" * width)
+        rows.append(
+            " " * 11
+            + f"implementations sorted fastest to slowest (n={self.n_implementations})"
+        )
+        return "\n".join(rows)
+
+    def report(self) -> str:
+        return (
+            f"Fig.1: {self.n_implementations} implementations, "
+            f"fastest {self.best_time * 1e6:.2f} us, "
+            f"slowest {self.worst_time * 1e6:.2f} us, "
+            f"speedup {self.speedup:.2f}x  (paper: 2036 impls, 1.47x)"
+        )
+
+
+def run_fig1(wb: SpmvWorkbench) -> Fig1Result:
+    full = wb.full_search()
+    times = np.sort(full.times())
+    return Fig1Result(
+        sorted_times=times,
+        n_implementations=len(times),
+        speedup=float(times[-1] / times[0]),
+        best_time=float(times[0]),
+        worst_time=float(times[-1]),
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 4: labeling pipeline visualization.
+# ----------------------------------------------------------------------
+@dataclass
+class Fig4Result:
+    """Sorted data, convolution signal, and detected class boundaries."""
+
+    labeling: LabelResult
+
+    def report(self) -> str:
+        lab = self.labeling
+        lines = [
+            f"Fig.4: radius={lab.radius}, "
+            f"prominence threshold={lab.prominence_threshold:.3g}, "
+            f"boundaries at {lab.boundaries.tolist()}, "
+            f"{lab.n_classes} classes (paper: 3 classes)",
+        ]
+        for c in lab.classes:
+            lines.append(
+                f"  class {c.label}: {c.size} samples "
+                f"[{c.t_min * 1e6:.2f}, {c.t_max * 1e6:.2f}] us"
+            )
+        return "\n".join(lines)
+
+
+def run_fig4(wb: SpmvWorkbench) -> Fig4Result:
+    return Fig4Result(labeling=wb.full_pipeline().labeling)
+
+
+# ----------------------------------------------------------------------
+# Figure 5: hyperparameter search trace.
+# ----------------------------------------------------------------------
+@dataclass
+class Fig5Result:
+    trace: HyperparamTrace
+    chosen_leaves: int
+    chosen_depth: int
+    final_error: float
+
+    def report(self) -> str:
+        lines = [
+            "Fig.5: Algorithm 1 trace (leaf nodes, training error, depth)"
+        ]
+        for mln, err, depth in self.trace.rows():
+            lines.append(f"  leaves={mln:3d}  error={err:.4f}  depth={depth}")
+        lines.append(
+            f"  chosen: {self.chosen_leaves} leaves, depth "
+            f"{self.chosen_depth}, error {self.final_error:.4f} "
+            f"(paper: 13 leaves, depth 6)"
+        )
+        return "\n".join(lines)
+
+
+def run_fig5(wb: SpmvWorkbench) -> Fig5Result:
+    result = wb.full_pipeline()
+    return Fig5Result(
+        trace=result.hyperparam_trace,
+        chosen_leaves=result.tree.n_leaves,
+        chosen_depth=result.tree.depth,
+        final_error=result.training_error,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 6: the six-leaf decision tree.
+# ----------------------------------------------------------------------
+@dataclass
+class Fig6Result:
+    tree: DecisionTree
+    rulesets: List[RuleSet]
+    rendered: str
+    training_error: float
+
+    def report(self) -> str:
+        lines = [
+            f"Fig.6: 6-leaf tree, depth {self.tree.depth}, "
+            f"training error {self.training_error:.4f} "
+            f"(paper: depth 4, imperfect leaf expected)",
+            self.rendered,
+            "rulesets (per leaf, by samples):",
+        ]
+        for rs in self.rulesets:
+            lines.append(
+                f"  -> class {rs.predicted_class} "
+                f"(samples={rs.n_samples}): "
+                + "; ".join(rs.text_lines())
+            )
+        return "\n".join(lines)
+
+
+def run_fig6(wb: SpmvWorkbench, n_leaves: int = 6) -> Fig6Result:
+    """Train the intermediate tree with a fixed leaf budget (paper Fig. 6)."""
+    full = wb.full_pipeline()
+    tree = DecisionTree(
+        TreeConfig(
+            criterion="gini",
+            class_weight="balanced",
+            max_leaf_nodes=n_leaves,
+            max_depth=n_leaves - 1,
+        )
+    ).fit(full.features.matrix, full.labeling.labels)
+    feature_names = [
+        f.describe(True) for f in full.features.features
+    ]
+    rendered = tree.render(feature_names=feature_names)
+    rulesets = extract_rulesets(tree, full.features.features)
+    return Fig6Result(
+        tree=tree,
+        rulesets=rulesets,
+        rendered=rendered,
+        training_error=training_error(
+            tree, full.features.matrix, full.labeling.labels
+        ),
+    )

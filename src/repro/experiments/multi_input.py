@@ -1,0 +1,129 @@
+"""Future-work extension (paper §VI): rules that generalize across inputs.
+
+"A natural extension is to generate rules that generalize across inputs."
+
+Protocol: run the full pipeline independently on several problem inputs
+(e.g. SpMV matrices with different bandwidths, which shift the
+communication/computation balance), extract each input's canonical
+rulesets, and intersect per performance class:
+
+* a rule is **generalizing** for class c if it appears in some ruleset of
+  class c for *every* input;
+* a rule is **input-specific** if it appears for some inputs only.
+
+The generalizing set is what a systems expert can apply without knowing
+the input; the input-specific remainder quantifies how much of the design
+guidance is input-dependent — the gap the paper's proposed feature-vector
+extension would need to close.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+from repro.apps.spmv import SpmvCase, build_spmv_program
+from repro.core.pipeline import DesignRulePipeline, PipelineConfig
+from repro.ml.labeling import LabelingConfig
+from repro.platform.machine import MachineConfig
+from repro.rules.extract import rulesets_by_class
+from repro.rules.ruleset import Rule
+from repro.sim.measure import MeasurementConfig
+
+
+@dataclass
+class MultiInputResult:
+    """Cross-input rule analysis."""
+
+    input_names: List[str]
+    #: class -> input name -> set of rule texts observed for that class.
+    observed: Dict[int, Dict[str, FrozenSet[str]]]
+    #: class -> rule texts present for every input.
+    generalizing: Dict[int, FrozenSet[str]]
+    #: class -> rule texts present for some but not all inputs.
+    input_specific: Dict[int, FrozenSet[str]]
+
+    def report(self) -> str:
+        lines = [
+            f"Cross-input design rules over {len(self.input_names)} inputs: "
+            + ", ".join(self.input_names)
+        ]
+        for cls in sorted(self.generalizing):
+            lines.append(f"  class {cls}:")
+            gen = sorted(self.generalizing[cls])
+            if gen:
+                lines.append("    generalizing rules (hold on every input):")
+                lines.extend(f"      - {r}" for r in gen)
+            else:
+                lines.append("    (no rule holds on every input)")
+            spec = sorted(self.input_specific[cls])
+            if spec:
+                lines.append(
+                    f"    input-specific rules: {len(spec)} "
+                    f"(e.g. {spec[0]!r})"
+                )
+        return "\n".join(lines)
+
+
+def _class_rule_texts(pipeline_result) -> Dict[int, FrozenSet[str]]:
+    by_class = rulesets_by_class(pipeline_result.rulesets)
+    return {
+        cls: frozenset(
+            rule.text for rs in rulesets for rule in rs.rules
+        )
+        for cls, rulesets in by_class.items()
+    }
+
+
+def run_multi_input(
+    cases: Sequence[Tuple[str, SpmvCase]],
+    machine: MachineConfig,
+    *,
+    measurement: MeasurementConfig = MeasurementConfig(max_samples=2),
+    n_streams: int = 2,
+) -> MultiInputResult:
+    """Run the exhaustive pipeline on each input and intersect the rules.
+
+    Classes are aligned positionally: class 0 is the fastest class of each
+    input, etc.  Inputs whose labeling found fewer classes simply do not
+    contribute to the missing classes (treated as not supporting any rule
+    there).
+    """
+    if len(cases) < 2:
+        raise ValueError("need at least two inputs to generalize across")
+    per_input: Dict[str, Dict[int, FrozenSet[str]]] = {}
+    for name, case in cases:
+        inst = build_spmv_program(case)
+        pipe = DesignRulePipeline(
+            inst.program,
+            machine,
+            PipelineConfig(
+                n_streams=n_streams,
+                strategy="exhaustive",
+                measurement=measurement,
+            ),
+        )
+        per_input[name] = _class_rule_texts(pipe.run())
+
+    names = [name for name, _ in cases]
+    all_classes = sorted({c for rules in per_input.values() for c in rules})
+    observed: Dict[int, Dict[str, FrozenSet[str]]] = {}
+    generalizing: Dict[int, FrozenSet[str]] = {}
+    specific: Dict[int, FrozenSet[str]] = {}
+    for cls in all_classes:
+        observed[cls] = {
+            name: per_input[name].get(cls, frozenset()) for name in names
+        }
+        sets = list(observed[cls].values())
+        union = frozenset().union(*sets)
+        inter = sets[0]
+        for s in sets[1:]:
+            inter = inter & s
+        generalizing[cls] = inter
+        specific[cls] = union - inter
+    return MultiInputResult(
+        input_names=names,
+        observed=observed,
+        generalizing=generalizing,
+        input_specific=specific,
+    )

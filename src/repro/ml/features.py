@@ -1,0 +1,163 @@
+"""Sequence-to-vector feature transformation (paper §IV-B).
+
+"An ordering feature is defined for each pairwise combination of traversal
+operations u and v.  This feature is 1 if u appears in the traversal before
+v, and 0 otherwise.  Similarly, a stream assignment feature is defined for
+each pairwise combination of BoundGPU operations.  This feature is 1 if u
+and v occur in the same stream, and 0 otherwise.  Many of these feature
+entries will have the same value for all traversals ... Such features are
+removed."
+
+Feature naming matches the paper's rule text:
+
+* ordering feature value 1 → "u before v";     value 0 → "v before u"
+* stream feature value 1   → "u same stream as v"; value 0 →
+  "u different stream than v"
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.dag.vertex import OpKind
+from repro.errors import TrainingError
+from repro.schedule.schedule import Schedule
+
+
+@dataclass(frozen=True)
+class OrderFeature:
+    """Binary feature: 1 iff ``u`` precedes ``v`` in the launch sequence."""
+
+    u: str
+    v: str
+
+    def describe(self, value: bool) -> str:
+        return f"{self.u} before {self.v}" if value else f"{self.v} before {self.u}"
+
+    @property
+    def name(self) -> str:
+        return f"order({self.u},{self.v})"
+
+
+@dataclass(frozen=True)
+class StreamFeature:
+    """Binary feature: 1 iff GPU ops ``u`` and ``v`` share a stream."""
+
+    u: str
+    v: str
+
+    def describe(self, value: bool) -> str:
+        if value:
+            return f"{self.u} same stream as {self.v}"
+        return f"{self.u} different stream than {self.v}"
+
+    @property
+    def name(self) -> str:
+        return f"stream({self.u},{self.v})"
+
+
+Feature = object  # OrderFeature | StreamFeature
+
+
+@dataclass
+class FeatureMatrix:
+    """Extracted features for a set of schedules."""
+
+    matrix: np.ndarray  # shape (n_schedules, n_features), dtype uint8
+    features: List[Feature]
+
+    @property
+    def n_features(self) -> int:
+        return len(self.features)
+
+    def column(self, feature: Feature) -> np.ndarray:
+        return self.matrix[:, self.features.index(feature)]
+
+
+class FeatureExtractor:
+    """Builds feature vectors over a fixed operation vocabulary.
+
+    The vocabulary (which ops exist, which are GPU) is fixed at ``fit``
+    time from the schedules' *common* operations, so an extractor fitted
+    on a search subset can featurize the full space consistently (needed
+    for the Table V generalization experiment).  Constant columns are
+    dropped at fit time; ``transform`` reuses the fitted set.
+    """
+
+    def __init__(self) -> None:
+        self.ops: Tuple[str, ...] = ()
+        self.gpu_ops: Tuple[str, ...] = ()
+        self.features: List[Feature] = []
+        self._fitted = False
+
+    # ------------------------------------------------------------------
+    def fit(self, schedules: Sequence[Schedule]) -> "FeatureExtractor":
+        if not schedules:
+            raise TrainingError("cannot fit features on zero schedules")
+        common = set(schedules[0].op_names())
+        for s in schedules[1:]:
+            common &= set(s.op_names())
+        # Stable order: first schedule's sequence order.
+        self.ops = tuple(
+            n for n in schedules[0].op_names() if n in common
+        )
+        gpu = [
+            op.name
+            for op in schedules[0].ops
+            if op.kind is OpKind.GPU and op.name in common
+        ]
+        self.gpu_ops = tuple(gpu)
+        candidates: List[Feature] = [
+            OrderFeature(u, v) for u, v in combinations(self.ops, 2)
+        ]
+        candidates += [
+            StreamFeature(u, v) for u, v in combinations(self.gpu_ops, 2)
+        ]
+        full = self._raw_matrix(schedules, candidates)
+        keep = [
+            j
+            for j in range(full.shape[1])
+            if not np.all(full[:, j] == full[0, j])
+        ]
+        self.features = [candidates[j] for j in keep]
+        self._fitted = True
+        return self
+
+    def transform(self, schedules: Sequence[Schedule]) -> FeatureMatrix:
+        if not self._fitted:
+            raise TrainingError("extractor is not fitted")
+        return FeatureMatrix(
+            matrix=self._raw_matrix(schedules, self.features),
+            features=self.features,
+        )
+
+    def fit_transform(self, schedules: Sequence[Schedule]) -> FeatureMatrix:
+        return self.fit(schedules).transform(schedules)
+
+    # ------------------------------------------------------------------
+    def _raw_matrix(
+        self, schedules: Sequence[Schedule], features: Sequence[Feature]
+    ) -> np.ndarray:
+        mat = np.zeros((len(schedules), len(features)), dtype=np.uint8)
+        for i, s in enumerate(schedules):
+            pos = {op.name: k for k, op in enumerate(s.ops)}
+            streams = {
+                op.name: op.stream
+                for op in s.ops
+                if op.kind is OpKind.GPU
+            }
+            for j, f in enumerate(features):
+                if isinstance(f, OrderFeature):
+                    pu, pv = pos.get(f.u), pos.get(f.v)
+                    if pu is None or pv is None:
+                        raise TrainingError(
+                            f"schedule missing op for feature {f}"
+                        )
+                    mat[i, j] = 1 if pu < pv else 0
+                else:
+                    mat[i, j] = 1 if streams[f.u] == streams[f.v] else 0
+        return mat

@@ -1,0 +1,353 @@
+"""CART decision tree, from scratch (paper §IV-C, Table IV).
+
+The paper trains scikit-learn's ``DecisionTreeClassifier`` (CART [30]) with
+``criterion`` gini or entropy, ``class_weight="balanced"``, and
+``max_leaf_nodes`` / ``max_depth`` chosen by Algorithm 1.  scikit-learn is
+not installable in this offline environment, so this module implements the
+same algorithm:
+
+* impurity: Gini or entropy over *weighted* class frequencies;
+* ``class_weight="balanced"``: sample weight
+  ``n_samples / (n_classes * count(class))``;
+* growth: best-first — repeatedly split the leaf with the greatest
+  weighted impurity decrease — which is exactly how scikit-learn grows
+  trees when ``max_leaf_nodes`` is set;
+* splits: binary tests ``x[f] <= threshold``; for the pipeline's binary
+  features the threshold is always 0.5 (left = feature 0, right = 1).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import TrainingError
+
+
+@dataclass(frozen=True)
+class TreeConfig:
+    """Training hyperparameters (paper Table IV)."""
+
+    criterion: str = "gini"  # "gini" | "entropy"
+    max_leaf_nodes: Optional[int] = None
+    max_depth: Optional[int] = None
+    class_weight: Optional[str] = "balanced"  # "balanced" | None
+    min_impurity_decrease: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.criterion not in ("gini", "entropy"):
+            raise TrainingError(f"unknown criterion {self.criterion!r}")
+        if self.max_leaf_nodes is not None and self.max_leaf_nodes < 2:
+            raise TrainingError("max_leaf_nodes must be >= 2")
+        if self.class_weight not in (None, "balanced"):
+            raise TrainingError(f"unknown class_weight {self.class_weight!r}")
+
+
+def _impurity(weighted_counts: np.ndarray, criterion: str) -> float:
+    total = weighted_counts.sum()
+    if total <= 0:
+        return 0.0
+    p = weighted_counts / total
+    if criterion == "gini":
+        return float(1.0 - np.sum(p * p))
+    nz = p[p > 0]
+    return float(-np.sum(nz * np.log2(nz)))
+
+
+class TreeNode:
+    """One node of the fitted tree."""
+
+    __slots__ = (
+        "node_id",
+        "depth",
+        "feature",
+        "threshold",
+        "left",
+        "right",
+        "n_samples",
+        "weighted_counts",
+    )
+
+    def __init__(
+        self,
+        node_id: int,
+        depth: int,
+        n_samples: int,
+        weighted_counts: np.ndarray,
+    ) -> None:
+        self.node_id = node_id
+        self.depth = depth
+        self.feature: Optional[int] = None
+        self.threshold: float = 0.0
+        self.left: Optional["TreeNode"] = None
+        self.right: Optional["TreeNode"] = None
+        self.n_samples = n_samples
+        self.weighted_counts = weighted_counts
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature is None
+
+    @property
+    def predicted_class(self) -> int:
+        return int(np.argmax(self.weighted_counts))
+
+    def class_proportions(self) -> np.ndarray:
+        total = self.weighted_counts.sum()
+        if total <= 0:
+            return np.zeros_like(self.weighted_counts)
+        return self.weighted_counts / total
+
+
+@dataclass(order=True)
+class _Candidate:
+    """Heap entry: a leaf and its best available split."""
+
+    neg_gain: float
+    tiebreak: int
+    node: TreeNode = field(compare=False)
+    indices: np.ndarray = field(compare=False)
+    feature: int = field(compare=False, default=-1)
+    threshold: float = field(compare=False, default=0.0)
+
+
+class DecisionTree:
+    """Best-first CART classifier."""
+
+    def __init__(self, config: TreeConfig = TreeConfig()) -> None:
+        self.config = config
+        self.root: Optional[TreeNode] = None
+        self.n_classes = 0
+        self.n_features = 0
+        self.n_leaves = 0
+        self.depth = 0
+        self._next_id = 0
+        self._tiebreak = 0
+
+    # ------------------------------------------------------------------
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "DecisionTree":
+        x = np.asarray(x)
+        y = np.asarray(y, dtype=int)
+        if x.ndim != 2:
+            raise TrainingError("x must be 2-D (n_samples, n_features)")
+        if len(x) != len(y):
+            raise TrainingError("x and y length mismatch")
+        if len(x) == 0:
+            raise TrainingError("cannot fit on zero samples")
+        self.n_classes = int(y.max()) + 1 if len(y) else 0
+        self.n_features = x.shape[1]
+        weights = self._sample_weights(y)
+
+        self.root = self._make_node(np.arange(len(y)), y, weights, depth=0)
+        self.n_leaves = 1
+        heap: List[_Candidate] = []
+        first = self._best_split(self.root, np.arange(len(y)), x, y, weights)
+        if first is not None:
+            heapq.heappush(heap, first)
+
+        max_leaves = self.config.max_leaf_nodes or np.inf
+        while heap and self.n_leaves < max_leaves:
+            cand = heapq.heappop(heap)
+            # Zero-gain splits are allowed when min_impurity_decrease is 0
+            # (matches scikit-learn; required for XOR-style interactions
+            # where the first split alone does not reduce impurity).
+            if -cand.neg_gain < self.config.min_impurity_decrease:
+                break
+            node, idx = cand.node, cand.indices
+            go_left = x[idx, cand.feature] <= cand.threshold
+            li, ri = idx[go_left], idx[~go_left]
+            node.feature = cand.feature
+            node.threshold = cand.threshold
+            node.left = self._make_node(li, y, weights, node.depth + 1)
+            node.right = self._make_node(ri, y, weights, node.depth + 1)
+            self.n_leaves += 1
+            self.depth = max(self.depth, node.depth + 1)
+            for child, cidx in ((node.left, li), (node.right, ri)):
+                nxt = self._best_split(child, cidx, x, y, weights)
+                if nxt is not None:
+                    heapq.heappush(heap, nxt)
+        return self
+
+    # ------------------------------------------------------------------
+    def _sample_weights(self, y: np.ndarray) -> np.ndarray:
+        if self.config.class_weight is None:
+            return np.ones(len(y))
+        counts = np.bincount(y, minlength=self.n_classes).astype(float)
+        nonzero = counts > 0
+        class_w = np.zeros(self.n_classes)
+        class_w[nonzero] = len(y) / (nonzero.sum() * counts[nonzero])
+        return class_w[y]
+
+    def _make_node(
+        self,
+        indices: np.ndarray,
+        y: np.ndarray,
+        weights: np.ndarray,
+        depth: int,
+    ) -> TreeNode:
+        wc = np.zeros(self.n_classes)
+        np.add.at(wc, y[indices], weights[indices])
+        node = TreeNode(
+            node_id=self._next_id,
+            depth=depth,
+            n_samples=len(indices),
+            weighted_counts=wc,
+        )
+        self._next_id += 1
+        return node
+
+    def _best_split(
+        self,
+        node: TreeNode,
+        indices: np.ndarray,
+        x: np.ndarray,
+        y: np.ndarray,
+        weights: np.ndarray,
+    ) -> Optional[_Candidate]:
+        """Best (feature, threshold) for this leaf, as a heap candidate."""
+        if self.config.max_depth is not None and node.depth >= self.config.max_depth:
+            return None
+        if len(indices) < 2:
+            return None
+        crit = self.config.criterion
+        parent_imp = _impurity(node.weighted_counts, crit)
+        w_total = node.weighted_counts.sum()
+        if parent_imp <= 0 or w_total <= 0:
+            return None
+        best_gain = -1.0
+        best: Optional[Tuple[int, float]] = None
+        xv = x[indices]
+        yv = y[indices]
+        wv = weights[indices]
+        for f in range(self.n_features):
+            col = xv[:, f]
+            values = np.unique(col)
+            if len(values) < 2:
+                continue
+            thresholds = (values[:-1] + values[1:]) / 2.0
+            for thr in thresholds:
+                mask = col <= thr
+                wl = np.zeros(self.n_classes)
+                wr = np.zeros(self.n_classes)
+                np.add.at(wl, yv[mask], wv[mask])
+                np.add.at(wr, yv[~mask], wv[~mask])
+                sl, sr = wl.sum(), wr.sum()
+                if sl <= 0 or sr <= 0:
+                    continue
+                child_imp = (
+                    sl * _impurity(wl, crit) + sr * _impurity(wr, crit)
+                ) / w_total
+                gain = (w_total / w_total) * (parent_imp - child_imp)
+                if gain > best_gain + 1e-15:
+                    best_gain = gain
+                    best = (f, float(thr))
+        if best is None:
+            return None
+        self._tiebreak += 1
+        return _Candidate(
+            neg_gain=-best_gain,
+            tiebreak=self._tiebreak,
+            node=node,
+            indices=indices,
+            feature=best[0],
+            threshold=best[1],
+        )
+
+    # ------------------------------------------------------------------
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        if self.root is None:
+            raise TrainingError("tree is not fitted")
+        x = np.asarray(x)
+        out = np.empty(len(x), dtype=int)
+        for i, row in enumerate(x):
+            node = self.root
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            out[i] = node.predicted_class
+        return out
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        """Leaf node id for each sample."""
+        if self.root is None:
+            raise TrainingError("tree is not fitted")
+        out = np.empty(len(x), dtype=int)
+        for i, row in enumerate(np.asarray(x)):
+            node = self.root
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            out[i] = node.node_id
+        return out
+
+    # ------------------------------------------------------------------
+    def leaves(self) -> List[TreeNode]:
+        return [n for n in self.nodes() if n.is_leaf]
+
+    def nodes(self) -> Iterator[TreeNode]:
+        if self.root is None:
+            return iter(())
+
+        def walk(node: TreeNode) -> Iterator[TreeNode]:
+            yield node
+            if not node.is_leaf:
+                yield from walk(node.left)
+                yield from walk(node.right)
+
+        return walk(self.root)
+
+    def paths(self) -> List[Tuple[List[Tuple[int, bool]], TreeNode]]:
+        """Root-to-leaf paths as (conditions, leaf).
+
+        Each condition is ``(feature index, value)`` where value is the
+        boolean outcome of the binary feature on that branch (False =
+        "<= threshold" branch, True = ">" branch).
+        """
+        if self.root is None:
+            raise TrainingError("tree is not fitted")
+        out: List[Tuple[List[Tuple[int, bool]], TreeNode]] = []
+
+        def walk(node: TreeNode, conds: List[Tuple[int, bool]]) -> None:
+            if node.is_leaf:
+                out.append((list(conds), node))
+                return
+            walk(node.left, conds + [(node.feature, False)])
+            walk(node.right, conds + [(node.feature, True)])
+
+        walk(self.root, [])
+        return out
+
+    # ------------------------------------------------------------------
+    def render(self, feature_names: Optional[Sequence[str]] = None) -> str:
+        """Text rendering in the style of the paper's Figure 6."""
+        if self.root is None:
+            return "(unfitted tree)"
+        lines: List[str] = []
+
+        def name(f: int) -> str:
+            if feature_names is not None:
+                return str(feature_names[f])
+            return f"x[{f}]"
+
+        def walk(node: TreeNode, prefix: str, branch: str) -> None:
+            props = ", ".join(
+                f"{100*p:.1f}%" for p in node.class_proportions()
+            )
+            if node.is_leaf:
+                lines.append(
+                    f"{prefix}{branch}leaf#{node.node_id} "
+                    f"samples={node.n_samples} classes=[{props}] "
+                    f"-> class {node.predicted_class}"
+                )
+                return
+            lines.append(
+                f"{prefix}{branch}[{name(node.feature)}] "
+                f"samples={node.n_samples} classes=[{props}]"
+            )
+            walk(node.left, prefix + "  ", "False: ")
+            walk(node.right, prefix + "  ", "True:  ")
+
+        walk(self.root, "", "")
+        return "\n".join(lines)

@@ -1,0 +1,14 @@
+"""Simulated MPI programming layer (mpi4py-style) on top of the DES.
+
+The paper's system benchmarks real MPI programs; this package provides the
+semantic substrate for writing such programs *against the simulator*: each
+rank is a generator process, and :class:`SimComm` offers the familiar
+``isend/irecv/send/recv/wait/barrier/bcast/allreduce`` surface with MPI
+matching semantics (source/tag, non-overtaking).  It is used by the
+reference SpMV implementation and by tests that cross-check the schedule
+executor's communication behaviour against a hand-written MPI program.
+"""
+
+from repro.mpi.comm import SimComm, SimMpiWorld, Request, run_spmd
+
+__all__ = ["Request", "SimComm", "SimMpiWorld", "run_spmd"]

@@ -1,0 +1,279 @@
+"""mpi4py-flavoured communicator over the discrete-event engine.
+
+Rank programs are generators; communication calls *yield* the values the
+engine hands back, in the style::
+
+    def program(comm):
+        req = comm.isend(np.arange(4), dest=1, tag=7)
+        data = yield from comm.recv(source=0, tag=7)
+        yield from comm.wait(req)
+        return data
+
+Data is passed by value (deep-copied at send time for arrays): the wire has
+no reference semantics, mirroring real MPI.  Transfer timing uses the same
+α-β + NIC-serialization model as the schedule executor's network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.dag.program import Message
+from repro.errors import MpiError
+from repro.platform.machine import MachineConfig
+from repro.platform.noise import NoiseModel
+from repro.sim.engine import Environment, Event
+from repro.sim.network import MpiRequest, Network
+
+
+def _payload_size(value: Any) -> float:
+    if isinstance(value, np.ndarray):
+        return float(value.nbytes)
+    try:
+        return float(len(bytes(str(value), "utf-8")))
+    except Exception:  # pragma: no cover - defensive
+        return 64.0
+
+
+def _copy(value: Any) -> Any:
+    if isinstance(value, np.ndarray):
+        return value.copy()
+    return value
+
+
+@dataclass
+class Request:
+    """Handle for a non-blocking operation."""
+
+    inner: MpiRequest
+    kind: str
+    #: Set when a receive completes.
+    data: Any = None
+
+    @property
+    def is_complete(self) -> bool:
+        return self.inner.is_complete
+
+
+class SimComm:
+    """Per-rank communicator handle."""
+
+    def __init__(self, world: "SimMpiWorld", rank: int) -> None:
+        self.world = world
+        self.rank = rank
+
+    # -- introspection --------------------------------------------------
+    @property
+    def size(self) -> int:
+        return self.world.n_ranks
+
+    def get_rank(self) -> int:
+        return self.rank
+
+    def get_size(self) -> int:
+        return self.world.n_ranks
+
+    @property
+    def env(self) -> Environment:
+        return self.world.env
+
+    # -- point to point ---------------------------------------------------
+    def isend(self, value: Any, dest: int, tag: int = 0) -> Request:
+        self._check_peer(dest)
+        size = _payload_size(value)
+        msg = Message(src=self.rank, dst=dest, nbytes=size, tag=tag)
+        self.world.stage(self.rank, dest, tag, _copy(value))
+        req = self.world.network.post_send(msg)
+        return Request(inner=req, kind="send")
+
+    def irecv(self, source: int, tag: int = 0, nbytes: float = 0.0) -> Request:
+        self._check_peer(source)
+        msg = Message(src=source, dst=self.rank, nbytes=nbytes, tag=tag)
+        req = self.world.network.post_recv(msg)
+        request = Request(inner=req, kind="recv")
+        self.world.register_recv(self.rank, source, tag, request)
+        return request
+
+    def wait(self, request: Request) -> Generator[Event, Any, Any]:
+        if not request.is_complete:
+            yield request.inner.done
+        if request.kind == "recv":
+            request.data = self.world.deliver(
+                self.rank, request.inner.message.src, request.inner.message.tag
+            )
+        return request.data
+
+    def waitall(self, requests: List[Request]) -> Generator[Event, Any, List[Any]]:
+        out = []
+        for r in requests:
+            out.append((yield from self.wait(r)))
+        return out
+
+    def send(self, value: Any, dest: int, tag: int = 0):
+        req = self.isend(value, dest, tag)
+        yield from self.wait(req)
+
+    def recv(self, source: int, tag: int = 0, nbytes: float = 0.0):
+        req = self.irecv(source, tag, nbytes=nbytes)
+        return (yield from self.wait(req))
+
+    # -- collectives (implemented over point-to-point) --------------------
+    def barrier(self):
+        """Dissemination barrier."""
+        n = self.size
+        if n == 1:
+            return
+        step = 1
+        round_no = 0
+        while step < n:
+            dst = (self.rank + step) % n
+            src = (self.rank - step) % n
+            tag = self.world.collective_tag("barrier", round_no)
+            sreq = self.isend(np.zeros(1), dest=dst, tag=tag)
+            yield from self.recv(source=src, tag=tag)
+            yield from self.wait(sreq)
+            step *= 2
+            round_no += 1
+
+    def bcast(self, value: Any, root: int = 0):
+        """Binomial-tree broadcast; returns the value on every rank.
+
+        In the virtual ranking (root = 0), rank v receives from
+        ``v - lowbit(v)`` and then forwards to ``v + k`` for every
+        ``k = lowbit(v)/2, lowbit(v)/4, ... , 1`` — the classic MST
+        broadcast pattern in O(log n) rounds.
+        """
+        n = self.size
+        if n == 1:
+            return value
+        vrank = (self.rank - root) % n
+        tag = self.world.collective_tag("bcast", 0)
+        # Highest power of two not exceeding n.
+        top = 1
+        while top * 2 <= n:
+            top *= 2
+        if vrank != 0:
+            lowbit = vrank & -vrank
+            src = ((vrank - lowbit) + root) % n
+            value = yield from self.recv(source=src, tag=tag)
+            k = lowbit // 2
+        else:
+            k = top
+        while k >= 1:
+            if vrank + k < n:
+                dst = ((vrank + k) + root) % n
+                yield from self.send(value, dest=dst, tag=tag)
+            k //= 2
+        return value
+
+    def allreduce_sum(self, value: np.ndarray):
+        """Ring allreduce (sum) for NumPy arrays / scalars."""
+        n = self.size
+        acc = np.asarray(value, dtype=float).copy()
+        if n == 1:
+            return acc
+        tagbase = self.world.collective_tag("allreduce", 0)
+        current = acc
+        for step in range(n - 1):
+            dst = (self.rank + 1) % n
+            src = (self.rank - 1) % n
+            tag = tagbase + step
+            sreq = self.isend(current, dest=dst, tag=tag)
+            incoming = yield from self.recv(source=src, tag=tag)
+            yield from self.wait(sreq)
+            acc = acc + incoming
+            current = incoming
+        return acc
+
+    def gather(self, value: Any, root: int = 0):
+        """Gather to root; returns list on root, None elsewhere."""
+        tag = self.world.collective_tag("gather", 0)
+        if self.rank == root:
+            out: List[Any] = [None] * self.size
+            out[root] = value
+            for src in range(self.size):
+                if src == root:
+                    continue
+                out[src] = yield from self.recv(source=src, tag=tag + src)
+            return out
+        yield from self.send(value, dest=root, tag=tag + self.rank)
+        return None
+
+    # ------------------------------------------------------------------
+    def compute(self, seconds: float):
+        """Model local computation taking simulated time."""
+        if seconds > 0:
+            yield self.env.timeout(seconds)
+
+    def _check_peer(self, peer: int) -> None:
+        if not (0 <= peer < self.size):
+            raise MpiError(f"peer rank {peer} out of range [0,{self.size})")
+        if peer == self.rank:
+            raise MpiError("self-messages are not modeled")
+
+
+#: A rank program: generator taking its communicator.
+RankProgram = Callable[[SimComm], Generator[Event, Any, Any]]
+
+
+class SimMpiWorld:
+    """All ranks + the shared network; runs SPMD generator programs."""
+
+    def __init__(self, machine: MachineConfig) -> None:
+        self.machine = machine
+        self.n_ranks = machine.n_ranks
+        self.env = Environment()
+        self.network = Network(
+            self.env, machine.net, machine.noise, sample=0
+        )
+        self._staged: Dict[Tuple[int, int, int], List[Any]] = {}
+        self._recv_reqs: Dict[Tuple[int, int, int], List[Request]] = {}
+        self._collective_tags: Dict[str, int] = {}
+
+    # -- data plane -------------------------------------------------------
+    def stage(self, src: int, dst: int, tag: int, value: Any) -> None:
+        self._staged.setdefault((src, dst, tag), []).append(value)
+
+    def register_recv(self, rank: int, src: int, tag: int, req: Request) -> None:
+        self._recv_reqs.setdefault((src, rank, tag), []).append(req)
+
+    def deliver(self, rank: int, src: int, tag: int) -> Any:
+        queue = self._staged.get((src, rank, tag))
+        if not queue:
+            raise MpiError(
+                f"no staged message {src}->{rank} tag {tag}; receive "
+                f"completed without data"
+            )
+        return queue.pop(0)
+
+    def collective_tag(self, name: str, round_no: int) -> int:
+        base = self._collective_tags.setdefault(name, 1_000_000 + 10_000 * len(self._collective_tags))
+        return base + round_no
+
+    # ------------------------------------------------------------------
+    def run(self, program: RankProgram) -> List[Any]:
+        """Run ``program`` on every rank; returns per-rank return values."""
+        procs = []
+        for rank in range(self.n_ranks):
+            comm = SimComm(self, rank)
+            procs.append(
+                self.env.process(program(comm), name=f"mpi.rank{rank}")
+            )
+        self.env.run()
+        return [p.done.value for p in procs]
+
+    @property
+    def elapsed(self) -> float:
+        return self.env.now
+
+
+def run_spmd(
+    machine: MachineConfig, program: RankProgram
+) -> Tuple[List[Any], float]:
+    """Convenience: run an SPMD generator program, return (results, time)."""
+    world = SimMpiWorld(machine)
+    results = world.run(program)
+    return results, world.elapsed

@@ -1,0 +1,29 @@
+"""Platform models: machine description, cost models, measurement noise.
+
+The paper benchmarks on a real Perlmutter node (Table I).  This repository
+substitutes a parameterized machine model consumed by the discrete-event
+simulator (:mod:`repro.sim`); :func:`repro.platform.presets.perlmutter_like`
+is the default configuration used by all paper-reproduction experiments.
+"""
+
+from repro.platform.machine import (
+    CpuModel,
+    GpuModel,
+    MachineConfig,
+    NetworkModel,
+)
+from repro.platform.costs import CostModel
+from repro.platform.noise import NoiseModel
+from repro.platform.presets import perlmutter_like, describe, noiseless
+
+__all__ = [
+    "CostModel",
+    "CpuModel",
+    "GpuModel",
+    "MachineConfig",
+    "NetworkModel",
+    "NoiseModel",
+    "describe",
+    "noiseless",
+    "perlmutter_like",
+]

@@ -1,0 +1,25 @@
+"""Design-rule generation and comparison (paper §IV-D and §V).
+
+Root-to-leaf paths of the trained decision tree become *rulesets*; each
+ruleset is a conjunction of ordering / stream-assignment constraints that
+places an implementation in a performance class.  Rulesets derived from
+search subsets are compared against the canonical (full-space) rulesets
+and annotated overconstrained / underconstrained exactly as in the
+paper's Tables VI-VIII.
+"""
+
+from repro.rules.ruleset import Rule, RuleSet
+from repro.rules.extract import extract_rulesets
+from repro.rules.compare import Annotation, CompareResult, compare_rulesets
+from repro.rules.render import render_ruleset_table, render_rulesets
+
+__all__ = [
+    "Annotation",
+    "CompareResult",
+    "Rule",
+    "RuleSet",
+    "compare_rulesets",
+    "extract_rulesets",
+    "render_ruleset_table",
+    "render_rulesets",
+]

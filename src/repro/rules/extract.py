@@ -1,0 +1,48 @@
+"""Extract rulesets from a fitted decision tree (paper §IV-D).
+
+"The design rules that define each performance class can be determined by
+all paths through the decision tree that arrive in a leaf node that
+contains that performance class."
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.ml.features import Feature
+from repro.ml.tree import DecisionTree
+from repro.rules.ruleset import Rule, RuleSet
+
+
+def extract_rulesets(
+    tree: DecisionTree, features: Sequence[Feature]
+) -> List[RuleSet]:
+    """One :class:`RuleSet` per leaf, ordered by descending sample count.
+
+    The branch outcome maps to the rule value directly: binary features
+    split at 0.5, so the "> threshold" branch asserts ``feature == 1``.
+    """
+    out: List[RuleSet] = []
+    for conds, leaf in tree.paths():
+        rules = frozenset(
+            Rule(feature=features[f], value=val) for f, val in conds
+        )
+        out.append(
+            RuleSet(
+                rules=rules,
+                predicted_class=leaf.predicted_class,
+                n_samples=leaf.n_samples,
+                class_proportions=tuple(leaf.class_proportions()),
+                leaf_id=leaf.node_id,
+            )
+        )
+    out.sort(key=lambda rs: (-rs.n_samples, rs.leaf_id))
+    return out
+
+
+def rulesets_by_class(rulesets: Sequence[RuleSet]) -> Dict[int, List[RuleSet]]:
+    """Group rulesets by predicted class, preserving sample-count order."""
+    grouped: Dict[int, List[RuleSet]] = {}
+    for rs in rulesets:
+        grouped.setdefault(rs.predicted_class, []).append(rs)
+    return grouped

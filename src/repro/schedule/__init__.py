@@ -1,0 +1,23 @@
+"""Schedules and the design space of a CUDA+MPI program (paper §III).
+
+A *schedule* (the paper's "implementation" / "traversal") is a total order
+over the program's operations plus inserted synchronization ops, with every
+GPU operation bound to a stream.  :class:`~repro.schedule.space.DesignSpace`
+exposes the schedule space as a sequential decision problem — the interface
+both exhaustive enumeration and MCTS consume.
+"""
+
+from repro.schedule.schedule import BoundOp, Schedule
+from repro.schedule.sync import SyncPlan, build_sync_plan, cer_name, ces_name
+from repro.schedule.space import DecisionState, DesignSpace
+
+__all__ = [
+    "BoundOp",
+    "DecisionState",
+    "DesignSpace",
+    "Schedule",
+    "SyncPlan",
+    "build_sync_plan",
+    "cer_name",
+    "ces_name",
+]

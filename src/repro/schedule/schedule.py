@@ -1,0 +1,152 @@
+"""Bound operations and complete schedules.
+
+A :class:`BoundOp` pairs a vertex with its stream assignment (``None`` for
+CPU-side ops); a :class:`Schedule` is the full launch sequence the CPU
+control thread of every rank executes, in order.  Synchronization vertices
+(event records / syncs / stream waits) appear explicitly in the sequence —
+their position is part of the design space (paper §IV-D discusses rules
+such as "yL before CES-b4-PostSend").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Sequence, Tuple
+
+from repro.dag.vertex import OpKind, Vertex
+from repro.errors import ScheduleError
+
+
+@dataclass(frozen=True)
+class BoundOp:
+    """A schedulable operation, stream-bound if it executes on the GPU.
+
+    ``stream`` is required for GPU kernels and event records / stream waits
+    (they are enqueued onto a stream) and must be ``None`` for CPU ops.
+    ``target`` names the associated CUDA event for sync ops (the event
+    namespace is per rank) and the awaited event's *recording* op for
+    stream waits.
+    """
+
+    vertex: Vertex
+    stream: Optional[int] = None
+    event: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        k = self.vertex.kind
+        needs_stream = k in (OpKind.GPU, OpKind.EVENT_RECORD, OpKind.STREAM_WAIT)
+        if needs_stream and self.stream is None:
+            raise ScheduleError(
+                f"{self.vertex.name!r} ({k.value}) requires a stream binding"
+            )
+        if not needs_stream and self.stream is not None:
+            raise ScheduleError(
+                f"{self.vertex.name!r} ({k.value}) must not carry a stream"
+            )
+        if k in (OpKind.EVENT_RECORD, OpKind.EVENT_SYNC, OpKind.STREAM_WAIT):
+            if not self.event:
+                raise ScheduleError(
+                    f"sync op {self.vertex.name!r} requires an event name"
+                )
+
+    @property
+    def name(self) -> str:
+        return self.vertex.name
+
+    @property
+    def kind(self) -> OpKind:
+        return self.vertex.kind
+
+    def __str__(self) -> str:
+        if self.stream is not None:
+            return f"{self.vertex.name}@s{self.stream}"
+        return self.vertex.name
+
+
+class Schedule:
+    """An ordered sequence of bound operations (one complete implementation).
+
+    Schedules are immutable and hashable; equality is by the op sequence
+    (names, streams, events), which is the identity the search tree, the
+    feature extractor, and result caches all rely on.
+    """
+
+    __slots__ = ("ops", "_key")
+
+    def __init__(self, ops: Sequence[BoundOp]) -> None:
+        self.ops: Tuple[BoundOp, ...] = tuple(ops)
+        names = [op.name for op in self.ops]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise ScheduleError(f"duplicate ops in schedule: {dupes}")
+        self._key = tuple((op.name, op.stream, op.event) for op in self.ops)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __iter__(self) -> Iterator[BoundOp]:
+        return iter(self.ops)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Schedule) and self._key == other._key
+
+    def __hash__(self) -> int:
+        return hash(self._key)
+
+    @property
+    def key(self) -> Tuple:
+        return self._key
+
+    # ------------------------------------------------------------------
+    def position(self, name: str) -> int:
+        """Index of the op called ``name``; raises if absent."""
+        for i, op in enumerate(self.ops):
+            if op.name == name:
+                return i
+        raise ScheduleError(f"op {name!r} not in schedule")
+
+    def stream_of(self, name: str) -> Optional[int]:
+        return self.ops[self.position(name)].stream
+
+    def op_names(self) -> Tuple[str, ...]:
+        return tuple(op.name for op in self.ops)
+
+    def gpu_ops(self) -> Tuple[BoundOp, ...]:
+        return tuple(op for op in self.ops if op.kind is OpKind.GPU)
+
+    def streams_used(self) -> Tuple[int, ...]:
+        seen: Dict[int, None] = {}
+        for op in self.ops:
+            if op.stream is not None and op.stream not in seen:
+                seen[op.stream] = None
+        return tuple(seen)
+
+    # ------------------------------------------------------------------
+    def canonical(self) -> "Schedule":
+        """Relabel streams by order of first use (stream-bijection canonical
+        form, paper §III-C2).
+
+        Two schedules that differ only by a permutation of equivalent
+        streams canonicalize to the same object.
+        """
+        mapping: Dict[int, int] = {}
+        ops = []
+        for op in self.ops:
+            if op.stream is None:
+                ops.append(op)
+                continue
+            if op.stream not in mapping:
+                mapping[op.stream] = len(mapping)
+            ops.append(
+                BoundOp(vertex=op.vertex, stream=mapping[op.stream], event=op.event)
+            )
+        return Schedule(ops)
+
+    def is_canonical(self) -> bool:
+        used = self.streams_used()
+        return used == tuple(range(len(used)))
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        return "Schedule[" + " -> ".join(str(op) for op in self.ops) + "]"

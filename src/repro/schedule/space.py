@@ -1,0 +1,315 @@
+"""The design space of a program as a sequential decision problem (§III-B/C).
+
+A :class:`DecisionState` is the paper's prefix ``P_k``: the ops placed so
+far, their stream bindings, and the synchronization obligations those
+choices created.  ``available_actions`` yields the legal next steps:
+
+* an eligible CPU vertex (all DAG predecessors placed, all required
+  ``cudaEventSynchronize`` ops placed);
+* an eligible GPU vertex, once per *canonical* stream choice — streams are
+  numbered by first use, so stream-bijection-equivalent prefixes are never
+  generated (the paper's redundancy pruning, §III-C2);
+* a standalone ``cudaEventRecord`` for a placed GPU op with a CPU
+  successor;
+* a standalone ``cudaEventSynchronize`` whose record has been placed.
+
+Cross-stream GPU→GPU dependencies insert their record/stream-wait pair
+atomically with the dependent kernel (see :mod:`repro.schedule.sync`).
+
+An *action* is a tuple of :class:`~repro.schedule.schedule.BoundOp` —
+almost always a single op; atomic sync groups make it longer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.dag.program import Program
+from repro.dag.vertex import OpKind, Vertex
+from repro.errors import ScheduleError
+from repro.schedule.schedule import BoundOp, Schedule
+from repro.schedule.sync import (
+    SyncPlan,
+    build_sync_plan,
+    cer_name,
+    event_name,
+    make_cer_vertex,
+    make_ces_vertex,
+    make_cswe_vertex,
+)
+
+#: One decision: a tuple of ops appended atomically.
+Action = Tuple[BoundOp, ...]
+
+
+def _action_key(action: Action) -> Tuple:
+    return tuple((op.name, op.stream, op.event) for op in action)
+
+
+@dataclass(frozen=True)
+class DecisionState:
+    """Immutable prefix of a schedule (the paper's ``P_k``)."""
+
+    space: "DesignSpace"
+    placed: Tuple[BoundOp, ...] = ()
+
+    # -- derived (computed on demand; states are short-lived) ----------
+    @property
+    def placed_names(self) -> FrozenSet[str]:
+        return frozenset(op.name for op in self.placed)
+
+    @property
+    def gpu_streams(self) -> Dict[str, int]:
+        return {
+            op.name: op.stream
+            for op in self.placed
+            if op.kind is OpKind.GPU
+        }
+
+    @property
+    def n_streams_used(self) -> int:
+        return len({
+            op.stream for op in self.placed if op.stream is not None
+        })
+
+    def is_complete(self) -> bool:
+        placed = self.placed_names
+        return all(v.name in placed for v in self.space.program_ops)
+
+    def schedule(self) -> Schedule:
+        if not self.is_complete():
+            raise ScheduleError("state is not a complete schedule")
+        return Schedule(self.placed)
+
+    def apply(self, action: Action) -> "DecisionState":
+        return DecisionState(space=self.space, placed=self.placed + action)
+
+    # ------------------------------------------------------------------
+    def available_actions(self) -> Tuple[Action, ...]:
+        space = self.space
+        plan = space.sync_plan
+        placed = self.placed_names
+        gpu_streams = self.gpu_streams
+        actions: List[Action] = []
+
+        # Canonical stream choices: any stream already used, plus one fresh.
+        n_used = self.n_streams_used
+        stream_choices = list(range(min(n_used + 1, space.n_streams)))
+
+        for v in space.program_ops:
+            if v.name in placed:
+                continue
+            pred_names = space.pred_names[v.name]
+            if not pred_names <= placed:
+                continue
+            gpu_preds = [
+                u for u in pred_names if space.kind_of[u] is OpKind.GPU
+            ]
+            if v.kind is OpKind.CPU:
+                needed = [
+                    plan.ces_name_of[(u, v.name)]
+                    for u in gpu_preds
+                ]
+                if all(n in placed for n in needed):
+                    actions.append((BoundOp(vertex=v),))
+            elif v.kind is OpKind.GPU:
+                for s in stream_choices:
+                    group: List[BoundOp] = []
+                    for u in sorted(gpu_preds):
+                        if gpu_streams[u] == s:
+                            continue  # same-stream FIFO order suffices
+                        if cer_name(u) not in placed and cer_name(u) not in {
+                            g.name for g in group
+                        }:
+                            group.append(
+                                BoundOp(
+                                    vertex=make_cer_vertex(u),
+                                    stream=gpu_streams[u],
+                                    event=event_name(u),
+                                )
+                            )
+                        group.append(
+                            BoundOp(
+                                vertex=make_cswe_vertex(u, v.name),
+                                stream=s,
+                                event=event_name(u),
+                            )
+                        )
+                    group.append(BoundOp(vertex=v, stream=s))
+                    actions.append(tuple(group))
+            else:  # pragma: no cover - program_ops excludes START/END
+                raise ScheduleError(f"unexpected kind {v.kind} in program ops")
+
+        # Standalone cudaEventRecord actions.
+        for u in sorted(plan.cer_sources):
+            if u in placed and cer_name(u) not in placed:
+                actions.append(
+                    (
+                        BoundOp(
+                            vertex=make_cer_vertex(u),
+                            stream=gpu_streams[u],
+                            event=event_name(u),
+                        ),
+                    )
+                )
+
+        # Standalone cudaEventSynchronize actions.
+        for (u, v) in plan.ces_edges:
+            name = plan.ces_name_of[(u, v)]
+            if cer_name(u) in placed and name not in placed and v not in placed:
+                actions.append(
+                    (
+                        BoundOp(
+                            vertex=make_ces_vertex(name),
+                            event=event_name(u),
+                        ),
+                    )
+                )
+
+        return tuple(actions)
+
+
+class DesignSpace:
+    """All valid schedules of a program on ``n_streams`` streams."""
+
+    def __init__(self, program: Program, n_streams: int) -> None:
+        if n_streams < 1:
+            raise ScheduleError("need at least one stream")
+        self.program = program
+        self.n_streams = n_streams
+        self.sync_plan: SyncPlan = build_sync_plan(program.graph)
+        self.program_ops: Tuple[Vertex, ...] = program.schedulable_vertices()
+        self.pred_names: Dict[str, FrozenSet[str]] = {
+            v.name: frozenset(
+                p.name
+                for p in program.graph.predecessors(v)
+                if p.kind not in (OpKind.START, OpKind.END)
+            )
+            for v in self.program_ops
+        }
+        self.kind_of: Dict[str, OpKind] = {
+            v.name: v.kind for v in self.program_ops
+        }
+
+    # ------------------------------------------------------------------
+    def initial_state(self) -> DecisionState:
+        return DecisionState(space=self)
+
+    def enumerate_schedules(self) -> Iterator[Schedule]:
+        """Yield every schedule in the space (DFS; deterministic order)."""
+
+        def rec(state: DecisionState) -> Iterator[Schedule]:
+            if state.is_complete():
+                yield state.schedule()
+                return
+            for action in state.available_actions():
+                yield from rec(state.apply(action))
+
+        yield from rec(self.initial_state())
+
+    def count(self) -> int:
+        """Number of schedules, via memoized DP over decision states.
+
+        The memo key is (set of placed names, GPU bindings): the count of
+        completions depends only on what is placed and where GPU ops run,
+        not on the order they were placed in.
+        """
+        memo: Dict[Tuple, int] = {}
+
+        def key(state: DecisionState) -> Tuple:
+            return (
+                frozenset(state.placed_names),
+                tuple(sorted(state.gpu_streams.items())),
+            )
+
+        def rec(state: DecisionState) -> int:
+            if state.is_complete():
+                return 1
+            k = key(state)
+            hit = memo.get(k)
+            if hit is not None:
+                return hit
+            total = sum(rec(state.apply(a)) for a in state.available_actions())
+            memo[k] = total
+            return total
+
+        return rec(self.initial_state())
+
+    def random_schedule(self, rng: np.random.Generator) -> Schedule:
+        """Frontier-uniform random completion (the paper's rollout policy)."""
+        state = self.initial_state()
+        while not state.is_complete():
+            actions = state.available_actions()
+            if not actions:
+                raise ScheduleError(
+                    "dead end while sampling; program DAG is inconsistent"
+                )
+            state = state.apply(actions[int(rng.integers(len(actions)))])
+        return state.schedule()
+
+    # ------------------------------------------------------------------
+    def all_op_names(self) -> Tuple[str, ...]:
+        """Names of ops common to every schedule: program ops plus the
+        always-inserted CER/CES sync ops (stream waits vary by binding)."""
+        names = [v.name for v in self.program_ops]
+        names += sorted(cer_name(u) for u in self.sync_plan.cer_sources)
+        names += sorted(self.sync_plan.ces_name_of.values())
+        return tuple(names)
+
+    def validate_schedule(self, schedule: Schedule) -> None:
+        """Check that ``schedule`` is a member of this design space.
+
+        Verifies op coverage, DAG order, sync-op ordering (u < CER(u) <
+        CES(u, v) < v), stream bounds, and cross-stream wait requirements.
+        Raises :class:`~repro.errors.ScheduleError` on the first violation.
+        """
+        pos = {op.name: i for i, op in enumerate(schedule.ops)}
+        placed_gpu = {
+            op.name: op.stream
+            for op in schedule.ops
+            if op.kind is OpKind.GPU
+        }
+        for v in self.program_ops:
+            if v.name not in pos:
+                raise ScheduleError(f"schedule is missing op {v.name!r}")
+        for v in self.program_ops:
+            for u in self.pred_names[v.name]:
+                if pos[u] >= pos[v.name]:
+                    raise ScheduleError(
+                        f"dependency violated: {u!r} must precede {v.name!r}"
+                    )
+        for op in schedule.ops:
+            if op.stream is not None and not (
+                0 <= op.stream < self.n_streams
+            ):
+                raise ScheduleError(
+                    f"{op.name!r} bound to stream {op.stream} out of range"
+                )
+        for (u, v) in self.sync_plan.ces_edges:
+            cer = cer_name(u)
+            ces = self.sync_plan.ces_name_of[(u, v)]
+            for name in (cer, ces):
+                if name not in pos:
+                    raise ScheduleError(f"schedule is missing sync op {name!r}")
+            if not (pos[u] < pos[cer] < pos[ces] < pos[v]):
+                raise ScheduleError(
+                    f"sync chain out of order for edge {u!r}->{v!r}"
+                )
+        for (u, v) in self.sync_plan.gpu_gpu_edges:
+            if placed_gpu.get(u) != placed_gpu.get(v):
+                from repro.schedule.sync import cswe_name
+
+                w = cswe_name(u, v)
+                if w not in pos:
+                    raise ScheduleError(
+                        f"cross-stream edge {u!r}->{v!r} lacks {w!r}"
+                    )
+                cer = cer_name(u)
+                if not (pos[u] < pos[cer] < pos[w] < pos[v]):
+                    raise ScheduleError(
+                        f"stream-wait chain out of order for {u!r}->{v!r}"
+                    )

@@ -1,0 +1,30 @@
+"""Design-space search strategies (paper §III-C and §VI).
+
+* :class:`~repro.search.mcts.MctsSearch` — the paper's Monte-Carlo tree
+  search with a performance-coverage exploitation term.
+* :class:`~repro.search.random_search.RandomSearch` — uniform frontier
+  sampling, the baseline the paper proposes comparing against (§VI).
+* :class:`~repro.search.exhaustive.ExhaustiveSearch` — enumerate and
+  benchmark the entire space (used for the canonical labels/rules).
+
+All strategies produce a :class:`~repro.search.base.SearchResult` — the
+(schedule, measured time) samples that feed the rule-generation pipeline.
+"""
+
+from repro.search.base import SearchResult, SearchSample, SearchStrategy
+from repro.search.beam import BeamSearch
+from repro.search.exhaustive import ExhaustiveSearch
+from repro.search.mcts import MctsConfig, MctsSearch, MctsNode
+from repro.search.random_search import RandomSearch
+
+__all__ = [
+    "BeamSearch",
+    "ExhaustiveSearch",
+    "MctsConfig",
+    "MctsNode",
+    "MctsSearch",
+    "RandomSearch",
+    "SearchResult",
+    "SearchSample",
+    "SearchStrategy",
+]

@@ -1,0 +1,81 @@
+"""Common interfaces for design-space search."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.schedule.schedule import Schedule
+from repro.schedule.space import DesignSpace
+from repro.sim.measure import Benchmarker
+
+
+@dataclass(frozen=True)
+class SearchSample:
+    """One explored implementation and its measured time."""
+
+    schedule: Schedule
+    time: float
+
+
+@dataclass
+class SearchResult:
+    """Everything a search produced, in exploration order.
+
+    ``samples`` may contain repeated schedules (MCTS rollouts can revisit);
+    :meth:`unique` deduplicates keeping the first measurement, which is
+    what label generation consumes.
+    """
+
+    strategy: str
+    samples: List[SearchSample] = field(default_factory=list)
+    n_iterations: int = 0
+    n_simulations: int = 0
+
+    def add(self, schedule: Schedule, time: float) -> None:
+        self.samples.append(SearchSample(schedule=schedule, time=time))
+
+    def unique(self) -> "SearchResult":
+        seen: Dict[Schedule, None] = {}
+        out = SearchResult(
+            strategy=self.strategy,
+            n_iterations=self.n_iterations,
+            n_simulations=self.n_simulations,
+        )
+        for s in self.samples:
+            if s.schedule not in seen:
+                seen[s.schedule] = None
+                out.samples.append(s)
+        return out
+
+    def schedules(self) -> List[Schedule]:
+        return [s.schedule for s in self.samples]
+
+    def times(self) -> np.ndarray:
+        return np.array([s.time for s in self.samples])
+
+    def best(self) -> SearchSample:
+        return min(self.samples, key=lambda s: s.time)
+
+    def worst(self) -> SearchSample:
+        return max(self.samples, key=lambda s: s.time)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+
+class SearchStrategy(abc.ABC):
+    """A strategy explores a design space using a benchmarker."""
+
+    name: str = "search"
+
+    def __init__(self, space: DesignSpace, benchmarker: Benchmarker) -> None:
+        self.space = space
+        self.benchmarker = benchmarker
+
+    @abc.abstractmethod
+    def run(self, n_iterations: int) -> SearchResult:
+        """Explore for ``n_iterations`` iterations (one benchmark each)."""

@@ -1,0 +1,100 @@
+"""Beam search over schedule prefixes (additional baseline).
+
+The paper's related work (§II-A) contrasts MCTS with beam search (Adams et
+al., Anderson et al.); §VI asks for alternative strategies "at least as a
+baseline for comparison".  Because the performance of a *partial* program
+cannot be evaluated (§III-B), each candidate prefix is scored by the best
+of ``rollouts_per_candidate`` random completions, exactly the estimator
+MCTS uses in its rollout phase.
+
+The search proceeds level by level: expand every action of every prefix in
+the beam, score the children, keep the ``width`` best.  Every benchmarked
+rollout is recorded in the result, so beam search plugs into the same
+label/train/rules pipeline as the other strategies.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.schedule.space import DecisionState, DesignSpace
+from repro.search.base import SearchResult, SearchStrategy
+from repro.sim.measure import Benchmarker
+
+
+class BeamSearch(SearchStrategy):
+    """Level-synchronous beam search with rollout-based scoring."""
+
+    name = "beam"
+
+    def __init__(
+        self,
+        space: DesignSpace,
+        benchmarker: Benchmarker,
+        width: int = 8,
+        rollouts_per_candidate: int = 1,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(space, benchmarker)
+        if width < 1:
+            raise ValueError("beam width must be >= 1")
+        if rollouts_per_candidate < 1:
+            raise ValueError("need at least one rollout per candidate")
+        self.width = width
+        self.rollouts_per_candidate = rollouts_per_candidate
+        self.rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    def _random_completion(self, state: DecisionState):
+        while not state.is_complete():
+            actions = state.available_actions()
+            state = state.apply(
+                actions[int(self.rng.integers(len(actions)))]
+            )
+        return state.schedule()
+
+    def _score(
+        self, state: DecisionState, budget: List[int], result: SearchResult
+    ) -> float:
+        """Best rollout time from ``state`` within the remaining budget."""
+        best = np.inf
+        for _ in range(self.rollouts_per_candidate):
+            if budget[0] <= 0:
+                break
+            schedule = self._random_completion(state)
+            t = self.benchmarker.time_of(schedule)
+            result.add(schedule, t)
+            result.n_iterations += 1
+            budget[0] -= 1
+            best = min(best, t)
+        return best
+
+    # ------------------------------------------------------------------
+    def run(self, n_iterations: int) -> SearchResult:
+        """Explore with a total budget of ``n_iterations`` benchmarks."""
+        result = SearchResult(strategy=self.name)
+        budget = [n_iterations]
+        beam: List[Tuple[float, DecisionState]] = [
+            (np.inf, self.space.initial_state())
+        ]
+        while budget[0] > 0:
+            candidates: List[Tuple[float, DecisionState]] = []
+            any_expandable = False
+            for _, state in beam:
+                if state.is_complete():
+                    continue
+                any_expandable = True
+                for action in state.available_actions():
+                    if budget[0] <= 0:
+                        break
+                    child = state.apply(action)
+                    score = self._score(child, budget, result)
+                    candidates.append((score, child))
+            if not any_expandable or not candidates:
+                break
+            candidates.sort(key=lambda sc: sc[0])
+            beam = candidates[: self.width]
+        result.n_simulations = self.benchmarker.n_simulations
+        return result

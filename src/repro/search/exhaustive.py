@@ -1,0 +1,32 @@
+"""Exhaustive enumeration + benchmarking of the full design space.
+
+The paper's canonical labels and rules (the "2036" column of Tables VI-VIII
+and Figures 1/4/5/6) come from benchmarking every possible traversal; this
+strategy reproduces that.  ``n_iterations`` is ignored beyond capping the
+number of schedules benchmarked (useful for tests).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.schedule.space import DesignSpace
+from repro.search.base import SearchResult, SearchStrategy
+from repro.sim.measure import Benchmarker
+
+
+class ExhaustiveSearch(SearchStrategy):
+    """Benchmark the entire design space in enumeration order."""
+
+    name = "exhaustive"
+
+    def run(self, n_iterations: Optional[int] = None) -> SearchResult:
+        result = SearchResult(strategy=self.name)
+        for schedule in self.space.enumerate_schedules():
+            if n_iterations is not None and result.n_iterations >= n_iterations:
+                break
+            time = self.benchmarker.time_of(schedule)
+            result.add(schedule, time)
+            result.n_iterations += 1
+        result.n_simulations = self.benchmarker.n_simulations
+        return result

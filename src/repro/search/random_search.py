@@ -1,0 +1,52 @@
+"""Uniform random sampling of the design space.
+
+The paper's future-work section (§VI) proposes exactly this comparison:
+"a search strategy that randomly samples the design space could be used to
+show that the current strategy indeed produces better results."  We
+implement it as the ablation baseline: each iteration draws one schedule
+by uniform frontier choice (the same policy as an MCTS rollout, but with
+no tree, no selection bias, and no memory).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.schedule.space import DesignSpace
+from repro.search.base import SearchResult, SearchStrategy
+from repro.sim.measure import Benchmarker
+
+
+class RandomSearch(SearchStrategy):
+    """Memoryless random exploration (baseline)."""
+
+    name = "random"
+
+    def __init__(
+        self,
+        space: DesignSpace,
+        benchmarker: Benchmarker,
+        seed: int = 0,
+        dedup: bool = False,
+    ) -> None:
+        super().__init__(space, benchmarker)
+        self.rng = np.random.default_rng(seed)
+        self.dedup = dedup
+
+    def run(self, n_iterations: int) -> SearchResult:
+        result = SearchResult(strategy=self.name)
+        seen = set()
+        attempts = 0
+        max_attempts = 50 * max(1, n_iterations)
+        while result.n_iterations < n_iterations and attempts < max_attempts:
+            attempts += 1
+            schedule = self.space.random_schedule(self.rng)
+            if self.dedup:
+                if schedule in seen:
+                    continue
+                seen.add(schedule)
+            time = self.benchmarker.time_of(schedule)
+            result.add(schedule, time)
+            result.n_iterations += 1
+        result.n_simulations = self.benchmarker.n_simulations
+        return result

@@ -1,0 +1,40 @@
+"""Discrete-event simulation of a multi-rank CUDA+MPI platform.
+
+This package is the hardware substitute for the paper's Perlmutter testbed:
+a deterministic discrete-event simulator with
+
+* a generator-based simulation kernel (:mod:`repro.sim.engine`),
+* FIFO GPU streams with CUDA-event semantics (:mod:`repro.sim.stream`),
+* an MPI network engine with message matching and an α-β transfer model
+  (:mod:`repro.sim.network`),
+* a schedule executor that interprets a bound operation sequence per rank
+  (:mod:`repro.sim.executor`), and
+* timeline tracing and a numeric-payload context for end-to-end
+  verification (:mod:`repro.sim.trace`, :mod:`repro.sim.semantics`).
+"""
+
+from repro.sim.engine import AllOf, AnyOf, Environment, Event, Process, Timeout
+from repro.sim.executor import ScheduleExecutor, SimResult
+from repro.sim.measure import Benchmarker, Measurement, MeasurementConfig
+from repro.sim.semantics import HazardTracker, PayloadContext, RankContext
+from repro.sim.trace import Gantt, Trace, TraceRecord
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Benchmarker",
+    "Environment",
+    "Event",
+    "Gantt",
+    "HazardTracker",
+    "Measurement",
+    "MeasurementConfig",
+    "PayloadContext",
+    "Process",
+    "RankContext",
+    "ScheduleExecutor",
+    "SimResult",
+    "Timeout",
+    "Trace",
+    "TraceRecord",
+]

@@ -1,0 +1,278 @@
+"""A small generator-based discrete-event simulation kernel.
+
+Processes are Python generators that ``yield`` waitables (:class:`Event`,
+:class:`Timeout`, :class:`AllOf`, :class:`AnyOf`); the
+:class:`Environment` advances simulated time by draining a priority queue
+of scheduled event firings.  The design follows the SimPy process model but
+is self-contained, deterministic (ties broken by insertion order), and adds
+deadlock detection: if the queue drains while processes are still blocked,
+:class:`~repro.errors.DeadlockError` is raised with a description of who is
+waiting on what.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+
+from repro.errors import DeadlockError, SimulationError
+
+
+class Event:
+    """A one-shot event that processes can wait on.
+
+    Events carry an optional value, delivered as the result of the ``yield``
+    in the waiting process.
+    """
+
+    __slots__ = ("env", "triggered", "value", "_callbacks", "label")
+
+    def __init__(self, env: "Environment", label: str = "") -> None:
+        self.env = env
+        self.triggered = False
+        self.value: Any = None
+        self._callbacks: List[Callable[["Event"], None]] = []
+        self.label = label
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Fire the event now, resuming all waiters. Fails if already fired."""
+        if self.triggered:
+            raise SimulationError(f"event {self.label!r} fired twice")
+        self.triggered = True
+        self.value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for cb in callbacks:
+            cb(self)
+        return self
+
+    def add_callback(self, cb: Callable[["Event"], None]) -> None:
+        if self.triggered:
+            cb(self)
+        else:
+            self._callbacks.append(cb)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "fired" if self.triggered else "pending"
+        return f"Event({self.label!r}, {state})"
+
+
+class Timeout(Event):
+    """Event that fires ``delay`` seconds after creation."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", delay: float, label: str = "") -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout {delay}")
+        super().__init__(env, label or f"timeout+{delay:g}")
+        env._schedule(env.now + delay, self)
+
+
+class _Composite(Event):
+    __slots__ = ("_pending",)
+
+    def __init__(self, env: "Environment", events: Iterable[Event], label: str) -> None:
+        super().__init__(env, label)
+        events = list(events)
+        self._pending = 0
+        if not events:
+            # Fire immediately via the queue to preserve causal ordering.
+            env._schedule(env.now, self)
+            return
+        self._arm(events)
+
+    def _arm(self, events: List[Event]) -> None:
+        raise NotImplementedError
+
+
+class AllOf(_Composite):
+    """Fires when all constituent events have fired."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", events: Iterable[Event], label: str = "all") -> None:
+        super().__init__(env, events, label)
+
+    def _arm(self, events: List[Event]) -> None:
+        self._pending = len(events)
+
+        def on_fire(_evt: Event) -> None:
+            self._pending -= 1
+            if self._pending == 0 and not self.triggered:
+                self.succeed()
+
+        for e in events:
+            e.add_callback(on_fire)
+
+
+class AnyOf(_Composite):
+    """Fires when the first constituent event fires."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", events: Iterable[Event], label: str = "any") -> None:
+        super().__init__(env, events, label)
+
+    def _arm(self, events: List[Event]) -> None:
+        def on_fire(evt: Event) -> None:
+            if not self.triggered:
+                self.succeed(evt.value)
+
+        for e in events:
+            e.add_callback(on_fire)
+
+
+class Process:
+    """A running simulation process wrapping a generator.
+
+    The generator yields waitables; the process resumes with the waitable's
+    value when it fires.  ``Process.done`` is itself an :class:`Event` that
+    fires with the generator's return value.
+    """
+
+    __slots__ = ("env", "name", "_gen", "done", "_waiting_on", "daemon")
+
+    def __init__(
+        self,
+        env: "Environment",
+        gen: Generator[Event, Any, Any],
+        name: str = "process",
+        daemon: bool = False,
+    ) -> None:
+        self.env = env
+        self.name = name
+        self._gen = gen
+        self.daemon = daemon
+        self.done = Event(env, label=f"{name}.done")
+        self._waiting_on: Optional[Event] = None
+        env._live_processes.append(self)
+        # Start on the next queue drain at current time (causal ordering).
+        kick = Event(env, label=f"{name}.start")
+        env._schedule(env.now, kick)
+        kick.add_callback(lambda _e: self._resume(None))
+
+    @property
+    def alive(self) -> bool:
+        return not self.done.triggered
+
+    @property
+    def waiting_on(self) -> Optional[Event]:
+        return self._waiting_on
+
+    def _resume(self, value: Any) -> None:
+        self._waiting_on = None
+        try:
+            target = self._gen.send(value)
+        except StopIteration as stop:
+            self.env._live_processes.remove(self)
+            self.done.succeed(stop.value)
+            return
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}; processes must "
+                f"yield Event instances"
+            )
+        self._waiting_on = target
+        target.add_callback(lambda evt: self._resume(evt.value))
+
+
+class Environment:
+    """Simulation environment: clock + event queue + process registry."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue: List[Tuple[float, int, Event]] = []
+        self._seq = 0
+        self._live_processes: List[Process] = []
+
+    # ------------------------------------------------------------------
+    def _schedule(self, at: float, event: Event) -> None:
+        if at < self.now:
+            raise SimulationError(
+                f"cannot schedule event at {at} before now={self.now}"
+            )
+        self._seq += 1
+        heapq.heappush(self._queue, (at, self._seq, event))
+
+    # public factory helpers -------------------------------------------
+    def event(self, label: str = "") -> Event:
+        return Event(self, label)
+
+    def timeout(self, delay: float, label: str = "") -> Timeout:
+        return Timeout(self, delay, label)
+
+    def all_of(self, events: Iterable[Event], label: str = "all") -> AllOf:
+        return AllOf(self, events, label)
+
+    def any_of(self, events: Iterable[Event], label: str = "any") -> AnyOf:
+        return AnyOf(self, events, label)
+
+    def process(
+        self,
+        gen: Generator[Event, Any, Any],
+        name: str = "process",
+        daemon: bool = False,
+    ) -> Process:
+        """Start a process.  Daemon processes (e.g. GPU stream servers) are
+        allowed to outlive the event queue without tripping deadlock
+        detection."""
+        return Process(self, gen, name, daemon)
+
+    def fire_at(self, at: float, label: str = "") -> Event:
+        """An event that fires at absolute time ``at``."""
+        e = Event(self, label or f"at{at:g}")
+        self._schedule(at, e)
+        return e
+
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> float:
+        """Drain the event queue; returns the final simulation time.
+
+        Raises :class:`DeadlockError` if the queue empties while processes
+        are still alive (e.g. waiting on an event nobody will fire).
+        """
+        while self._queue:
+            at, _seq, event = heapq.heappop(self._queue)
+            if until is not None and at > until:
+                self.now = until
+                return self.now
+            self.now = at
+            if not event.triggered:
+                event.succeed(event.value)
+        blocked = [p for p in self._live_processes if not p.daemon]
+        if blocked:
+            waiters = ", ".join(
+                f"{p.name} waiting on {p.waiting_on!r}" for p in blocked
+            )
+            raise DeadlockError(
+                f"simulation deadlock at t={self.now:g}: {waiters}"
+            )
+        return self.now
+
+
+class Channel:
+    """A capacity-1 serializing resource (e.g. one direction of a NIC).
+
+    ``acquire_for(duration)`` returns an event that fires when the caller's
+    exclusive occupation of the channel *ends*; occupations are granted in
+    request order starting no earlier than the request time.
+    """
+
+    __slots__ = ("env", "name", "_free_at")
+
+    def __init__(self, env: Environment, name: str = "channel") -> None:
+        self.env = env
+        self.name = name
+        self._free_at = 0.0
+
+    def occupy(self, start: float, duration: float) -> Tuple[float, float]:
+        """Reserve the channel for ``duration`` starting no earlier than
+        ``start``; returns the actual (begin, end) interval."""
+        begin = max(start, self._free_at)
+        end = begin + duration
+        self._free_at = end
+        return begin, end
+
+    @property
+    def free_at(self) -> float:
+        return self._free_at

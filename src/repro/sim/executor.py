@@ -1,0 +1,334 @@
+"""Execute a :class:`~repro.schedule.schedule.Schedule` on a simulated machine.
+
+Every rank runs the same launch sequence (SPMD), interpreted by a CPU
+process exactly as the paper describes the programming model (§III-A): "a
+CPU control thread offloads the bulk of the compute to asynchronous GPU
+operations, coordinated with asynchronous MPI communication, and
+interspersed with a small amount of synchronous CPU operations".
+
+Per-op CPU behaviour:
+
+=====================  ==================================================
+Op kind                CPU behaviour
+=====================  ==================================================
+CPU                    advance by the op duration; perform its MPI action
+                       (post / wait) if any
+GPU (bound)            pay launch overhead, enqueue kernel on its stream
+cudaEventRecord        pay call overhead, enqueue record on its stream
+cudaEventSynchronize   pay call overhead, block until the event fires
+cudaStreamWaitEvent    pay call overhead, enqueue wait on its stream
+=====================  ==================================================
+
+After the sequence the rank performs a device synchronize (the artificial
+``end`` vertex) and waits for any still-pending MPI requests it posted.
+The run's elapsed time is the maximum completion time across ranks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.dag.program import Message, Program
+from repro.dag.vertex import ActionKind, OpKind
+from repro.errors import ScheduleError, SimulationError
+from repro.platform.costs import CostModel
+from repro.platform.machine import MachineConfig
+from repro.schedule.schedule import BoundOp, Schedule
+from repro.sim.engine import Environment
+from repro.sim.network import MpiRequest, Network
+from repro.sim.semantics import PayloadContext
+from repro.sim.stream import StreamItem, StreamSet
+from repro.sim.trace import Trace
+
+
+@dataclass
+class SimResult:
+    """Outcome of simulating one schedule once."""
+
+    #: Completion time of the slowest rank (the program's elapsed time).
+    elapsed: float
+    #: Completion time per rank.
+    per_rank: List[float]
+    #: Timeline (populated when tracing was requested).
+    trace: Optional[Trace] = None
+    #: Numeric buffers (populated when a payload context was supplied).
+    payload: Optional[PayloadContext] = None
+    #: Number of point-to-point transfers performed.
+    n_transfers: int = 0
+
+    @property
+    def hazard_free(self) -> bool:
+        return self.payload is None or self.payload.hazards.clean
+
+
+#: Optional factory initializing per-rank buffers before execution.
+PayloadInit = Callable[[PayloadContext], None]
+
+
+class ScheduleExecutor:
+    """Runs schedules of one program on one machine configuration."""
+
+    def __init__(
+        self,
+        program: Program,
+        machine: MachineConfig,
+        *,
+        collect_trace: bool = False,
+        payload_init: Optional[PayloadInit] = None,
+        strict_hazards: bool = False,
+    ) -> None:
+        if program.n_ranks != machine.n_ranks:
+            raise SimulationError(
+                f"program targets {program.n_ranks} ranks but machine has "
+                f"{machine.n_ranks}"
+            )
+        self.program = program
+        self.machine = machine
+        self.cost = CostModel(machine)
+        self.collect_trace = collect_trace
+        self.payload_init = payload_init
+        self.strict_hazards = strict_hazards
+
+    # ------------------------------------------------------------------
+    def run(self, schedule: Schedule, sample: int = 0) -> SimResult:
+        """Simulate one invocation of ``schedule``; deterministic in
+        ``(schedule, sample, machine.noise.seed)``."""
+        env = Environment()
+        trace = Trace() if self.collect_trace else None
+        payload: Optional[PayloadContext] = None
+        if self.payload_init is not None:
+            payload = PayloadContext(
+                self.program.n_ranks, strict_hazards=self.strict_hazards
+            )
+            self.payload_init(payload)
+
+        def on_transfer(msg: Message, begin: float, end: float) -> None:
+            if trace is not None:
+                trace.add(msg.src, "net", f"xfer->{msg.dst}", begin, end)
+            if payload is not None:
+                if msg.hazard_buf:
+                    payload.hazards.check_read(
+                        msg.src,
+                        f"transfer:{msg.src}->{msg.dst}",
+                        msg.hazard_buf,
+                        begin,
+                    )
+                if msg.src_buf and msg.dst_buf:
+                    payload.transfer(msg.src, msg.dst, msg.src_buf, msg.dst_buf)
+                    payload.hazards.mark_ready(msg.dst, msg.dst_buf, end)
+
+        net = Network(
+            env,
+            self.machine.net,
+            self.machine.noise,
+            sample=sample,
+            on_transfer=on_transfer,
+        )
+        stream_sets = [
+            StreamSet(
+                env,
+                rank,
+                self.machine.n_streams,
+                n_gpus=self.machine.n_gpus,
+                cross_gpu_extra_s=self.machine.gpu.cross_gpu_sync_extra_s,
+            )
+            for rank in range(self.machine.n_ranks)
+        ]
+        finish_at: List[float] = [0.0] * self.machine.n_ranks
+        for rank in range(self.machine.n_ranks):
+            env.process(
+                self._cpu_process(
+                    env, rank, schedule, sample, net, stream_sets[rank],
+                    trace, payload, finish_at,
+                ),
+                name=f"rank{rank}.cpu",
+            )
+        env.run()
+        net.assert_drained()
+        elapsed = max(finish_at)
+        return SimResult(
+            elapsed=elapsed,
+            per_rank=list(finish_at),
+            trace=trace,
+            payload=payload,
+            n_transfers=net.n_transfers,
+        )
+
+    # ------------------------------------------------------------------
+    def _jitter(self, duration: float, sample: int, rank: int, *key) -> float:
+        return self.machine.noise.jitter(duration, sample, rank, *key)
+
+    def _cpu_process(
+        self,
+        env: Environment,
+        rank: int,
+        schedule: Schedule,
+        sample: int,
+        net: Network,
+        streams: StreamSet,
+        trace: Optional[Trace],
+        payload: Optional[PayloadContext],
+        finish_at: List[float],
+    ):
+        program = self.program
+        cost = self.cost
+        requests: Dict[str, Dict[str, List[MpiRequest]]] = {}
+
+        def record_cpu(op_name: str, start: float) -> None:
+            if trace is not None and env.now > start:
+                trace.add(rank, "cpu", op_name, start, env.now)
+
+        def run_payload(op: BoundOp, start: float) -> None:
+            """Hazard checks + numeric callback at op completion."""
+            if payload is None:
+                return
+            v = op.vertex
+            for buf in v.reads:
+                payload.hazards.check_read(rank, v.name, buf, start)
+            fn = program.payload_fn(v)
+            if fn is not None:
+                fn(payload[rank])
+            for buf in v.writes:
+                payload.hazards.mark_ready(rank, buf, env.now)
+
+        for op in schedule.ops:
+            v = op.vertex
+            start = env.now
+            if v.kind is OpKind.CPU:
+                dur = self._jitter(
+                    cost.base_duration(program, v, rank), sample, rank, v.name
+                )
+                if dur > 0:
+                    yield env.timeout(dur)
+                if v.action is not None:
+                    yield from self._do_action(
+                        env, rank, op, sample, net, requests, payload
+                    )
+                run_payload(op, start)
+                record_cpu(v.name, start)
+            elif v.kind is OpKind.GPU:
+                launch = self._jitter(
+                    cost.launch_overhead(), sample, rank, v.name, "launch"
+                )
+                if launch > 0:
+                    yield env.timeout(launch)
+                kdur = self._jitter(
+                    cost.base_duration(program, v, rank), sample, rank, v.name
+                )
+
+                def kernel_done(kstart: float, op=op) -> None:
+                    if trace is not None:
+                        trace.add(
+                            rank, f"stream{op.stream}", op.name, kstart, env.now
+                        )
+                    run_payload(op, kstart)
+
+                streams.stream(op.stream).enqueue(
+                    StreamItem(
+                        kind="kernel",
+                        name=v.name,
+                        duration=kdur,
+                        on_complete=kernel_done,
+                    )
+                )
+                record_cpu(f"launch:{v.name}", start)
+            elif v.kind is OpKind.EVENT_RECORD:
+                dur = cost.base_duration(program, v, rank)
+                if dur > 0:
+                    yield env.timeout(dur)
+                evt = streams.cuda_event(op.event)
+                streams.stream(op.stream).enqueue(
+                    StreamItem(kind="record", name=v.name, event=evt)
+                )
+                record_cpu(v.name, start)
+            elif v.kind is OpKind.EVENT_SYNC:
+                dur = cost.base_duration(program, v, rank)
+                if dur > 0:
+                    yield env.timeout(dur)
+                evt = streams.cuda_event(op.event)
+                if not evt.fired:
+                    yield evt.wait_event
+                record_cpu(v.name, start)
+            elif v.kind is OpKind.STREAM_WAIT:
+                dur = cost.base_duration(program, v, rank)
+                if dur > 0:
+                    yield env.timeout(dur)
+                evt = streams.cuda_event(op.event)
+                streams.stream(op.stream).enqueue(
+                    StreamItem(kind="wait", name=v.name, event=evt)
+                )
+                record_cpu(v.name, start)
+            elif v.kind in (OpKind.START, OpKind.END):
+                raise ScheduleError(
+                    f"artificial vertex {v.name!r} must not appear in a "
+                    f"schedule"
+                )
+            else:  # pragma: no cover - exhaustive above
+                raise SimulationError(f"unhandled op kind {v.kind}")
+
+        # Artificial `end`: device synchronize + complete leftover requests.
+        sync_start = env.now
+        yield streams.device_synchronize_event()
+        pending = [
+            req.done
+            for groups in requests.values()
+            for reqs in groups.values()
+            for req in reqs
+            if not req.is_complete
+        ]
+        if pending:
+            yield env.all_of(pending, label=f"rank{rank}.finalize")
+        record_cpu("end", sync_start)
+        finish_at[rank] = env.now
+
+    # ------------------------------------------------------------------
+    def _do_action(
+        self,
+        env: Environment,
+        rank: int,
+        op: BoundOp,
+        sample: int,
+        net: Network,
+        requests: Dict[str, Dict[str, List[MpiRequest]]],
+        payload: Optional[PayloadContext],
+    ):
+        action = op.vertex.action
+        assert action is not None
+        plan = self.program.comm_plan(action.group)
+        group = requests.setdefault(action.group, {"sends": [], "recvs": []})
+        post_cost = self.cost.post_message_cost()
+        if action.kind is ActionKind.POST_SENDS:
+            for msg in plan.sends_from(rank):
+                dt = self._jitter(post_cost, sample, rank, op.name, msg.dst)
+                if dt > 0:
+                    yield env.timeout(dt)
+                group["sends"].append(net.post_send(msg))
+        elif action.kind is ActionKind.POST_RECVS:
+            for msg in plan.recvs_to(rank):
+                dt = self._jitter(post_cost, sample, rank, op.name, msg.src)
+                if dt > 0:
+                    yield env.timeout(dt)
+                group["recvs"].append(net.post_recv(msg))
+        elif action.kind in (ActionKind.WAIT_SENDS, ActionKind.WAIT_RECVS):
+            kind = "sends" if action.kind is ActionKind.WAIT_SENDS else "recvs"
+            expected = (
+                plan.sends_from(rank)
+                if action.kind is ActionKind.WAIT_SENDS
+                else plan.recvs_to(rank)
+            )
+            if expected and not group[kind]:
+                raise ScheduleError(
+                    f"rank {rank}: {op.name!r} waits on comm group "
+                    f"{action.group!r} before its messages were posted"
+                )
+            dt = self.cost.wait_overhead()
+            if dt > 0:
+                yield env.timeout(dt)
+            outstanding = [r.done for r in group[kind] if not r.is_complete]
+            if outstanding:
+                yield env.all_of(outstanding, label=f"rank{rank}.{op.name}")
+        elif action.kind is ActionKind.NOOP:
+            return
+        else:  # pragma: no cover - exhaustive above
+            raise SimulationError(f"unhandled action {action.kind}")

@@ -1,0 +1,221 @@
+"""GPU streams and CUDA events (paper §II).
+
+"A GPU stream is a queue of [operations] in which each operation must
+complete before the next begins. ... A CUDA event represents a particular
+point in a stream's execution" — the CPU can block on it
+(``cudaEventSynchronize``) or another stream can (``cudaStreamWaitEvent``).
+
+A :class:`Stream` is a simulation process draining a FIFO of
+:class:`StreamItem`; :class:`CudaEvent` wraps an engine event plus recorded
+state so waits placed before the record (legal in CUDA only if the event
+object exists; here creation is implicit at first reference) behave like
+CUDA: waiting on an already-fired event proceeds immediately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional
+from collections import deque
+
+from repro.errors import SimulationError
+from repro.sim.engine import Environment, Event
+
+
+class CudaEvent:
+    """A CUDA event: fires when the recording stream reaches the record op.
+
+    ``source_stream`` records which stream fired the event; waits on
+    another *device*'s event pay an inter-GPU fence penalty.
+    """
+
+    __slots__ = ("name", "_evt", "fired_at", "source_stream")
+
+    def __init__(self, env: Environment, name: str) -> None:
+        self.name = name
+        self._evt = Event(env, label=f"cuda_event:{name}")
+        self.fired_at: Optional[float] = None
+        self.source_stream: Optional[int] = None
+
+    @property
+    def fired(self) -> bool:
+        return self._evt.triggered
+
+    def fire(self, now: float, source_stream: Optional[int] = None) -> None:
+        if self.fired:
+            raise SimulationError(f"CUDA event {self.name!r} recorded twice")
+        self.fired_at = now
+        self.source_stream = source_stream
+        self._evt.succeed()
+
+    @property
+    def wait_event(self) -> Event:
+        """Engine event to yield on; already-fired events resume immediately."""
+        return self._evt
+
+
+@dataclass
+class StreamItem:
+    """One entry in a stream's FIFO queue."""
+
+    kind: str  # "kernel" | "record" | "wait"
+    name: str
+    duration: float = 0.0
+    event: Optional[CudaEvent] = None
+    on_complete: Optional[Callable[[float], None]] = None
+
+
+class Stream:
+    """FIFO GPU stream as a simulation process.
+
+    The CPU enqueues items; the stream executes them in order:
+
+    * ``kernel`` — advance time by the kernel duration, then invoke the
+      completion callback (used for tracing, payload execution, and
+      dependency bookkeeping);
+    * ``record`` — fire the attached :class:`CudaEvent` at the current time;
+    * ``wait``  — block the stream until the attached event has fired.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        rank: int,
+        stream_id: int,
+        gpu: int = 0,
+        cross_gpu_extra_s: float = 0.0,
+    ) -> None:
+        self.env = env
+        self.rank = rank
+        self.stream_id = stream_id
+        self.gpu = gpu
+        self.cross_gpu_extra_s = cross_gpu_extra_s
+        self.name = f"rank{rank}.stream{stream_id}"
+        self._queue: Deque[StreamItem] = deque()
+        self._wakeup: Optional[Event] = None
+        self._idle = True
+        self._drained = Event(env, label=f"{self.name}.init-drained")
+        self._drained.succeed()
+        self.busy_until = 0.0
+        env.process(self._run(), name=self.name, daemon=True)
+
+    # ------------------------------------------------------------------
+    def enqueue(self, item: StreamItem) -> None:
+        self._queue.append(item)
+        wakeup = self._wakeup
+        if wakeup is not None and not wakeup.triggered:
+            # Clear before firing: the resumed stream may drain the queue
+            # and install a *new* wakeup synchronously inside succeed().
+            self._wakeup = None
+            wakeup.succeed()
+
+    def drained_event(self) -> Event:
+        """Event firing when the queue (as of now) is fully executed.
+
+        Implemented by enqueueing an internal record; used by the device
+        synchronize at program ``end``.
+        """
+        marker = CudaEvent(self.env, f"{self.name}.drain")
+        self.enqueue(StreamItem(kind="record", name=f"{self.name}.drain", event=marker))
+        return marker.wait_event
+
+    # ------------------------------------------------------------------
+    def _run(self):
+        while True:
+            if not self._queue:
+                self._wakeup = Event(self.env, label=f"{self.name}.wakeup")
+                yield self._wakeup
+                continue
+            item = self._queue.popleft()
+            if item.kind == "kernel":
+                start = self.env.now
+                if item.duration > 0:
+                    yield self.env.timeout(item.duration, label=item.name)
+                self.busy_until = self.env.now
+                if item.on_complete is not None:
+                    item.on_complete(start)
+            elif item.kind == "record":
+                assert item.event is not None
+                item.event.fire(self.env.now, source_stream=self.stream_id)
+                if item.on_complete is not None:
+                    item.on_complete(self.env.now)
+            elif item.kind == "wait":
+                assert item.event is not None
+                if not item.event.fired:
+                    yield item.event.wait_event
+                extra = self._cross_gpu_penalty(item.event)
+                if extra > 0:
+                    yield self.env.timeout(extra, label=f"{item.name}.xgpu")
+                if item.on_complete is not None:
+                    item.on_complete(self.env.now)
+            else:  # pragma: no cover - guarded by construction
+                raise SimulationError(f"unknown stream item kind {item.kind!r}")
+
+    def _cross_gpu_penalty(self, event: CudaEvent) -> float:
+        """Inter-device fence cost when waiting on another GPU's event.
+
+        The drain markers used by device synchronize record on the waiting
+        stream itself (same device), so they never pay this.
+        """
+        src = event.source_stream
+        if src is None or self._gpu_of is None:
+            return 0.0
+        if self._gpu_of(src) == self.gpu:
+            return 0.0
+        return self.cross_gpu_extra_s
+
+    _gpu_of = None  # injected by StreamSet
+
+
+class StreamSet:
+    """All streams of one rank, plus the rank's CUDA event namespace."""
+
+    def __init__(
+        self,
+        env: Environment,
+        rank: int,
+        n_streams: int,
+        n_gpus: int = 1,
+        cross_gpu_extra_s: float = 0.0,
+    ) -> None:
+        self.env = env
+        self.rank = rank
+        self.n_gpus = n_gpus
+        self.streams: List[Stream] = [
+            Stream(
+                env,
+                rank,
+                s,
+                gpu=s % n_gpus,
+                cross_gpu_extra_s=cross_gpu_extra_s,
+            )
+            for s in range(n_streams)
+        ]
+        gpu_of = lambda sid: sid % n_gpus  # noqa: E731 - tiny closure
+        for stream in self.streams:
+            stream._gpu_of = gpu_of
+        self._events: Dict[str, CudaEvent] = {}
+
+    def stream(self, stream_id: int) -> Stream:
+        try:
+            return self.streams[stream_id]
+        except IndexError:
+            raise SimulationError(
+                f"rank {self.rank}: stream {stream_id} out of range "
+                f"(have {len(self.streams)})"
+            ) from None
+
+    def cuda_event(self, name: str) -> CudaEvent:
+        """Get or create the named CUDA event (per-rank namespace)."""
+        evt = self._events.get(name)
+        if evt is None:
+            evt = CudaEvent(self.env, f"rank{self.rank}:{name}")
+            self._events[name] = evt
+        return evt
+
+    def device_synchronize_event(self) -> Event:
+        """Event firing when every stream has drained its current queue."""
+        return self.env.all_of(
+            [s.drained_event() for s in self.streams],
+            label=f"rank{self.rank}.device_sync",
+        )

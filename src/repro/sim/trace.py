@@ -1,0 +1,156 @@
+"""Execution timeline tracing and ASCII Gantt rendering.
+
+Every simulated operation (CPU segment, kernel, sync, transfer) appends a
+:class:`TraceRecord`; :class:`Gantt` renders the per-resource timeline as
+monospace text, which is invaluable when eyeballing why one schedule
+overlaps communication and another does not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One occupied interval on one resource."""
+
+    rank: int
+    resource: str  # "cpu", "stream0", "stream1", ..., "net"
+    op: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class Trace:
+    """Ordered collection of trace records for one simulation run."""
+
+    def __init__(self) -> None:
+        self.records: List[TraceRecord] = []
+
+    def add(
+        self, rank: int, resource: str, op: str, start: float, end: float
+    ) -> None:
+        self.records.append(TraceRecord(rank, resource, op, start, end))
+
+    def for_rank(self, rank: int) -> List[TraceRecord]:
+        return [r for r in self.records if r.rank == rank]
+
+    def for_resource(self, rank: int, resource: str) -> List[TraceRecord]:
+        return [
+            r
+            for r in self.records
+            if r.rank == rank and r.resource == resource
+        ]
+
+    def busy_time(self, rank: int, resource: str) -> float:
+        return sum(r.duration for r in self.for_resource(rank, resource))
+
+    def makespan(self) -> float:
+        return max((r.end for r in self.records), default=0.0)
+
+    def overlap(
+        self, rank: int, resource_a: str, resource_b: str
+    ) -> float:
+        """Total time during which both resources are simultaneously busy."""
+        a = sorted(self.for_resource(rank, resource_a), key=lambda r: r.start)
+        b = sorted(self.for_resource(rank, resource_b), key=lambda r: r.start)
+        total = 0.0
+        i = j = 0
+        while i < len(a) and j < len(b):
+            lo = max(a[i].start, b[j].start)
+            hi = min(a[i].end, b[j].end)
+            if hi > lo:
+                total += hi - lo
+            if a[i].end <= b[j].end:
+                i += 1
+            else:
+                j += 1
+        return total
+
+
+def to_chrome_trace(trace: "Trace") -> List[dict]:
+    """Export as Chrome-trace (``chrome://tracing`` / Perfetto) events.
+
+    Each rank becomes a process, each resource a thread; durations are in
+    microseconds as the format expects.  Serialize with ``json.dumps`` and
+    load the file in any trace viewer.
+    """
+    events: List[dict] = []
+    seen: Dict[Tuple[int, str], None] = {}
+    for r in trace.records:
+        key = (r.rank, r.resource)
+        if key not in seen:
+            seen[key] = None
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": r.rank,
+                    "tid": r.resource,
+                    "args": {"name": f"rank{r.rank}/{r.resource}"},
+                }
+            )
+        events.append(
+            {
+                "name": r.op,
+                "ph": "X",
+                "pid": r.rank,
+                "tid": r.resource,
+                "ts": r.start * 1e6,
+                "dur": r.duration * 1e6,
+            }
+        )
+    return events
+
+
+class Gantt:
+    """ASCII Gantt chart of a :class:`Trace`."""
+
+    def __init__(self, trace: Trace, width: int = 100) -> None:
+        self.trace = trace
+        self.width = width
+
+    def render(self, ranks: Optional[Sequence[int]] = None) -> str:
+        records = self.trace.records
+        if not records:
+            return "(empty trace)"
+        t_end = self.trace.makespan()
+        if t_end <= 0:
+            return "(zero-length trace)"
+        scale = self.width / t_end
+        lanes: Dict[Tuple[int, str], List[TraceRecord]] = {}
+        for r in records:
+            if ranks is not None and r.rank not in ranks:
+                continue
+            lanes.setdefault((r.rank, r.resource), []).append(r)
+        label_w = max(
+            (len(f"r{rank}/{res}") for rank, res in lanes), default=8
+        )
+        lines = [
+            f"time: 0 .. {t_end * 1e6:.2f} us  "
+            f"(1 column = {t_end / self.width * 1e6:.3f} us)"
+        ]
+        for (rank, res) in sorted(lanes):
+            row = [" "] * self.width
+            for rec in lanes[(rank, res)]:
+                lo = min(self.width - 1, int(rec.start * scale))
+                hi = min(self.width, max(lo + 1, int(rec.end * scale)))
+                ch = rec.op[0].upper() if rec.op else "#"
+                for c in range(lo, hi):
+                    row[c] = ch if row[c] == " " else "+"
+            lines.append(f"r{rank}/{res}".ljust(label_w) + " |" + "".join(row) + "|")
+        legend: Dict[str, str] = {}
+        for rec in records:
+            if rec.op:
+                legend.setdefault(rec.op[0].upper(), rec.op)
+        lines.append(
+            "legend: "
+            + ", ".join(f"{k}={v}" for k, v in sorted(legend.items()))
+        )
+        return "\n".join(lines)

@@ -1,0 +1,109 @@
+"""Tests for the 3-D halo-exchange application."""
+
+import numpy as np
+import pytest
+
+from repro.apps.halo import GridCase, build_halo_program, decompose
+from repro.apps.halo.grid import FACES
+from repro.platform import noiseless, perlmutter_like
+from repro.schedule import DesignSpace
+from repro.sim import Benchmarker, MeasurementConfig, ScheduleExecutor
+from repro.search import MctsSearch
+
+
+@pytest.fixture(scope="module")
+def case():
+    return GridCase(nx=64, ny=64, nz=32, px=2, py=2, pz=1)
+
+
+class TestDecomposition:
+    def test_rank_count(self, case):
+        assert case.n_ranks == 4
+        assert len(decompose(case).boxes) == 4
+
+    def test_neighbour_symmetry(self, case):
+        decomp = decompose(case)
+        for box in decomp.boxes:
+            for face, nb in box.neighbours.items():
+                axis, sign = face
+                opposite = (axis, -sign)
+                assert decomp.boxes[nb].neighbours[opposite] == box.rank
+
+    def test_boundary_ranks_missing_faces(self, case):
+        decomp = decompose(case)
+        corner = decomp.boxes[0]  # coords (0,0,0)
+        assert (0, -1) not in corner.neighbours
+        assert (1, -1) not in corner.neighbours
+        assert (2, -1) not in corner.neighbours
+
+    def test_indivisible_grid_rejected(self):
+        with pytest.raises(ValueError):
+            GridCase(nx=10, px=3).local_shape()
+
+    def test_face_bytes(self, case):
+        decomp = decompose(case)
+        lx, ly, lz = case.local_shape()
+        assert decomp.face_bytes(0) == ly * lz * 8.0
+
+
+class TestHaloProgram:
+    def test_one_axis_structure(self, case):
+        p = build_halo_program(case, axes=(0,))
+        names = set(p.graph.vertex_names)
+        assert {"Pack_x", "Unpack_x", "Interior", "Boundary"} <= names
+        assert "Pack_y" not in names
+
+    def test_gpu_gpu_edges_to_boundary(self, case):
+        from repro.schedule.sync import build_sync_plan
+
+        p = build_halo_program(case, axes=(0, 1))
+        plan = build_sync_plan(p.graph)
+        assert ("Unpack_x", "Boundary") in plan.gpu_gpu_edges
+        assert ("Unpack_y", "Boundary") in plan.gpu_gpu_edges
+
+    def test_messages_only_along_axis(self, case):
+        p = build_halo_program(case, axes=(0,))
+        decomp = decompose(case)
+        for m in p.comm_plan("halo_x").messages:
+            src, dst = decomp.boxes[m.src], decomp.boxes[m.dst]
+            assert src.coords[1:] == dst.coords[1:]  # same y, z
+
+    def test_invalid_axes_rejected(self, case):
+        with pytest.raises(ValueError):
+            build_halo_program(case, axes=())
+        with pytest.raises(ValueError):
+            build_halo_program(case, axes=(5,))
+
+    def test_single_axis_space_enumerable(self, case):
+        p = build_halo_program(case, axes=(0,))
+        space = DesignSpace(p, n_streams=2)
+        assert space.count() == 1600
+
+    def test_mcts_explores_multi_axis_space(self, case):
+        p = build_halo_program(case, axes=(0, 1))
+        space = DesignSpace(p, n_streams=2)
+        machine = noiseless(perlmutter_like())
+        bench = Benchmarker(
+            ScheduleExecutor(p, machine), MeasurementConfig(max_samples=1)
+        )
+        result = MctsSearch(space, bench).run(60)
+        assert len(result) == 60
+        for s in result.samples[:10]:
+            space.validate_schedule(s.schedule)
+        assert result.best().time < result.worst().time
+
+    def test_cross_stream_schedules_simulate(self, case):
+        """Schedules binding Unpack and Boundary to different streams carry
+        CSWE ops and still execute."""
+        p = build_halo_program(case, axes=(0,))
+        space = DesignSpace(p, n_streams=2)
+        machine = noiseless(perlmutter_like())
+        ex = ScheduleExecutor(p, machine)
+        found = 0
+        for s in space.enumerate_schedules():
+            if any("CSWE" in n for n in s.op_names()):
+                assert ex.run(s).elapsed > 0
+                found += 1
+                if found >= 5:
+                    break
+        assert found == 5

@@ -1,0 +1,89 @@
+"""Tests for the SpMV program DAG (structure, costs, numerics)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.spmv import SpmvCase, build_spmv_program
+from repro.dag.vertex import OpKind
+from repro.platform.costs import CostModel
+
+
+class TestStructure:
+    def test_vertices_match_paper(self, spmv_instance):
+        names = set(spmv_instance.program.graph.vertex_names)
+        assert names == {
+            "start", "end", "Pack", "PostSends", "PostRecvs",
+            "WaitSend", "WaitRecv", "yL", "yR",
+        }
+
+    def test_gpu_ops(self, spmv_instance):
+        gpu = {v.name for v in spmv_instance.program.gpu_vertices()}
+        assert gpu == {"Pack", "yL", "yR"}
+
+    def test_paper_edges_present(self, spmv_instance):
+        g = spmv_instance.program.graph
+        for u, v in [
+            ("Pack", "PostSends"),
+            ("PostSends", "WaitSend"),
+            ("PostRecvs", "WaitRecv"),
+            ("WaitRecv", "yR"),
+        ]:
+            assert v in {s.name for s in g.successors(u)}
+
+    def test_yl_depends_only_on_start(self, spmv_instance):
+        preds = spmv_instance.program.graph.predecessors("yL")
+        assert [p.name for p in preds] == ["start"]
+
+    def test_unsafe_variant_omits_cross_edges(self, spmv_case):
+        inst = build_spmv_program(spmv_case, safe_waits=False)
+        g = inst.program.graph
+        assert "WaitRecv" not in {
+            s.name for s in g.successors("PostSends")
+        }
+
+
+class TestCommPlan:
+    def test_messages_match_partition(self, spmv_instance):
+        plan = spmv_instance.program.comm_plan("halo")
+        pairs = {
+            (m.src, m.dst): m.nbytes for m in plan.messages
+        }
+        for src, dst, count in spmv_instance.partition.message_pairs():
+            assert pairs[(src, dst)] == 8.0 * count
+
+    def test_band_matrix_neighbours_only(self, spmv_instance):
+        """With bandwidth = n/4, messages stay between adjacent ranks."""
+        plan = spmv_instance.program.comm_plan("halo")
+        for m in plan.messages:
+            assert abs(m.src - m.dst) == 1
+
+    def test_hazard_buffer_declared(self, spmv_instance):
+        plan = spmv_instance.program.comm_plan("halo")
+        for m in plan.messages:
+            assert m.hazard_buf == "send_bufs"
+            assert m.src_buf == f"send_to_{m.dst}"
+            assert m.dst_buf == f"recv_from_{m.src}"
+
+
+class TestWork:
+    def test_work_overrides_for_all_ranks(self, spmv_instance):
+        for rank in range(spmv_instance.case.n_ranks):
+            for name in ("Pack", "yL", "yR"):
+                assert (name, rank) in spmv_instance.program.work_overrides
+
+    def test_balanced_case_yl_similar_to_yr(self):
+        inst = build_spmv_program(SpmvCase())
+        cost = CostModel(
+            __import__("repro.platform", fromlist=["perlmutter_like"]).perlmutter_like()
+        )
+        g = inst.program.graph
+        # Middle rank: local and remote multiply within 2x of each other.
+        yl = cost.base_duration(inst.program, g.vertex("yL"), 1)
+        yr = cost.base_duration(inst.program, g.vertex("yR"), 1)
+        assert 0.5 < yl / yr < 2.0
+
+    def test_scaled_case_shrinks(self, spmv_case):
+        paper = SpmvCase()
+        assert spmv_case.n_rows < paper.n_rows
+        assert spmv_case.nnz < paper.nnz
+        assert spmv_case.n_ranks == paper.n_ranks

@@ -1,0 +1,80 @@
+"""Shared fixtures.
+
+Heavy artifacts (the SpMV instance, the enumerated design space, the
+exhaustive benchmark sweep) are session-scoped: they are deterministic and
+read-only, and many test modules consult them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.spmv import SpmvCase, build_spmv_program
+from repro.platform import noiseless, perlmutter_like
+from repro.schedule import DesignSpace
+from repro.search import ExhaustiveSearch
+from repro.sim import Benchmarker, MeasurementConfig, ScheduleExecutor
+
+
+#: Scale used by most tests: 3750 rows, builds in ~10 ms, simulates fast.
+TEST_SCALE = 1 / 40
+
+
+@pytest.fixture(scope="session")
+def spmv_case():
+    return SpmvCase().scaled(TEST_SCALE)
+
+
+@pytest.fixture(scope="session")
+def spmv_instance(spmv_case):
+    return build_spmv_program(spmv_case)
+
+
+@pytest.fixture(scope="session")
+def machine():
+    """Noiseless perlmutter-like machine (deterministic single samples)."""
+    return noiseless(perlmutter_like())
+
+
+@pytest.fixture(scope="session")
+def noisy_machine():
+    return perlmutter_like(noise_sigma=0.01)
+
+
+@pytest.fixture(scope="session")
+def spmv_space(spmv_instance):
+    return DesignSpace(spmv_instance.program, n_streams=2)
+
+
+@pytest.fixture(scope="session")
+def spmv_schedules(spmv_space):
+    return list(spmv_space.enumerate_schedules())
+
+
+@pytest.fixture(scope="session")
+def spmv_executor(spmv_instance, machine):
+    return ScheduleExecutor(spmv_instance.program, machine)
+
+
+@pytest.fixture(scope="session")
+def spmv_benchmarker(spmv_executor):
+    return Benchmarker(spmv_executor, MeasurementConfig(max_samples=1))
+
+
+@pytest.fixture(scope="session")
+def spmv_exhaustive(spmv_space, spmv_benchmarker):
+    """Exhaustive search result over the test-scale SpMV space."""
+    return ExhaustiveSearch(spmv_space, spmv_benchmarker).run()
+
+
+@pytest.fixture(scope="session")
+def spmv_noisy_exhaustive(spmv_instance, spmv_space, noisy_machine):
+    executor = ScheduleExecutor(spmv_instance.program, noisy_machine)
+    bench = Benchmarker(executor, MeasurementConfig(max_samples=3))
+    return ExhaustiveSearch(spmv_space, bench).run()
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(1234)

@@ -1,0 +1,74 @@
+"""Round-trip tests for program serialization."""
+
+from repro.dag.serialize import (
+    graph_from_dict,
+    graph_to_dict,
+    program_from_json,
+    program_to_json,
+    vertex_from_dict,
+    vertex_to_dict,
+)
+from repro.dag.graph import Graph
+from repro.dag.program import CommPlan, Message, Program
+from repro.dag.vertex import Action, ActionKind, Work, cpu_op, gpu_op
+
+
+def test_vertex_roundtrip():
+    v = gpu_op(
+        "k",
+        work=Work(flops=3, bytes_read=5, bytes_written=7),
+        payload="p",
+        reads=("a", "b"),
+        writes=("c",),
+    )
+    assert vertex_from_dict(vertex_to_dict(v)) == v
+
+
+def test_vertex_with_action_roundtrip():
+    v = cpu_op("post", action=Action(ActionKind.POST_RECVS, "halo"))
+    assert vertex_from_dict(vertex_to_dict(v)) == v
+
+
+def test_graph_roundtrip():
+    g = Graph.from_edges(
+        [cpu_op("a"), gpu_op("b"), cpu_op("c")],
+        [("a", "b"), ("a", "c")],
+    )
+    g2 = graph_from_dict(graph_to_dict(g))
+    assert set(g2.vertex_names) == set(g.vertex_names)
+    assert sorted((u.name, v.name) for u, v in g2.edges()) == sorted(
+        (u.name, v.name) for u, v in g.edges()
+    )
+
+
+def test_program_roundtrip_drops_payloads_keeps_structure():
+    g = Graph()
+    g.add_edge(
+        cpu_op("post", action=Action(ActionKind.POST_SENDS, "g")),
+        cpu_op("wait", action=Action(ActionKind.WAIT_SENDS, "g")),
+    )
+    p = Program(
+        graph=g.with_start_end(),
+        n_ranks=2,
+        comm={
+            "g": CommPlan(
+                group="g",
+                messages=(
+                    Message(
+                        src=0, dst=1, nbytes=64.0, tag=9,
+                        src_buf="s", dst_buf="d", hazard_buf="h",
+                    ),
+                ),
+            )
+        },
+        work_overrides={("post", 1): Work(flops=2.0)},
+        name="demo",
+    )
+    q = program_from_json(program_to_json(p))
+    assert q.name == "demo"
+    assert q.n_ranks == 2
+    msg = q.comm_plan("g").messages[0]
+    assert (msg.src, msg.dst, msg.nbytes, msg.tag) == (0, 1, 64.0, 9)
+    assert msg.hazard_buf == "h"
+    assert q.work_for("post", 1).flops == 2.0
+    assert set(q.graph.vertex_names) == set(p.graph.vertex_names)

@@ -1,0 +1,137 @@
+"""Tests (incl. property-based) for topological traversal helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dag.graph import Graph
+from repro.dag.traversal import (
+    all_topological_orders,
+    count_linear_extensions,
+    is_topological_order,
+    longest_path_lengths,
+    random_topological_order,
+)
+from repro.dag.vertex import cpu_op
+
+
+def chain(n: int) -> Graph:
+    g = Graph()
+    prev = None
+    for i in range(n):
+        v = cpu_op(f"v{i}")
+        g.add_vertex(v)
+        if prev is not None:
+            g.add_edge(prev, v)
+        prev = v
+    return g
+
+
+def antichain(n: int) -> Graph:
+    g = Graph()
+    for i in range(n):
+        g.add_vertex(cpu_op(f"v{i}"))
+    return g
+
+
+@st.composite
+def random_dags(draw):
+    """Random DAG on up to 7 vertices: edges only i -> j for i < j."""
+    n = draw(st.integers(min_value=1, max_value=7))
+    edges = []
+    for i in range(n):
+        for j in range(i + 1, n):
+            if draw(st.booleans()):
+                edges.append((f"v{i}", f"v{j}"))
+    g = Graph()
+    for i in range(n):
+        g.add_vertex(cpu_op(f"v{i}"))
+    for u, v in edges:
+        g.add_edge(u, v)
+    return g
+
+
+class TestCounting:
+    def test_chain_has_one_extension(self):
+        assert count_linear_extensions(chain(6)) == 1
+
+    def test_antichain_has_factorial_extensions(self):
+        assert count_linear_extensions(antichain(5)) == 120
+
+    def test_two_disjoint_chains(self):
+        g = chain(3)
+        prev = None
+        for i in range(3):
+            v = cpu_op(f"w{i}")
+            g.add_vertex(v)
+            if prev is not None:
+                g.add_edge(prev, v)
+            prev = v
+        # interleavings of two length-3 chains: C(6,3) = 20
+        assert count_linear_extensions(g) == 20
+
+    @given(random_dags())
+    @settings(max_examples=40, deadline=None)
+    def test_count_matches_enumeration(self, g):
+        assert count_linear_extensions(g) == sum(
+            1 for _ in all_topological_orders(g)
+        )
+
+
+class TestEnumeration:
+    @given(random_dags())
+    @settings(max_examples=30, deadline=None)
+    def test_all_orders_are_valid_and_distinct(self, g):
+        seen = set()
+        for order in all_topological_orders(g):
+            assert is_topological_order(g, order)
+            key = tuple(v.name for v in order)
+            assert key not in seen
+            seen.add(key)
+
+
+class TestValidation:
+    def test_wrong_length_rejected(self):
+        g = chain(3)
+        assert not is_topological_order(g, ["v0", "v1"])
+
+    def test_wrong_order_rejected(self):
+        g = chain(3)
+        assert not is_topological_order(g, ["v1", "v0", "v2"])
+
+    def test_right_order_accepted(self):
+        g = chain(3)
+        assert is_topological_order(g, ["v0", "v1", "v2"])
+
+
+class TestRandomOrder:
+    @given(random_dags(), st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=30, deadline=None)
+    def test_random_order_is_valid(self, g, seed):
+        order = random_topological_order(g, np.random.default_rng(seed))
+        assert is_topological_order(g, order)
+
+    def test_deterministic_given_seed(self):
+        g = antichain(6)
+        a = random_topological_order(g, np.random.default_rng(7))
+        b = random_topological_order(g, np.random.default_rng(7))
+        assert [v.name for v in a] == [v.name for v in b]
+
+    def test_covers_space_eventually(self):
+        g = antichain(3)
+        rng = np.random.default_rng(0)
+        seen = {
+            tuple(v.name for v in random_topological_order(g, rng))
+            for _ in range(200)
+        }
+        assert len(seen) == 6
+
+
+class TestLongestPath:
+    def test_chain_depths(self):
+        depths = longest_path_lengths(chain(4))
+        assert depths == {"v0": 0, "v1": 1, "v2": 2, "v3": 3}
+
+    def test_antichain_depths_zero(self):
+        assert set(longest_path_lengths(antichain(3)).values()) == {0}

@@ -1,0 +1,59 @@
+"""Tests for the cross-input rule-generalization extension."""
+
+import pytest
+
+from repro.apps.spmv import SpmvCase
+from repro.experiments import run_multi_input
+from repro.platform import noiseless, perlmutter_like
+from repro.sim import MeasurementConfig
+
+
+@pytest.fixture(scope="module")
+def result():
+    base = SpmvCase().scaled(1 / 80)
+    cases = [
+        ("a", base),
+        (
+            "b",
+            SpmvCase(
+                n_rows=base.n_rows,
+                nnz=base.nnz,
+                bandwidth=base.n_rows / 8,
+                n_ranks=4,
+                seed=0,
+            ),
+        ),
+    ]
+    return run_multi_input(
+        cases,
+        noiseless(perlmutter_like()),
+        measurement=MeasurementConfig(max_samples=1),
+    )
+
+
+def test_requires_two_inputs():
+    with pytest.raises(ValueError, match="at least two"):
+        run_multi_input(
+            [("only", SpmvCase().scaled(1 / 80))],
+            noiseless(perlmutter_like()),
+        )
+
+
+def test_partition_generalizing_vs_specific(result):
+    for cls in result.generalizing:
+        # Disjoint partition of the observed union.
+        assert not (result.generalizing[cls] & result.input_specific[cls])
+        union = frozenset().union(*result.observed[cls].values())
+        assert result.generalizing[cls] | result.input_specific[cls] == union
+
+
+def test_generalizing_rules_hold_everywhere(result):
+    for cls, rules in result.generalizing.items():
+        for name in result.input_names:
+            assert rules <= result.observed[cls][name]
+
+
+def test_report_lists_inputs(result):
+    text = result.report()
+    for name in result.input_names:
+        assert name in text

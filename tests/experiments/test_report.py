@@ -1,0 +1,53 @@
+"""Tests for the markdown report generator."""
+
+import pytest
+
+from repro.apps.spmv import SpmvCase
+from repro.experiments.workbench import SpmvWorkbench
+from repro.platform import perlmutter_like
+from repro.report import generate_report
+from repro.sim import MeasurementConfig
+
+
+@pytest.fixture(scope="module")
+def report():
+    wb = SpmvWorkbench(
+        case=SpmvCase().scaled(1 / 80),
+        machine=perlmutter_like(noise_sigma=0.01),
+        measurement=MeasurementConfig(max_samples=1),
+    )
+    return generate_report(wb, iterations=[20, wb.space.count()])
+
+
+def test_contains_all_sections(report):
+    for heading in (
+        "# Design-rule reproduction report",
+        "## Platform",
+        "## Figure 1",
+        "## Figure 4",
+        "## Figure 5",
+        "## Figure 6",
+        "## Table V",
+        "## Tables VI–VIII",
+    ):
+        assert heading in report
+
+
+def test_code_blocks_balanced(report):
+    assert report.count("```") % 2 == 0
+
+
+def test_mentions_space_size(report):
+    assert "540 implementations" in report
+
+
+def test_rule_tables_optional():
+    wb = SpmvWorkbench(
+        case=SpmvCase().scaled(1 / 80),
+        machine=perlmutter_like(noise_sigma=0.01),
+        measurement=MeasurementConfig(max_samples=1),
+    )
+    out = generate_report(
+        wb, include_rule_tables=False, iterations=[20, wb.space.count()]
+    )
+    assert "Tables VI–VIII" not in out

@@ -1,0 +1,62 @@
+"""Tests for the shared experiment workbench."""
+
+import pytest
+
+from repro.apps.spmv import SpmvCase
+from repro.experiments.workbench import SpmvWorkbench, default_workbench
+from repro.platform import perlmutter_like
+from repro.sim import MeasurementConfig
+
+
+@pytest.fixture(scope="module")
+def wb():
+    return SpmvWorkbench(
+        case=SpmvCase().scaled(1 / 80),
+        machine=perlmutter_like(noise_sigma=0.01),
+        measurement=MeasurementConfig(max_samples=1),
+    )
+
+
+class TestCaching:
+    def test_instance_cached(self, wb):
+        assert wb.instance is wb.instance
+
+    def test_space_cached(self, wb):
+        assert wb.space is wb.space
+
+    def test_full_search_cached(self, wb):
+        a = wb.full_search()
+        b = wb.full_search()
+        assert a is b
+        assert len(a) == wb.space.count()
+
+    def test_full_pipeline_cached(self, wb):
+        assert wb.full_pipeline() is wb.full_pipeline()
+
+    def test_benchmarker_shared_with_pipelines(self, wb):
+        pipe = wb.pipeline(strategy="mcts")
+        assert pipe.benchmarker is wb.benchmarker
+
+
+class TestIterationGrid:
+    def test_grid_fractions(self, wb):
+        grid = wb.iteration_grid()
+        n = wb.space.count()
+        assert grid[-1] == n
+        assert grid == sorted(grid)
+        assert grid[0] >= 2
+
+    def test_strategies_construct(self, wb):
+        assert wb.mcts(seed=1).config.seed == 1
+        assert wb.random(seed=2).rng is not None
+
+
+class TestDefaultWorkbench:
+    def test_memoized(self):
+        a = default_workbench(scale=0.0125, noise_sigma=0.01)
+        b = default_workbench(scale=0.0125, noise_sigma=0.01)
+        assert a is b
+
+    def test_scale_below_one_shrinks(self):
+        wb = default_workbench(scale=0.0125, noise_sigma=0.01)
+        assert wb.case.n_rows < SpmvCase().n_rows

@@ -1,0 +1,71 @@
+"""Tests for Algorithm 1 (tree-size search)."""
+
+import numpy as np
+import pytest
+
+from repro.ml.hyperparam import search_tree_size
+from repro.ml.metrics import training_error
+
+
+def make_data(seed=0, n=200, f=6, k=3):
+    rng = np.random.default_rng(seed)
+    x = rng.integers(0, 2, size=(n, f)).astype(np.uint8)
+    # Labels from a hidden depth-3 rule + noise-free mapping.
+    y = (x[:, 0] * 2 + (x[:, 1] & x[:, 2])).astype(int) % k
+    return x, y
+
+
+class TestAlgorithm1:
+    def test_starts_at_two_leaves(self):
+        x, y = make_data()
+        _, trace = search_tree_size(x, y)
+        assert trace.leaf_nodes[0] == 2
+
+    def test_chosen_error_is_trace_minimum(self):
+        x, y = make_data()
+        clf, trace = search_tree_size(x, y)
+        assert training_error(clf, x, y) == pytest.approx(min(trace.errors))
+
+    def test_max_depth_bound_is_leaves_minus_one(self):
+        x, y = make_data()
+        clf, trace = search_tree_size(x, y)
+        for mln, depth in zip(trace.leaf_nodes, trace.depths):
+            assert depth <= mln - 1
+
+    def test_stops_after_patience_without_improvement(self):
+        """Once error stops shrinking, at most `patience` more sizes are
+        tried past the accepted one."""
+        x, y = make_data()
+        _, trace = search_tree_size(x, y, patience=5)
+        best = min(trace.errors)
+        best_at = trace.errors.index(best)
+        assert len(trace.errors) - 1 - best_at <= 5
+
+    def test_separable_data_reaches_zero(self):
+        x, y = make_data()
+        clf, trace = search_tree_size(x, y)
+        assert min(trace.errors) == 0.0
+
+    def test_entropy_criterion_works(self):
+        x, y = make_data()
+        clf, _ = search_tree_size(x, y, criterion="entropy")
+        assert training_error(clf, x, y) == 0.0
+
+    def test_trace_rows(self):
+        x, y = make_data()
+        _, trace = search_tree_size(x, y)
+        rows = trace.rows()
+        assert len(rows) == len(trace.leaf_nodes)
+        assert all(len(r) == 3 for r in rows)
+
+    def test_spmv_full_space(self, spmv_exhaustive):
+        """On the real SpMV labels the search reaches zero training error
+        with a small tree (paper: 13 leaves, depth 6)."""
+        from repro.ml.features import FeatureExtractor
+        from repro.ml.labeling import label_by_performance
+
+        lab = label_by_performance(spmv_exhaustive.times())
+        fm = FeatureExtractor().fit_transform(spmv_exhaustive.schedules())
+        clf, trace = search_tree_size(fm.matrix, lab.labels)
+        assert training_error(clf, fm.matrix, lab.labels) <= 0.02
+        assert clf.n_leaves <= 25

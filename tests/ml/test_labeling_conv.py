@@ -1,0 +1,63 @@
+"""Focused tests for the convolution's index mapping (Fig. 4 alignment)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.labeling import (
+    LabelingConfig,
+    label_by_performance,
+    step_kernel_convolution,
+)
+
+
+class TestIndexMapping:
+    @pytest.mark.parametrize("radius", [1, 2, 5])
+    @pytest.mark.parametrize("jump_at", [20, 50, 79])
+    def test_boundary_lands_on_jump(self, radius, jump_at):
+        """A single step in the sorted data must produce a boundary at the
+        exact step position, for every radius."""
+        n = 100
+        data = np.concatenate(
+            [np.full(jump_at, 1.0), np.full(n - jump_at, 2.0)]
+        )
+        # tiny increasing ramp keeps the sort stable and peaks strict
+        data = data + np.linspace(0, 1e-9, n)
+        cfg = LabelingConfig(
+            radius_fraction=radius / n, min_radius=radius
+        )
+        res = label_by_performance(data, cfg)
+        assert res.n_classes == 2
+        assert res.boundaries.tolist() == [jump_at]
+        assert res.classes[0].size == jump_at
+
+    def test_convolution_length(self):
+        a = np.sort(np.random.default_rng(0).random(50))
+        conv = step_kernel_convolution(a, radius=4)
+        # valid region minus the trailing element we drop
+        assert len(conv) == 50 - 2 * 4
+
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.lists(
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            min_size=20,
+            max_size=80,
+        ),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_convolution_nonnegative_on_sorted(self, radius, values):
+        """On a sorted array the future-minus-past window sum is >= 0."""
+        a = np.sort(np.array(values))
+        conv = step_kernel_convolution(a, radius=radius)
+        assert (conv >= -1e-12).all()
+
+    def test_two_jumps_two_boundaries(self):
+        data = np.concatenate(
+            [np.full(30, 1.0), np.full(30, 2.0), np.full(30, 3.0)]
+        ) + np.linspace(0, 1e-9, 90)
+        res = label_by_performance(
+            data, LabelingConfig(min_radius=1, radius_fraction=0.01)
+        )
+        assert res.boundaries.tolist() == [30, 60]

@@ -1,0 +1,102 @@
+"""Tests for peak detection, cross-checked against scipy.signal."""
+
+import numpy as np
+import pytest
+import scipy.signal
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.peaks import find_peaks, peak_prominences, prominent_peaks
+
+
+class TestFindPeaks:
+    def test_simple_peak(self):
+        x = np.array([0, 1, 0])
+        assert find_peaks(x).tolist() == [1]
+
+    def test_no_peaks_monotone(self):
+        assert find_peaks(np.arange(10)).size == 0
+        assert find_peaks(np.arange(10)[::-1]).size == 0
+
+    def test_short_signal(self):
+        assert find_peaks(np.array([1.0])).size == 0
+        assert find_peaks(np.array([1.0, 2.0])).size == 0
+
+    def test_multiple_peaks(self):
+        x = np.array([0, 2, 0, 3, 0, 1, 0])
+        assert find_peaks(x).tolist() == [1, 3, 5]
+
+    def test_plateau_reports_left_edge(self):
+        x = np.array([0, 2, 2, 2, 0])
+        assert find_peaks(x).tolist() == [1]
+
+    def test_endpoints_not_peaks(self):
+        x = np.array([5, 1, 1, 1, 5])
+        assert find_peaks(x).size == 0
+
+    @given(
+        st.lists(
+            st.floats(min_value=-100, max_value=100, allow_nan=False),
+            min_size=3,
+            max_size=60,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_scipy_on_strict_signals(self, values):
+        """On signals without plateaus our peaks equal scipy's."""
+        x = np.array(values)
+        # Perturb exact ties so there are no plateaus.
+        x = x + np.linspace(0, 1e-9, len(x))
+        ours = find_peaks(x)
+        theirs, _ = scipy.signal.find_peaks(x)
+        assert ours.tolist() == theirs.tolist()
+
+
+class TestProminences:
+    def test_isolated_peak_full_height(self):
+        x = np.array([0.0, 5.0, 0.0])
+        peaks = find_peaks(x)
+        assert peak_prominences(x, peaks).tolist() == [5.0]
+
+    def test_nested_peak_prominence(self):
+        x = np.array([0.0, 10.0, 4.0, 6.0, 0.0])
+        peaks = find_peaks(x)
+        proms = peak_prominences(x, peaks)
+        # scipy reference values
+        ref = scipy.signal.peak_prominences(x, peaks)[0]
+        assert proms.tolist() == ref.tolist()
+
+    @given(
+        st.lists(
+            st.floats(min_value=-50, max_value=50, allow_nan=False),
+            min_size=5,
+            max_size=60,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_scipy_prominences(self, values):
+        x = np.array(values) + np.linspace(0, 1e-9, len(values))
+        peaks = find_peaks(x)
+        if peaks.size == 0:
+            return
+        ours = peak_prominences(x, peaks)
+        theirs = scipy.signal.peak_prominences(x, peaks)[0]
+        assert np.allclose(ours, theirs)
+
+
+class TestProminentPeaks:
+    def test_threshold_filters_small_peaks(self):
+        x = np.array([0, 1, 0, 10, 0, 1, 0, 1, 0], dtype=float)
+        peaks, proms, threshold = prominent_peaks(x, percentile=90)
+        assert peaks.tolist() == [3]
+        assert proms.tolist() == [10.0]
+
+    def test_no_peaks_graceful(self):
+        peaks, proms, thr = prominent_peaks(np.arange(5.0))
+        assert peaks.size == 0
+        assert thr == 0.0
+
+    def test_percentile_zero_keeps_all(self):
+        x = np.array([0, 1, 0, 2, 0, 3, 0], dtype=float)
+        peaks, _, _ = prominent_peaks(x, percentile=0)
+        assert peaks.tolist() == [1, 3, 5]

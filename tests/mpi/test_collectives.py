@@ -1,0 +1,79 @@
+"""Tests for collectives built over the simulated point-to-point layer."""
+
+import numpy as np
+import pytest
+
+from repro.mpi.comm import run_spmd
+from repro.platform.presets import noiseless, perlmutter_like
+
+
+def machine(n):
+    return noiseless(perlmutter_like(n_ranks=n))
+
+
+@pytest.mark.parametrize("n_ranks", [2, 3, 4, 7, 8])
+class TestBcast:
+    def test_all_ranks_receive(self, n_ranks):
+        def prog(comm):
+            value = np.array([123.0]) if comm.rank == 0 else None
+            out = yield from comm.bcast(value, root=0)
+            return float(out[0])
+
+        results, _ = run_spmd(machine(n_ranks), prog)
+        assert results == [123.0] * n_ranks
+
+    def test_nonzero_root(self, n_ranks):
+        root = n_ranks - 1
+
+        def prog(comm):
+            value = np.array([7.0]) if comm.rank == root else None
+            out = yield from comm.bcast(value, root=root)
+            return float(out[0])
+
+        results, _ = run_spmd(machine(n_ranks), prog)
+        assert results == [7.0] * n_ranks
+
+
+@pytest.mark.parametrize("n_ranks", [2, 4, 5])
+class TestAllreduce:
+    def test_sum(self, n_ranks):
+        def prog(comm):
+            out = yield from comm.allreduce_sum(np.array([float(comm.rank)]))
+            return float(out[0])
+
+        results, _ = run_spmd(machine(n_ranks), prog)
+        expected = sum(range(n_ranks))
+        assert results == [expected] * n_ranks
+
+
+class TestBarrierGather:
+    def test_barrier_synchronizes(self):
+        def prog(comm):
+            # Rank 0 computes 10us before the barrier; everyone leaves the
+            # barrier no earlier than that.
+            if comm.rank == 0:
+                yield from comm.compute(10e-6)
+            yield from comm.barrier()
+            return comm.env.now
+
+        results, _ = run_spmd(machine(4), prog)
+        assert all(t >= 10e-6 for t in results)
+
+    def test_gather(self):
+        def prog(comm):
+            out = yield from comm.gather(comm.rank * 2, root=1)
+            return out
+
+        results, _ = run_spmd(machine(4), prog)
+        assert results[1] == [0, 2, 4, 6]
+        assert results[0] is None
+
+    def test_single_rank_degenerate(self):
+        def prog(comm):
+            v = yield from comm.bcast(np.array([5.0]), root=0)
+            s = yield from comm.allreduce_sum(np.array([3.0]))
+            yield from comm.barrier()
+            return float(v[0]) + float(s[0])
+
+        results, _ = run_spmd(machine(1), prog)
+        assert results == [8.0]

@@ -1,0 +1,113 @@
+"""Tests for the simulated MPI layer (point-to-point)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DeadlockError, MpiError
+from repro.mpi.comm import SimMpiWorld, run_spmd
+from repro.platform.presets import noiseless, perlmutter_like
+
+
+@pytest.fixture()
+def machine():
+    return noiseless(perlmutter_like(n_ranks=4))
+
+
+class TestPointToPoint:
+    def test_send_recv_roundtrip(self, machine):
+        def prog(comm):
+            if comm.rank == 0:
+                yield from comm.send(np.arange(8.0), dest=1, tag=3)
+                return None
+            if comm.rank == 1:
+                data = yield from comm.recv(source=0, tag=3)
+                return data
+            return None
+            yield  # pragma: no cover
+
+        results, elapsed = run_spmd(machine, prog)
+        assert np.array_equal(results[1], np.arange(8.0))
+        assert elapsed > 0
+
+    def test_isend_wait(self, machine):
+        def prog(comm):
+            if comm.rank == 0:
+                req = comm.isend(np.ones(4), dest=1)
+                yield from comm.wait(req)
+                return True
+            if comm.rank == 1:
+                req = comm.irecv(source=0, nbytes=32.0)
+                data = yield from comm.wait(req)
+                return float(data.sum())
+            return None
+            yield  # pragma: no cover
+
+        results, _ = run_spmd(machine, prog)
+        assert results[1] == 4.0
+
+    def test_data_copied_not_aliased(self, machine):
+        def prog(comm):
+            if comm.rank == 0:
+                buf = np.zeros(4)
+                req = comm.isend(buf, dest=1)
+                buf[:] = 99.0  # mutate after isend: receiver must see zeros
+                yield from comm.wait(req)
+            elif comm.rank == 1:
+                data = yield from comm.recv(source=0)
+                return float(data.sum())
+            return None
+            yield  # pragma: no cover
+
+        results, _ = run_spmd(machine, prog)
+        assert results[1] == 0.0
+
+    def test_message_order_preserved(self, machine):
+        def prog(comm):
+            if comm.rank == 0:
+                r1 = comm.isend(np.array([1.0]), dest=1, tag=7)
+                r2 = comm.isend(np.array([2.0]), dest=1, tag=7)
+                yield from comm.waitall([r1, r2])
+            elif comm.rank == 1:
+                a = yield from comm.recv(source=0, tag=7)
+                b = yield from comm.recv(source=0, tag=7)
+                return (float(a[0]), float(b[0]))
+            return None
+            yield  # pragma: no cover
+
+        results, _ = run_spmd(machine, prog)
+        assert results[1] == (1.0, 2.0)
+
+    def test_unmatched_recv_deadlocks(self, machine):
+        def prog(comm):
+            if comm.rank == 1:
+                yield from comm.recv(source=0, tag=9)
+            return None
+            yield  # pragma: no cover
+
+        with pytest.raises(DeadlockError):
+            run_spmd(machine, prog)
+
+    def test_self_send_rejected(self, machine):
+        world = SimMpiWorld(machine)
+        from repro.mpi.comm import SimComm
+
+        comm = SimComm(world, 0)
+        with pytest.raises(MpiError, match="self-messages"):
+            comm.isend(np.ones(1), dest=0)
+
+    def test_bad_peer_rejected(self, machine):
+        world = SimMpiWorld(machine)
+        from repro.mpi.comm import SimComm
+
+        comm = SimComm(world, 0)
+        with pytest.raises(MpiError, match="out of range"):
+            comm.irecv(source=17)
+
+    def test_compute_advances_clock(self, machine):
+        def prog(comm):
+            yield from comm.compute(5e-6)
+            return comm.env.now
+
+        results, elapsed = run_spmd(machine, prog)
+        assert all(r == pytest.approx(5e-6) for r in results)
+        assert elapsed == pytest.approx(5e-6)

@@ -1,0 +1,78 @@
+"""Tests for the roofline cost model."""
+
+import pytest
+
+from repro.dag.graph import Graph
+from repro.dag.program import Program
+from repro.dag.vertex import OpKind, Vertex, Work, cpu_op, gpu_op
+from repro.platform.costs import CostModel
+from repro.platform.machine import GpuModel, MachineConfig
+
+
+def make_program(vertex):
+    g = Graph()
+    g.add_vertex(vertex)
+    return Program(graph=g.with_start_end(), n_ranks=1)
+
+
+@pytest.fixture()
+def cost():
+    return CostModel(MachineConfig(n_ranks=1))
+
+
+class TestKernelDuration:
+    def test_floor_at_kernel_min(self, cost):
+        assert cost.gpu_kernel_duration(Work()) == cost.machine.gpu.kernel_min_s
+        assert cost.gpu_kernel_duration(None) == cost.machine.gpu.kernel_min_s
+
+    def test_compute_bound(self, cost):
+        g = cost.machine.gpu
+        w = Work(flops=g.flops_per_s)  # exactly one second of flops
+        assert cost.gpu_kernel_duration(w) == pytest.approx(1.0)
+
+    def test_memory_bound(self, cost):
+        g = cost.machine.gpu
+        w = Work(bytes_read=g.mem_bw_bytes_per_s * 2)
+        assert cost.gpu_kernel_duration(w) == pytest.approx(2.0)
+
+    def test_roofline_max(self, cost):
+        g = cost.machine.gpu
+        w = Work(flops=g.flops_per_s, bytes_read=g.mem_bw_bytes_per_s * 3)
+        assert cost.gpu_kernel_duration(w) == pytest.approx(3.0)
+
+
+class TestBaseDuration:
+    def test_explicit_duration_wins(self, cost):
+        v = gpu_op("k", duration=42.0, work=Work(flops=1))
+        assert cost.base_duration(make_program(v), v, 0) == 42.0
+
+    def test_sync_ops_cost_overheads(self, cost):
+        p = make_program(cpu_op("x"))
+        g = cost.machine.gpu
+        cer = Vertex(name="r", kind=OpKind.EVENT_RECORD)
+        ces = Vertex(name="s", kind=OpKind.EVENT_SYNC)
+        csw = Vertex(name="w", kind=OpKind.STREAM_WAIT)
+        assert cost.base_duration(p, cer, 0) == g.event_record_s
+        assert cost.base_duration(p, ces, 0) == g.event_sync_overhead_s
+        assert cost.base_duration(p, csw, 0) == g.stream_wait_overhead_s
+
+    def test_cpu_default(self, cost):
+        v = cpu_op("c")
+        assert (
+            cost.base_duration(make_program(v), v, 0)
+            == cost.machine.cpu.default_op_s
+        )
+
+    def test_per_rank_override(self, cost):
+        v = gpu_op("k")
+        p = make_program(v)
+        p.work_overrides[("k", 0)] = Work(
+            bytes_read=cost.machine.gpu.mem_bw_bytes_per_s
+        )
+        assert cost.base_duration(p, v, 0) == pytest.approx(1.0)
+
+    def test_monotone_in_work(self, cost):
+        v1 = gpu_op("k1", work=Work(flops=1e12))
+        v2 = gpu_op("k2", work=Work(flops=2e12))
+        p1, p2 = make_program(v1), make_program(v2)
+        assert cost.base_duration(p2, v2, 0) >= cost.base_duration(p1, v1, 0)

@@ -1,0 +1,53 @@
+"""Unit tests for machine configuration models."""
+
+import pytest
+
+from repro.platform.machine import (
+    CpuModel,
+    GpuModel,
+    MachineConfig,
+    NetworkModel,
+    Protocol,
+)
+
+
+class TestNetworkModel:
+    def test_transfer_time_alpha_beta(self):
+        net = NetworkModel(latency_s=1e-6, bandwidth_bytes_per_s=1e9)
+        assert net.transfer_time(0) == pytest.approx(1e-6)
+        assert net.transfer_time(1e9) == pytest.approx(1.000001)
+
+    def test_eager_threshold(self):
+        net = NetworkModel(eager_threshold_bytes=100)
+        assert net.is_eager(100)
+        assert not net.is_eager(101)
+
+    def test_default_protocol_rendezvous(self):
+        assert NetworkModel().protocol is Protocol.RENDEZVOUS
+
+
+class TestGpuModel:
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(ValueError):
+            GpuModel(flops_per_s=0)
+        with pytest.raises(ValueError):
+            GpuModel(mem_bw_bytes_per_s=-1)
+
+
+class TestMachineConfig:
+    def test_defaults(self):
+        m = MachineConfig()
+        assert m.n_ranks == 4
+        assert m.n_streams == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MachineConfig(n_ranks=0)
+        with pytest.raises(ValueError):
+            MachineConfig(n_streams=0)
+
+    def test_with_helpers_return_copies(self):
+        m = MachineConfig()
+        m2 = m.with_streams(4).with_ranks(8)
+        assert (m.n_streams, m.n_ranks) == (2, 4)
+        assert (m2.n_streams, m2.n_ranks) == (4, 8)

@@ -1,0 +1,63 @@
+"""Tests for the deterministic noise model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.platform.noise import NoiseModel
+
+
+class TestDeterminism:
+    def test_same_key_same_factor(self):
+        n = NoiseModel(sigma=0.05, seed=3)
+        assert n.factor(0, "a", 1) == n.factor(0, "a", 1)
+
+    def test_different_samples_differ(self):
+        n = NoiseModel(sigma=0.05, seed=3)
+        assert n.factor(0, "a") != n.factor(1, "a")
+
+    def test_different_seeds_differ(self):
+        a = NoiseModel(sigma=0.05, seed=0).factor(0, "x")
+        b = NoiseModel(sigma=0.05, seed=1).factor(0, "x")
+        assert a != b
+
+    def test_disabled_noise_identity(self):
+        n = NoiseModel(sigma=0.0)
+        assert n.factor(7, "k") == 1.0
+        assert n.jitter(3.5, 7, "k") == 3.5
+
+
+class TestStatistics:
+    def test_mean_close_to_one(self):
+        n = NoiseModel(sigma=0.05, seed=0)
+        factors = [n.factor(i, "op") for i in range(4000)]
+        assert np.mean(factors) == pytest.approx(1.0, abs=0.01)
+
+    def test_spread_scales_with_sigma(self):
+        lo = NoiseModel(sigma=0.01, seed=0)
+        hi = NoiseModel(sigma=0.10, seed=0)
+        s_lo = np.std([lo.factor(i) for i in range(2000)])
+        s_hi = np.std([hi.factor(i) for i in range(2000)])
+        assert s_hi > 5 * s_lo
+
+
+class TestValidation:
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            NoiseModel(sigma=-0.1)
+
+    @given(st.floats(min_value=0.0, max_value=0.5), st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_jitter_positive(self, sigma, sample):
+        n = NoiseModel(sigma=sigma, seed=1)
+        assert n.jitter(1e-6, sample, "k") > 0
+
+    def test_zero_duration_untouched(self):
+        assert NoiseModel(sigma=0.3).jitter(0.0, 5) == 0.0
+
+    def test_with_helpers(self):
+        n = NoiseModel(sigma=0.1, seed=2)
+        assert n.with_sigma(0.2).sigma == 0.2
+        assert n.with_sigma(0.2).seed == 2
+        assert n.with_seed(9).seed == 9

@@ -1,0 +1,36 @@
+"""Tests for platform presets."""
+
+from repro.platform.presets import describe, noiseless, perlmutter_like
+
+
+def test_perlmutter_like_matches_paper_shape():
+    m = perlmutter_like()
+    assert m.n_ranks == 4       # paper: 4 MPI ranks in one node
+    assert m.n_streams == 2     # paper: two CUDA streams
+    assert m.noise.enabled
+
+
+def test_noiseless_disables_noise_only():
+    m = perlmutter_like()
+    q = noiseless(m)
+    assert not q.noise.enabled
+    assert q.net == m.net
+    assert q.gpu == m.gpu
+
+
+def test_noiseless_default_machine():
+    assert not noiseless().noise.enabled
+
+
+def test_describe_mentions_key_fields():
+    text = describe(perlmutter_like())
+    for token in ("Ranks", "streams", "latency", "bandwidth", "rendezvous"):
+        assert token.lower() in text.lower()
+
+
+def test_custom_args():
+    m = perlmutter_like(n_ranks=8, n_streams=4, noise_sigma=0.0, noise_seed=5)
+    assert m.n_ranks == 8
+    assert m.n_streams == 4
+    assert not m.noise.enabled
+    assert m.noise.seed == 5

@@ -1,0 +1,98 @@
+"""Tests for ruleset comparison / annotation (paper §V)."""
+
+import pytest
+
+from repro.ml.features import OrderFeature, StreamFeature
+from repro.rules.compare import (
+    Annotation,
+    compare_all,
+    compare_rulesets,
+    consistency_summary,
+)
+from repro.rules.ruleset import Rule, RuleSet
+
+
+F1 = OrderFeature("a", "b")
+F2 = OrderFeature("b", "c")
+F3 = StreamFeature("a", "b")
+
+
+def rs(rules, cls=0, n=10):
+    return RuleSet(rules=frozenset(rules), predicted_class=cls, n_samples=n)
+
+
+@pytest.fixture()
+def canonical():
+    return [
+        rs([Rule(F1, True), Rule(F2, True)], cls=0, n=100),
+        rs([Rule(F1, False)], cls=1, n=80),
+    ]
+
+
+class TestAnnotations:
+    def test_exact(self, canonical):
+        cand = rs([Rule(F1, True), Rule(F2, True)], cls=0)
+        result = compare_rulesets(cand, canonical)
+        assert result.annotation is Annotation.EXACT
+        assert not result.extra and not result.missing
+
+    def test_overconstrained(self, canonical):
+        """Extra harmless rule -> blue in the paper's tables."""
+        cand = rs([Rule(F1, True), Rule(F2, True), Rule(F3, True)], cls=0)
+        result = compare_rulesets(cand, canonical)
+        assert result.annotation is Annotation.OVERCONSTRAINED
+        assert list(result.extra) == [Rule(F3, True)]
+        assert result.is_consistent
+
+    def test_underconstrained(self, canonical):
+        """Missing constraints -> red 'insufficient rules'."""
+        cand = rs([Rule(F1, True)], cls=0)
+        result = compare_rulesets(cand, canonical)
+        assert result.annotation is Annotation.UNDERCONSTRAINED
+        assert Rule(F2, True) in result.missing
+        assert not result.is_consistent
+
+    def test_contradiction_reported(self, canonical):
+        cand = rs([Rule(F1, True), Rule(F2, False)], cls=0)
+        result = compare_rulesets(cand, canonical)
+        assert result.annotation is Annotation.UNDERCONSTRAINED
+        assert Rule(F2, False) in result.contradicting
+
+    def test_no_canonical_class(self, canonical):
+        cand = rs([Rule(F1, True)], cls=7)
+        result = compare_rulesets(cand, canonical)
+        assert result.annotation is Annotation.NO_CANONICAL
+
+    def test_closest_prefers_max_overlap(self, canonical):
+        cand = rs([Rule(F2, True)], cls=0)
+        result = compare_rulesets(cand, canonical)
+        assert result.closest is canonical[0]
+
+
+class TestSummary:
+    def test_counts(self, canonical):
+        cands = [
+            rs([Rule(F1, True), Rule(F2, True)], cls=0),
+            rs([Rule(F1, True)], cls=0),
+            rs([Rule(F1, False)], cls=1),
+        ]
+        results = compare_all(cands, canonical)
+        summary = consistency_summary(results)
+        assert summary["exact"] == 2
+        assert summary["underconstrained"] == 1
+        assert summary["overconstrained"] == 0
+
+
+class TestFullSpaceSelfConsistency:
+    def test_canonical_vs_itself_all_exact(self, spmv_exhaustive):
+        from repro.ml.features import FeatureExtractor
+        from repro.ml.labeling import label_by_performance
+        from repro.ml.hyperparam import search_tree_size
+        from repro.rules.extract import extract_rulesets
+
+        lab = label_by_performance(spmv_exhaustive.times())
+        fm = FeatureExtractor().fit_transform(spmv_exhaustive.schedules())
+        tree, _ = search_tree_size(fm.matrix, lab.labels)
+        rulesets = extract_rulesets(tree, fm.features)
+        for result in compare_all(rulesets, rulesets):
+            assert result.annotation is Annotation.EXACT

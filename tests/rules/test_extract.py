@@ -1,0 +1,86 @@
+"""Tests for rule extraction from fitted trees."""
+
+import numpy as np
+import pytest
+
+from repro.ml.features import OrderFeature
+from repro.ml.tree import DecisionTree, TreeConfig
+from repro.rules.extract import extract_rulesets, rulesets_by_class
+from repro.rules.ruleset import Rule
+
+
+@pytest.fixture()
+def fitted():
+    features = [OrderFeature("a", "b"), OrderFeature("b", "c")]
+    # class = x0 AND x1
+    x = np.array([[0, 0], [0, 1], [1, 0], [1, 1]] * 5, dtype=np.uint8)
+    y = (x[:, 0] & x[:, 1]).astype(int)
+    tree = DecisionTree(TreeConfig(max_leaf_nodes=4)).fit(x, y)
+    return tree, features
+
+
+class TestExtraction:
+    def test_one_ruleset_per_leaf(self, fitted):
+        tree, features = fitted
+        rulesets = extract_rulesets(tree, features)
+        assert len(rulesets) == tree.n_leaves
+
+    def test_rules_reference_feature_objects(self, fitted):
+        tree, features = fitted
+        for rs in extract_rulesets(tree, features):
+            for rule in rs.rules:
+                assert rule.feature in features
+
+    def test_class1_ruleset_requires_both(self, fitted):
+        tree, features = fitted
+        rulesets = [
+            rs
+            for rs in extract_rulesets(tree, features)
+            if rs.predicted_class == 1
+        ]
+        assert len(rulesets) == 1
+        assert rulesets[0].rules == frozenset(
+            [Rule(features[0], True), Rule(features[1], True)]
+        )
+
+    def test_sorted_by_samples(self, fitted):
+        tree, features = fitted
+        rulesets = extract_rulesets(tree, features)
+        sizes = [rs.n_samples for rs in rulesets]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_every_sample_satisfies_its_leaf_ruleset(
+        self, spmv_exhaustive
+    ):
+        """Pipeline-level invariant: a schedule satisfies the ruleset of the
+        leaf it lands in."""
+        from repro.ml.features import FeatureExtractor
+        from repro.ml.labeling import label_by_performance
+        from repro.ml.tree import DecisionTree, TreeConfig
+
+        lab = label_by_performance(spmv_exhaustive.times())
+        fx = FeatureExtractor()
+        fm = fx.fit_transform(spmv_exhaustive.schedules())
+        tree = DecisionTree(TreeConfig(max_leaf_nodes=8)).fit(
+            fm.matrix, lab.labels
+        )
+        rulesets = {
+            rs.leaf_id: rs for rs in extract_rulesets(tree, fm.features)
+        }
+        leaves = tree.apply(fm.matrix)
+        findex = {id(f): j for j, f in enumerate(fm.features)}
+        for i in range(0, len(leaves), 37):
+            rs = rulesets[leaves[i]]
+            for rule in rs.rules:
+                j = fm.features.index(rule.feature)
+                assert bool(fm.matrix[i, j]) == rule.value
+
+    def test_group_by_class(self, fitted):
+        tree, features = fitted
+        grouped = rulesets_by_class(extract_rulesets(tree, features))
+        assert set(grouped) <= {0, 1}
+        assert all(
+            rs.predicted_class == cls
+            for cls, lst in grouped.items()
+            for rs in lst
+        )

@@ -1,0 +1,91 @@
+"""Unit tests for BoundOp and Schedule."""
+
+import pytest
+
+from repro.dag.vertex import OpKind, Vertex, cpu_op, gpu_op
+from repro.errors import ScheduleError
+from repro.schedule.schedule import BoundOp, Schedule
+
+
+def cer(name, stream, event="e"):
+    return BoundOp(
+        Vertex(name=name, kind=OpKind.EVENT_RECORD), stream=stream, event=event
+    )
+
+
+class TestBoundOp:
+    def test_gpu_requires_stream(self):
+        with pytest.raises(ScheduleError, match="requires a stream"):
+            BoundOp(gpu_op("k"))
+
+    def test_cpu_must_not_have_stream(self):
+        with pytest.raises(ScheduleError, match="must not carry"):
+            BoundOp(cpu_op("c"), stream=0)
+
+    def test_sync_requires_event(self):
+        with pytest.raises(ScheduleError, match="requires an event"):
+            BoundOp(Vertex(name="r", kind=OpKind.EVENT_RECORD), stream=0)
+
+    def test_str(self):
+        assert str(BoundOp(gpu_op("k"), stream=1)) == "k@s1"
+        assert str(BoundOp(cpu_op("c"))) == "c"
+
+
+class TestSchedule:
+    def test_duplicate_ops_rejected(self):
+        with pytest.raises(ScheduleError, match="duplicate"):
+            Schedule([BoundOp(cpu_op("a")), BoundOp(cpu_op("a"))])
+
+    def test_equality_and_hash(self):
+        s1 = Schedule([BoundOp(gpu_op("k"), stream=0), BoundOp(cpu_op("c"))])
+        s2 = Schedule([BoundOp(gpu_op("k"), stream=0), BoundOp(cpu_op("c"))])
+        s3 = Schedule([BoundOp(gpu_op("k"), stream=1), BoundOp(cpu_op("c"))])
+        assert s1 == s2 and hash(s1) == hash(s2)
+        assert s1 != s3
+
+    def test_position_and_stream_of(self):
+        s = Schedule([BoundOp(cpu_op("a")), BoundOp(gpu_op("k"), stream=1)])
+        assert s.position("k") == 1
+        assert s.stream_of("k") == 1
+        assert s.stream_of("a") is None
+        with pytest.raises(ScheduleError):
+            s.position("zzz")
+
+    def test_gpu_ops_filter(self):
+        s = Schedule([BoundOp(cpu_op("a")), BoundOp(gpu_op("k"), stream=0)])
+        assert [op.name for op in s.gpu_ops()] == ["k"]
+
+
+class TestCanonicalization:
+    def test_canonical_relabels_by_first_use(self):
+        s = Schedule(
+            [
+                BoundOp(gpu_op("a"), stream=1),
+                BoundOp(gpu_op("b"), stream=0),
+                BoundOp(gpu_op("c"), stream=1),
+            ]
+        )
+        c = s.canonical()
+        assert [op.stream for op in c.ops] == [0, 1, 0]
+        assert c.is_canonical()
+
+    def test_canonical_idempotent(self):
+        s = Schedule(
+            [BoundOp(gpu_op("a"), stream=1), BoundOp(gpu_op("b"), stream=0)]
+        )
+        assert s.canonical().canonical() == s.canonical()
+
+    def test_bijection_equivalent_schedules_canonicalize_equal(self):
+        a = Schedule(
+            [BoundOp(gpu_op("x"), stream=0), BoundOp(gpu_op("y"), stream=1)]
+        )
+        b = Schedule(
+            [BoundOp(gpu_op("x"), stream=1), BoundOp(gpu_op("y"), stream=0)]
+        )
+        assert a.canonical() == b.canonical()
+
+    def test_streams_used_in_first_use_order(self):
+        s = Schedule(
+            [BoundOp(gpu_op("a"), stream=1), BoundOp(gpu_op("b"), stream=0)]
+        )
+        assert s.streams_used() == (1, 0)

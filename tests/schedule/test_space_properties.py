@@ -1,0 +1,84 @@
+"""Property-based tests: design-space invariants on random program DAGs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dag.graph import Graph
+from repro.dag.program import Program
+from repro.dag.vertex import OpKind, cpu_op, gpu_op
+from repro.schedule.space import DesignSpace
+
+
+@st.composite
+def random_programs(draw):
+    """Random mixed CPU/GPU DAG on 2..6 vertices (no MPI actions)."""
+    n = draw(st.integers(min_value=2, max_value=6))
+    kinds = [draw(st.booleans()) for _ in range(n)]  # True = GPU
+    vertices = [
+        gpu_op(f"v{i}") if is_gpu else cpu_op(f"v{i}")
+        for i, is_gpu in enumerate(kinds)
+    ]
+    g = Graph()
+    for v in vertices:
+        g.add_vertex(v)
+    for i in range(n):
+        for j in range(i + 1, n):
+            if draw(st.booleans()) and draw(st.booleans()):  # sparse-ish
+                g.add_edge(f"v{i}", f"v{j}")
+    return Program(graph=g.with_start_end(), n_ranks=1)
+
+
+@given(random_programs(), st.integers(min_value=1, max_value=3))
+@settings(max_examples=25, deadline=None)
+def test_enumerated_schedules_validate(program, n_streams):
+    space = DesignSpace(program, n_streams=n_streams)
+    count = 0
+    for s in space.enumerate_schedules():
+        space.validate_schedule(s)
+        count += 1
+        if count > 3000:  # bound runtime on unlucky draws
+            break
+    assert count >= 1
+
+
+@given(random_programs(), st.integers(min_value=1, max_value=3))
+@settings(max_examples=20, deadline=None)
+def test_count_consistent_with_enumeration(program, n_streams):
+    space = DesignSpace(program, n_streams=n_streams)
+    schedules = []
+    for s in space.enumerate_schedules():
+        schedules.append(s)
+        if len(schedules) > 3000:
+            pytest.skip("space too large for exhaustive comparison")
+    assert space.count() == len(schedules)
+    # Uniqueness: no duplicate canonical schedules generated.
+    assert len(set(schedules)) == len(schedules)
+
+
+@given(random_programs(), st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=25, deadline=None)
+def test_random_schedule_is_member(program, seed):
+    space = DesignSpace(program, n_streams=2)
+    s = space.random_schedule(np.random.default_rng(seed))
+    space.validate_schedule(s)
+
+
+@given(random_programs())
+@settings(max_examples=20, deadline=None)
+def test_program_ops_all_present(program):
+    space = DesignSpace(program, n_streams=2)
+    expected = {v.name for v in program.schedulable_vertices()}
+    for i, s in enumerate(space.enumerate_schedules()):
+        assert expected <= set(s.op_names())
+        if i > 200:
+            break
+
+
+@given(random_programs())
+@settings(max_examples=15, deadline=None)
+def test_more_streams_never_shrinks_space(program):
+    c1 = DesignSpace(program, n_streams=1).count()
+    c2 = DesignSpace(program, n_streams=2).count()
+    assert c2 >= c1

@@ -1,0 +1,54 @@
+"""Tests for the beam-search baseline."""
+
+import pytest
+
+from repro.search.beam import BeamSearch
+
+
+class TestBeamSearch:
+    def test_respects_budget(self, spmv_space, spmv_benchmarker):
+        r = BeamSearch(spmv_space, spmv_benchmarker, width=4).run(50)
+        assert r.n_iterations <= 50
+        assert len(r) == r.n_iterations
+        assert r.n_iterations > 0
+
+    def test_valid_schedules(self, spmv_space, spmv_benchmarker):
+        r = BeamSearch(spmv_space, spmv_benchmarker, width=4, seed=1).run(40)
+        for s in r.samples[:10]:
+            spmv_space.validate_schedule(s.schedule)
+
+    def test_deterministic_for_seed(self, spmv_space, spmv_benchmarker):
+        a = BeamSearch(spmv_space, spmv_benchmarker, width=3, seed=5).run(30)
+        b = BeamSearch(spmv_space, spmv_benchmarker, width=3, seed=5).run(30)
+        assert [s.schedule for s in a.samples] == [
+            s.schedule for s in b.samples
+        ]
+
+    def test_finds_near_optimum_with_budget(
+        self, spmv_space, spmv_benchmarker, spmv_exhaustive
+    ):
+        r = BeamSearch(
+            spmv_space, spmv_benchmarker, width=8, rollouts_per_candidate=1
+        ).run(200)
+        assert r.best().time <= spmv_exhaustive.best().time * 1.05
+
+    def test_invalid_params_rejected(self, spmv_space, spmv_benchmarker):
+        with pytest.raises(ValueError):
+            BeamSearch(spmv_space, spmv_benchmarker, width=0)
+        with pytest.raises(ValueError):
+            BeamSearch(
+                spmv_space, spmv_benchmarker, rollouts_per_candidate=0
+            )
+
+    def test_wider_beam_never_worse_best(
+        self, spmv_space, spmv_benchmarker
+    ):
+        narrow = BeamSearch(
+            spmv_space, spmv_benchmarker, width=1, seed=2
+        ).run(120)
+        wide = BeamSearch(
+            spmv_space, spmv_benchmarker, width=16, seed=2
+        ).run(120)
+        # Not a theorem for fixed budgets, but holds robustly on this
+        # space; regression-guards the scoring plumbing.
+        assert wide.best().time <= narrow.best().time * 1.10

@@ -1,0 +1,49 @@
+"""Tests for exhaustive search and the SearchResult container."""
+
+import numpy as np
+import pytest
+
+from repro.search.base import SearchResult
+from repro.search.exhaustive import ExhaustiveSearch
+
+
+class TestExhaustive:
+    def test_covers_entire_space(self, spmv_exhaustive, spmv_space):
+        assert len(spmv_exhaustive) == spmv_space.count()
+        assert len(set(spmv_exhaustive.schedules())) == spmv_space.count()
+
+    def test_iteration_cap(self, spmv_space, spmv_benchmarker):
+        r = ExhaustiveSearch(spmv_space, spmv_benchmarker).run(10)
+        assert len(r) == 10
+
+    def test_spread_matches_paper_shape(self, spmv_exhaustive):
+        """Fastest-to-slowest spread in the paper's ballpark (1.47x)."""
+        spread = spmv_exhaustive.worst().time / spmv_exhaustive.best().time
+        assert 1.2 < spread < 2.0
+
+
+class TestSearchResult:
+    def test_unique_keeps_first(self, spmv_exhaustive):
+        r = SearchResult(strategy="t")
+        s = spmv_exhaustive.samples[0].schedule
+        r.add(s, 1.0)
+        r.add(s, 2.0)
+        u = r.unique()
+        assert len(u) == 1
+        assert u.samples[0].time == 1.0
+
+    def test_times_vector(self, spmv_exhaustive):
+        t = spmv_exhaustive.times()
+        assert isinstance(t, np.ndarray)
+        assert len(t) == len(spmv_exhaustive)
+        assert (t > 0).all()
+
+    def test_best_worst(self, spmv_exhaustive):
+        assert (
+            spmv_exhaustive.best().time
+            == spmv_exhaustive.times().min()
+        )
+        assert (
+            spmv_exhaustive.worst().time
+            == spmv_exhaustive.times().max()
+        )

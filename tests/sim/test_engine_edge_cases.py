@@ -1,0 +1,102 @@
+"""Additional edge-case tests for the simulation kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Environment
+
+
+class TestAnyOfValues:
+    def test_first_value_delivered(self):
+        env = Environment()
+        got = []
+
+        def firer():
+            yield env.timeout(1.0)
+            e1.succeed("first")
+            yield env.timeout(1.0)
+            e2.succeed("second")
+
+        def waiter():
+            value = yield env.any_of([e1, e2])
+            got.append((env.now, value))
+
+        e1 = env.event("e1")
+        e2 = env.event("e2")
+        env.process(firer())
+        env.process(waiter())
+        env.run()
+        assert got == [(1.0, "first")]
+
+    def test_any_of_empty_fires_now(self):
+        env = Environment()
+        done = []
+
+        def proc():
+            yield env.any_of([])
+            done.append(env.now)
+
+        env.process(proc())
+        env.run()
+        assert done == [0.0]
+
+
+class TestFireAt:
+    def test_fires_at_absolute_time(self):
+        env = Environment()
+        seen = []
+
+        def proc():
+            yield env.fire_at(3.5)
+            seen.append(env.now)
+
+        env.process(proc())
+        env.run()
+        assert seen == [3.5]
+
+    def test_run_until_stops_early(self):
+        env = Environment()
+
+        def proc():
+            yield env.timeout(10.0)
+
+        env.process(proc(), daemon=True)
+        assert env.run(until=4.0) == 4.0
+        assert env.now == 4.0
+
+
+class TestNestedProcessResume:
+    def test_deep_chain_of_immediate_events(self):
+        """A chain of processes resuming each other at the same instant
+        must not lose wakeups (regression class of the stream bug)."""
+        env = Environment()
+        order = []
+
+        def stage(i, trigger, next_trigger):
+            yield trigger
+            order.append(i)
+            if next_trigger is not None:
+                next_trigger.succeed()
+
+        events = [env.event(f"e{i}") for i in range(10)]
+        for i in range(10):
+            nxt = events[i + 1] if i + 1 < 10 else None
+            env.process(stage(i, events[i], nxt))
+        kick = env.timeout(1.0)
+        kick.add_callback(lambda _e: events[0].succeed())
+        env.run()
+        assert order == list(range(10))
+
+    def test_process_yield_already_triggered_event(self):
+        env = Environment()
+        pre = env.event("pre")
+        pre.succeed(42)
+        got = []
+
+        def proc():
+            value = yield pre
+            got.append((env.now, value))
+
+        env.process(proc())
+        env.run()
+        assert got == [(0.0, 42)]

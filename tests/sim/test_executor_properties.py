@@ -1,0 +1,111 @@
+"""Property-style invariants of the schedule executor."""
+
+import numpy as np
+import pytest
+
+from repro.dag.graph import Graph
+from repro.dag.program import Program
+from repro.dag.vertex import OpKind, cpu_op, gpu_op
+from repro.errors import ScheduleError
+from repro.schedule.schedule import BoundOp, Schedule
+from repro.sim import ScheduleExecutor
+
+
+class TestStreamBijectionInvariance:
+    """Schedules equivalent under a stream relabeling run in identical
+    time — the redundancy the search prunes (paper §III-C2)."""
+
+    def _swap_streams(self, schedule):
+        ops = []
+        for op in schedule.ops:
+            if op.stream is None:
+                ops.append(op)
+            else:
+                ops.append(
+                    BoundOp(op.vertex, stream=1 - op.stream, event=op.event)
+                )
+        return Schedule(ops)
+
+    def test_noiseless_invariance(
+        self, spmv_instance, machine, spmv_schedules
+    ):
+        ex = ScheduleExecutor(spmv_instance.program, machine)
+        for s in spmv_schedules[::61]:
+            swapped = self._swap_streams(s)
+            assert ex.run(s).elapsed == pytest.approx(
+                ex.run(swapped).elapsed
+            )
+
+    def test_noisy_invariance(
+        self, spmv_instance, noisy_machine, spmv_schedules
+    ):
+        """Noise keys are stream-independent, so the invariance holds even
+        with jitter enabled."""
+        ex = ScheduleExecutor(spmv_instance.program, noisy_machine)
+        s = spmv_schedules[100]
+        assert ex.run(s, sample=2).elapsed == pytest.approx(
+            ex.run(self._swap_streams(s), sample=2).elapsed
+        )
+
+
+class TestCostMonotonicity:
+    def _program(self, d1, d2):
+        g = Graph()
+        k1, k2 = gpu_op("k1", duration=d1), gpu_op("k2", duration=d2)
+        g.add_vertex(k1)
+        g.add_vertex(k2)
+        return Program(graph=g.with_start_end(), n_ranks=1), k1, k2
+
+    @pytest.mark.parametrize("streams", [(0, 0), (0, 1)])
+    def test_longer_kernel_never_faster(self, machine, streams):
+        m = machine.with_ranks(1)
+        times = []
+        for d in (1e-6, 2e-6, 8e-6):
+            p, k1, k2 = self._program(d, 3e-6)
+            ex = ScheduleExecutor(p, m)
+            s = Schedule(
+                [BoundOp(k1, stream=streams[0]), BoundOp(k2, stream=streams[1])]
+            )
+            times.append(ex.run(s).elapsed)
+        assert times == sorted(times)
+
+    def test_elapsed_at_least_critical_kernel(self, machine):
+        p, k1, k2 = self._program(5e-6, 1e-6)
+        ex = ScheduleExecutor(p, machine.with_ranks(1))
+        s = Schedule([BoundOp(k1, stream=0), BoundOp(k2, stream=1)])
+        assert ex.run(s).elapsed >= 5e-6
+
+
+class TestElapsedBounds:
+    def test_spmv_elapsed_exceeds_transfer_time(
+        self, spmv_instance, machine, spmv_schedules
+    ):
+        """No schedule can beat the pure wire time of its largest message."""
+        ex = ScheduleExecutor(spmv_instance.program, machine)
+        plan = spmv_instance.program.comm_plan("halo")
+        min_wire = machine.net.transfer_time(
+            max(m.nbytes for m in plan.messages)
+        )
+        for s in spmv_schedules[::101]:
+            assert ex.run(s).elapsed > min_wire
+
+    def test_per_rank_below_elapsed(self, spmv_executor, spmv_schedules):
+        r = spmv_executor.run(spmv_schedules[7])
+        assert all(t <= r.elapsed for t in r.per_rank)
+
+
+class TestWaitBeforePostGuard:
+    def test_wait_without_post_rejected(self, spmv_instance, machine):
+        """A schedule that waits on a comm group before posting it is a
+        programming error the executor reports, not a silent no-op."""
+        from repro.dag.vertex import Action, ActionKind
+
+        graph = spmv_instance.program.graph
+        wait = graph.vertex("WaitRecv")
+        post = graph.vertex("PostRecvs")
+        ex = ScheduleExecutor(spmv_instance.program, machine)
+        # Minimal bogus launch order: wait first.  DAG-valid schedules
+        # can't produce this; the executor still must catch it.
+        s = Schedule([BoundOp(wait), BoundOp(post)])
+        with pytest.raises(ScheduleError, match="before its messages"):
+            ex.run(s)

@@ -1,0 +1,77 @@
+"""Failure injection: hand-built invalid schedules must be caught.
+
+The space generator only emits valid schedules; these tests bypass it to
+verify the defensive layers — the hazard tracker, schedule validation, and
+the executor's action guards — actually fire when given garbage.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dag.vertex import OpKind
+from repro.errors import HazardError, ScheduleError
+from repro.schedule.schedule import BoundOp, Schedule
+from repro.sim import ScheduleExecutor
+
+
+def reorder_without_sync(schedule):
+    """Move PostSends (and its CPU-side syncs) before Pack: the transfer
+    then reads the pack buffers before the pack kernel completed."""
+    ops = {op.name: op for op in schedule.ops}
+    order = [
+        "PostRecvs",
+        "PostSends",          # posted before Pack even launches!
+        "Pack",
+        "CER-after-Pack",
+        "CES-b4-PostSends",   # syncs after the fact: too late
+        "yL",
+        "WaitRecv",
+        "yR",
+        "WaitSend",
+    ]
+    return Schedule([ops[n] for n in order])
+
+
+class TestHazardInjection:
+    def test_premature_send_detected(self, spmv_instance, machine, spmv_schedules):
+        bad = reorder_without_sync(spmv_schedules[0])
+        ex = ScheduleExecutor(
+            spmv_instance.program,
+            machine,
+            payload_init=spmv_instance.payload_init,
+        )
+        result = ex.run(bad)
+        assert not result.hazard_free
+        hazards = result.payload.hazards.hazards
+        assert any(h.buffer == "send_bufs" for h in hazards)
+
+    def test_strict_mode_raises(self, spmv_instance, machine, spmv_schedules):
+        bad = reorder_without_sync(spmv_schedules[0])
+        ex = ScheduleExecutor(
+            spmv_instance.program,
+            machine,
+            payload_init=spmv_instance.payload_init,
+            strict_hazards=True,
+        )
+        with pytest.raises(HazardError, match="send_bufs"):
+            ex.run(bad)
+
+    def test_space_validation_rejects_it(self, spmv_space, spmv_schedules):
+        bad = reorder_without_sync(spmv_schedules[0])
+        with pytest.raises(ScheduleError):
+            spmv_space.validate_schedule(bad)
+
+    def test_valid_schedules_stay_clean(
+        self, spmv_instance, machine, spmv_schedules
+    ):
+        """Control: the same ops in a legal order produce zero hazards."""
+        ex = ScheduleExecutor(
+            spmv_instance.program,
+            machine,
+            payload_init=spmv_instance.payload_init,
+            strict_hazards=True,
+        )
+        ref = spmv_instance.reference_result()
+        result = ex.run(spmv_schedules[0])
+        assert result.hazard_free
+        assert np.allclose(spmv_instance.gather_result(result.payload), ref)

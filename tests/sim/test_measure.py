@@ -1,0 +1,66 @@
+"""Tests for the paper's measurement protocol."""
+
+import pytest
+
+from repro.sim.measure import Benchmarker, Measurement, MeasurementConfig
+from repro.sim.executor import ScheduleExecutor
+
+
+class TestConfigValidation:
+    def test_bad_sample_bounds(self):
+        with pytest.raises(ValueError):
+            MeasurementConfig(min_samples=0)
+        with pytest.raises(ValueError):
+            MeasurementConfig(min_samples=3, max_samples=2)
+
+
+class TestBenchmarker:
+    def test_noiseless_single_sample(self, spmv_executor, spmv_schedules):
+        bench = Benchmarker(spmv_executor, MeasurementConfig(max_samples=5))
+        m = bench.measure(spmv_schedules[0])
+        assert m.n_samples == 1  # deterministic: shortcut after min_samples
+        assert m.time > 0
+        assert m.time == max(m.per_rank_time)
+
+    def test_cache_hit(self, spmv_executor, spmv_schedules):
+        bench = Benchmarker(spmv_executor, MeasurementConfig(max_samples=1))
+        bench.measure(spmv_schedules[0])
+        sims = bench.n_simulations
+        bench.measure(spmv_schedules[0])
+        assert bench.n_simulations == sims
+        assert bench.n_unique_schedules == 1
+
+    def test_noisy_uses_multiple_samples(
+        self, spmv_instance, noisy_machine, spmv_schedules
+    ):
+        ex = ScheduleExecutor(spmv_instance.program, noisy_machine)
+        bench = Benchmarker(ex, MeasurementConfig(max_samples=4, min_samples=2))
+        m = bench.measure(spmv_schedules[0])
+        assert 2 <= m.n_samples <= 4
+
+    def test_noise_averaging_reduces_variance(
+        self, spmv_instance, noisy_machine, spmv_schedules
+    ):
+        """Mean over samples must lie between per-sample extremes."""
+        ex = ScheduleExecutor(spmv_instance.program, noisy_machine)
+        singles = [
+            ex.run(spmv_schedules[0], sample=i).elapsed for i in range(4)
+        ]
+        bench = Benchmarker(ex, MeasurementConfig(max_samples=4, min_samples=4))
+        m = bench.measure(spmv_schedules[0])
+        assert min(singles) <= m.time <= max(singles)
+
+    def test_target_time_stops_sampling(self, spmv_instance, noisy_machine, spmv_schedules):
+        ex = ScheduleExecutor(spmv_instance.program, noisy_machine)
+        # Tiny target: one sample (~tens of us) exceeds it immediately.
+        bench = Benchmarker(
+            ex,
+            MeasurementConfig(
+                target_time_s=1e-9, max_samples=10, min_samples=1
+            ),
+        )
+        assert bench.measure(spmv_schedules[0]).n_samples == 1
+
+    def test_time_of_equals_measure(self, spmv_benchmarker, spmv_schedules):
+        s = spmv_schedules[1]
+        assert spmv_benchmarker.time_of(s) == spmv_benchmarker.measure(s).time

@@ -1,0 +1,172 @@
+"""Unit tests for the MPI network engine (matching, protocols, NIC)."""
+
+import pytest
+
+from repro.dag.program import Message
+from repro.errors import MpiError
+from repro.platform.machine import NetworkModel, Protocol
+from repro.platform.noise import NoiseModel
+from repro.sim.engine import Environment
+from repro.sim.network import Network
+
+
+def make_net(env, **kwargs):
+    defaults = dict(
+        latency_s=1.0,
+        bandwidth_bytes_per_s=100.0,
+        eager_threshold_bytes=10.0,
+        protocol=Protocol.RENDEZVOUS,
+        serialize_nic=True,
+    )
+    defaults.update(kwargs)
+    return Network(env, NetworkModel(**defaults), NoiseModel())
+
+
+class TestMatching:
+    def test_send_then_recv_completes(self):
+        env = Environment()
+        net = make_net(env)
+        msg = Message(src=0, dst=1, nbytes=100.0)
+        s = net.post_send(msg)
+        r = net.post_recv(msg)
+        env.run()
+        assert s.is_complete and r.is_complete
+        # rendezvous: starts at both-posted (t=0), wire = 1 + 100/100 = 2.
+        assert r.completed_at == pytest.approx(2.0)
+
+    def test_tag_mismatch_no_match(self):
+        env = Environment()
+        net = make_net(env)
+        net.post_send(Message(src=0, dst=1, nbytes=100.0, tag=1))
+        net.post_recv(Message(src=0, dst=1, nbytes=100.0, tag=2))
+        env.run()
+        assert len(net.unmatched()) == 2
+        with pytest.raises(MpiError, match="unmatched"):
+            net.assert_drained()
+
+    def test_non_overtaking_order(self):
+        """Two same-triple messages match in posting order."""
+        env = Environment()
+        net = make_net(env, serialize_nic=False)
+        m1 = Message(src=0, dst=1, nbytes=100.0)
+        m2 = Message(src=0, dst=1, nbytes=500.0)
+        s1, s2 = net.post_send(m1), net.post_send(m2)
+        r1, r2 = net.post_recv(m1), net.post_recv(m2)
+        env.run()
+        # r1 got the first (small) send: 1 + 1 = 2; r2: 1 + 5 = 6.
+        assert r1.completed_at == pytest.approx(2.0)
+        assert r2.completed_at == pytest.approx(6.0)
+
+
+class TestRendezvous:
+    def test_late_recv_delays_start(self):
+        env = Environment()
+        net = make_net(env)
+        msg = Message(src=0, dst=1, nbytes=100.0)
+        s = net.post_send(msg)
+
+        def poster():
+            yield env.timeout(10.0)
+            net.post_recv(msg)
+
+        env.process(poster())
+        env.run()
+        # Transfer starts at recv post (10), wire 2 -> 12.
+        assert s.completed_at == pytest.approx(12.0)
+
+
+class TestEager:
+    def test_small_message_send_completes_early(self):
+        env = Environment()
+        net = make_net(env)
+        msg = Message(src=0, dst=1, nbytes=5.0)  # below threshold
+        s = net.post_send(msg)
+
+        def poster():
+            yield env.timeout(10.0)
+            net.post_recv(msg)
+
+        env.process(poster())
+        env.run()
+        wire = 1.0 + 5.0 / 100.0
+        # Send buffered at injection end; recv sees data when posted.
+        assert s.completed_at == pytest.approx(wire)
+
+    def test_recv_after_arrival_completes_at_post(self):
+        env = Environment()
+        net = make_net(env)
+        msg = Message(src=0, dst=1, nbytes=5.0)
+        net.post_send(msg)
+        r = [None]
+
+        def poster():
+            yield env.timeout(10.0)
+            r[0] = net.post_recv(msg)
+
+        env.process(poster())
+        env.run()
+        assert r[0].completed_at == pytest.approx(10.0)
+
+
+class TestNicSerialization:
+    def test_outgoing_transfers_serialize(self):
+        env = Environment()
+        net = make_net(env)
+        m1 = Message(src=0, dst=1, nbytes=100.0)
+        m2 = Message(src=0, dst=2, nbytes=100.0)
+        net.post_recv(m1)
+        net.post_recv(m2)
+        s1 = net.post_send(m1)
+        s2 = net.post_send(m2)
+        env.run()
+        # Each wire = 2.0; the second occupies the send channel after the first.
+        assert s1.completed_at == pytest.approx(2.0)
+        assert s2.completed_at == pytest.approx(4.0)
+
+    def test_no_serialization_when_disabled(self):
+        env = Environment()
+        net = make_net(env, serialize_nic=False)
+        m1 = Message(src=0, dst=1, nbytes=100.0)
+        m2 = Message(src=0, dst=2, nbytes=100.0)
+        net.post_recv(m1)
+        net.post_recv(m2)
+        s1 = net.post_send(m1)
+        s2 = net.post_send(m2)
+        env.run()
+        assert s1.completed_at == pytest.approx(2.0)
+        assert s2.completed_at == pytest.approx(2.0)
+
+    def test_incoming_channel_also_serializes(self):
+        env = Environment()
+        net = make_net(env)
+        m1 = Message(src=0, dst=2, nbytes=100.0)
+        m2 = Message(src=1, dst=2, nbytes=100.0)
+        r1, r2 = net.post_recv(m1), net.post_recv(m2)
+        net.post_send(m1)
+        net.post_send(m2)
+        env.run()
+        assert sorted([r1.completed_at, r2.completed_at]) == pytest.approx(
+            [2.0, 4.0]
+        )
+
+
+class TestHooks:
+    def test_on_transfer_called_with_interval(self):
+        env = Environment()
+        calls = []
+        net = Network(
+            env,
+            NetworkModel(
+                latency_s=1.0,
+                bandwidth_bytes_per_s=100.0,
+                eager_threshold_bytes=0.0,
+            ),
+            NoiseModel(),
+            on_transfer=lambda msg, b, e: calls.append((msg.src, b, e)),
+        )
+        msg = Message(src=0, dst=1, nbytes=100.0)
+        net.post_send(msg)
+        net.post_recv(msg)
+        env.run()
+        assert calls == [(0, 0.0, pytest.approx(2.0))]
+        assert net.n_transfers == 1

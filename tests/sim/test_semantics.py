@@ -1,0 +1,72 @@
+"""Tests for numeric payloads and hazard tracking."""
+
+import numpy as np
+import pytest
+
+from repro.errors import HazardError
+from repro.sim.semantics import HazardTracker, PayloadContext, RankContext
+
+
+class TestHazardTracker:
+    def test_read_after_write_clean(self):
+        h = HazardTracker()
+        h.mark_ready(0, "buf", 1.0)
+        h.check_read(0, "op", "buf", 2.0)
+        assert h.clean
+
+    def test_read_before_write_is_hazard(self):
+        h = HazardTracker()
+        h.mark_ready(0, "buf", 5.0)
+        h.check_read(0, "op", "buf", 2.0)
+        assert not h.clean
+        assert h.hazards[0].buffer == "buf"
+
+    def test_read_of_unwritten_is_hazard(self):
+        h = HazardTracker()
+        h.check_read(1, "op", "never", 0.0)
+        assert not h.clean
+        assert "never" in str(h.hazards[0])
+
+    def test_strict_mode_raises(self):
+        h = HazardTracker(strict=True)
+        with pytest.raises(HazardError):
+            h.check_read(0, "op", "buf", 0.0)
+
+    def test_per_rank_namespaces(self):
+        h = HazardTracker()
+        h.mark_ready(0, "buf", 0.0)
+        h.check_read(1, "op", "buf", 1.0)  # rank 1 never wrote it
+        assert not h.clean
+
+
+class TestPayloadContext:
+    def test_transfer_copies_arrays(self):
+        ctx = PayloadContext(2)
+        src = np.arange(4.0)
+        ctx[0].buffers["out"] = src
+        ctx.transfer(0, 1, "out", "in")
+        src[:] = -1  # mutate after transfer; receiver must be unaffected
+        assert np.array_equal(ctx[1].buffers["in"], np.arange(4.0))
+
+    def test_transfer_missing_source_is_noop(self):
+        ctx = PayloadContext(2)
+        ctx.transfer(0, 1, "missing", "in")
+        assert "in" not in ctx[1].buffers
+
+    def test_rank_context_fields(self):
+        ctx = PayloadContext(3)
+        assert [rc.rank for rc in ctx.ranks] == [0, 1, 2]
+        assert ctx[1].n_ranks == 3
+
+
+class TestExecutorHazardIntegration:
+    def test_spmv_schedules_are_hazard_free(
+        self, spmv_instance, machine, spmv_schedules
+    ):
+        from repro.sim import ScheduleExecutor
+
+        ex = ScheduleExecutor(
+            spmv_instance.program, machine, payload_init=spmv_instance.payload_init
+        )
+        for s in spmv_schedules[::97]:
+            assert ex.run(s).hazard_free

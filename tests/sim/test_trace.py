@@ -1,0 +1,71 @@
+"""Tests for trace collection and Gantt rendering."""
+
+import pytest
+
+from repro.sim.trace import Gantt, Trace, TraceRecord
+
+
+def make_trace():
+    t = Trace()
+    t.add(0, "cpu", "a", 0.0, 1.0)
+    t.add(0, "cpu", "b", 2.0, 3.0)
+    t.add(0, "stream0", "k", 0.5, 2.5)
+    t.add(1, "cpu", "c", 0.0, 4.0)
+    return t
+
+
+class TestTrace:
+    def test_busy_time(self):
+        t = make_trace()
+        assert t.busy_time(0, "cpu") == pytest.approx(2.0)
+        assert t.busy_time(0, "stream0") == pytest.approx(2.0)
+
+    def test_makespan(self):
+        assert make_trace().makespan() == 4.0
+
+    def test_for_rank_filters(self):
+        t = make_trace()
+        assert len(t.for_rank(0)) == 3
+        assert len(t.for_rank(1)) == 1
+
+    def test_overlap(self):
+        t = make_trace()
+        # cpu [0,1]+[2,3] vs stream0 [0.5,2.5] -> 0.5 + 0.5
+        assert t.overlap(0, "cpu", "stream0") == pytest.approx(1.0)
+
+    def test_overlap_disjoint(self):
+        t = Trace()
+        t.add(0, "a", "x", 0.0, 1.0)
+        t.add(0, "b", "y", 2.0, 3.0)
+        assert t.overlap(0, "a", "b") == 0.0
+
+    def test_record_duration(self):
+        r = TraceRecord(0, "cpu", "x", 1.0, 3.5)
+        assert r.duration == 2.5
+
+
+class TestGantt:
+    def test_render_contains_lanes_and_legend(self):
+        out = Gantt(make_trace(), width=40).render()
+        assert "r0/cpu" in out
+        assert "r0/stream0" in out
+        assert "r1/cpu" in out
+        assert "legend:" in out
+
+    def test_render_rank_filter(self):
+        out = Gantt(make_trace(), width=40).render(ranks=[1])
+        assert "r1/cpu" in out
+        assert "r0/cpu" not in out
+
+    def test_empty_trace(self):
+        assert "empty" in Gantt(Trace()).render()
+
+    def test_spmv_gantt_smoke(self, spmv_instance, machine, spmv_schedules):
+        from repro.sim import ScheduleExecutor
+
+        ex = ScheduleExecutor(
+            spmv_instance.program, machine, collect_trace=True
+        )
+        r = ex.run(spmv_schedules[0])
+        out = Gantt(r.trace, width=60).render(ranks=[0])
+        assert "r0/cpu" in out and "|" in out

@@ -1,0 +1,58 @@
+"""CLI smoke tests (small scale to stay fast)."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_platform_command(capsys):
+    assert main(["platform"]) == 0
+    out = capsys.readouterr().out
+    assert "Ranks" in out
+
+
+def test_fig1_small_scale(capsys):
+    assert main(["fig1", "--scale", "0.025"]) == 0
+    out = capsys.readouterr().out
+    assert "speedup" in out
+    assert "sorted fastest to slowest" in out
+
+
+def test_fig4_small_scale(capsys):
+    assert main(["fig4", "--scale", "0.025"]) == 0
+    assert "classes" in capsys.readouterr().out
+
+
+def test_fig5_small_scale(capsys):
+    assert main(["fig5", "--scale", "0.025"]) == 0
+    assert "Algorithm 1" in capsys.readouterr().out
+
+
+def test_fig6_small_scale(capsys):
+    assert main(["fig6", "--scale", "0.025"]) == 0
+    assert "6-leaf tree" in capsys.readouterr().out
+
+
+def test_table5_small_scale(capsys):
+    assert main(["table5", "--scale", "0.025"]) == 0
+    out = capsys.readouterr().out
+    assert "accuracy=1.000" in out  # full budget classifies perfectly
+
+
+def test_multi_input_small_scale(capsys):
+    assert main(["multi-input", "--scale", "0.0125"]) == 0
+    out = capsys.readouterr().out
+    assert "Cross-input design rules" in out
+    assert "bw=n/4" in out and "bw=n/8" in out
+
+
+def test_bad_experiment_rejected():
+    with pytest.raises(SystemExit):
+        main(["not-an-experiment"])
+
+
+def test_public_api_importable():
+    import repro
+
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None
