@@ -2,14 +2,18 @@
 
 Keeps an eye on the throughput numbers that make the paper experiments
 affordable: simulator runs/second, MCTS iteration cost, enumeration cost,
-tree-training cost.
+tree-training cost, and the serial-vs-parallel evaluation speedup of the
+:mod:`repro.exec` substrate (compare the two ``exhaustive_sweep``
+benches; the parallel one should win by roughly the worker count on
+multi-core hosts).
 """
 
 import numpy as np
 
+from repro.exec import ParallelEvaluator, SerialEvaluator
 from repro.ml.tree import DecisionTree, TreeConfig
 from repro.schedule import DesignSpace
-from repro.search import MctsSearch
+from repro.search import ExhaustiveSearch, MctsSearch
 from repro.sim import Benchmarker, MeasurementConfig, ScheduleExecutor
 
 
@@ -41,6 +45,39 @@ def test_bench_mcts_100_iterations(benchmark, wb):
         MctsSearch(wb.space, bench).run(100)
 
     benchmark.pedantic(run, rounds=2, iterations=1)
+
+
+def test_bench_exhaustive_sweep_serial(benchmark, wb):
+    """Reference: exhaustive SpMV sweep through the serial evaluator."""
+
+    def run():
+        ev = SerialEvaluator(
+            Benchmarker(
+                ScheduleExecutor(wb.instance.program, wb.machine),
+                MeasurementConfig(max_samples=1),
+            )
+        )
+        ExhaustiveSearch(wb.space, ev).run()
+
+    benchmark.pedantic(run, rounds=2, iterations=1)
+
+
+def test_bench_exhaustive_sweep_parallel4(benchmark, wb):
+    """Same sweep sharded over 4 worker processes (fresh memo per round,
+    pool reused so startup cost is amortized as in real exploration)."""
+    with ParallelEvaluator(
+        wb.instance.program,
+        wb.machine,
+        MeasurementConfig(max_samples=1),
+        n_workers=4,
+    ) as ev:
+        ev.evaluate_batch(list(wb.space.enumerate_schedules())[:1])
+
+        def run():
+            ev._memo.clear()  # re-measure everything, keep the pool warm
+            ExhaustiveSearch(wb.space, ev).run()
+
+        benchmark.pedantic(run, rounds=2, iterations=1)
 
 
 def test_bench_feature_extraction(benchmark, wb):

@@ -3,9 +3,16 @@
 The paper-scale workbench (150k-row SpMV on the perlmutter-like platform)
 is built once per session; its exhaustive sweep is cached so the per-
 figure benches measure their own stage, not the shared substrate.
+
+Setting ``REPRO_BENCH_SMOKE=1`` (the nightly CI job does) shrinks the
+paper-scale workbench to the 1/40-scale case so the whole suite runs in
+minutes while still exercising every benchmarked code path; the emitted
+JSON marks smoke runs via the ``smoke`` extra-info key.
 """
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
@@ -14,12 +21,16 @@ from repro.experiments.workbench import SpmvWorkbench
 from repro.platform import perlmutter_like
 from repro.sim import MeasurementConfig
 
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") == "1"
+
 
 @pytest.fixture(scope="session")
 def wb() -> SpmvWorkbench:
-    """Paper-scale workbench (the paper's exact SpMV case)."""
+    """Paper-scale workbench (the paper's exact SpMV case); 1/40 scale
+    in smoke mode."""
+    case = SpmvCase().scaled(1 / 40) if SMOKE else SpmvCase()
     return SpmvWorkbench(
-        case=SpmvCase(),
+        case=case,
         machine=perlmutter_like(noise_sigma=0.01),
         measurement=MeasurementConfig(max_samples=3),
     )
@@ -33,6 +44,13 @@ def small_wb() -> SpmvWorkbench:
         machine=perlmutter_like(noise_sigma=0.01),
         measurement=MeasurementConfig(max_samples=2),
     )
+
+
+@pytest.fixture(autouse=True)
+def _mark_smoke(benchmark):
+    """Record smoke mode in the benchmark JSON for trajectory tracking."""
+    benchmark.extra_info["smoke"] = SMOKE
+    return benchmark
 
 
 def emit(capfd, title: str, body: str) -> None:

@@ -53,6 +53,12 @@ from repro.sim import (
     ScheduleExecutor,
     SimResult,
 )
+from repro.exec import (
+    Evaluator,
+    MeasurementCache,
+    ParallelEvaluator,
+    SerialEvaluator,
+)
 
 # Scheduling + search
 from repro.schedule import BoundOp, DesignSpace, Schedule
@@ -85,6 +91,7 @@ __all__ = [
     "DecisionTree",
     "DesignRulePipeline",
     "DesignSpace",
+    "Evaluator",
     "ExhaustiveSearch",
     "FeatureExtractor",
     "Gantt",
@@ -94,8 +101,10 @@ __all__ = [
     "MachineConfig",
     "MctsConfig",
     "MctsSearch",
+    "MeasurementCache",
     "MeasurementConfig",
     "Message",
+    "ParallelEvaluator",
     "NoiseModel",
     "OpKind",
     "PipelineConfig",
@@ -105,6 +114,7 @@ __all__ = [
     "RuleSet",
     "Schedule",
     "ScheduleExecutor",
+    "SerialEvaluator",
     "SimResult",
     "SpmvCase",
     "TreeConfig",

@@ -27,7 +27,12 @@ from repro.platform.presets import describe
 def _wb(args):
     from repro.experiments import default_workbench
 
-    return default_workbench(scale=args.scale, noise_sigma=args.noise)
+    return default_workbench(
+        scale=args.scale,
+        noise_sigma=args.noise,
+        workers=args.workers,
+        cache_path=args.cache,
+    )
 
 
 def _cmd_fig1(args) -> str:
@@ -154,6 +159,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         type=float,
         default=0.01,
         help="measurement noise sigma (lognormal)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help=(
+            "worker processes for schedule evaluation "
+            "(0/1 = serial, the default)"
+        ),
+    )
+    parser.add_argument(
+        "--cache",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help=(
+            "persistent measurement cache (SQLite); repeated runs skip "
+            "already-simulated schedules"
+        ),
     )
     args = parser.parse_args(argv)
     if args.experiment == "all":

@@ -1,0 +1,234 @@
+"""Persistent measurement cache keyed by (context, schedule) fingerprints.
+
+Design-space exploration re-benchmarks the same schedules constantly:
+repeated pipeline runs, ablation sweeps, benchmark sessions, and MCTS
+restarts all revisit implementations that were already simulated.  The
+:class:`MeasurementCache` stores every completed
+:class:`~repro.sim.measure.Measurement` in a small SQLite database so a
+known schedule is never simulated twice — across processes and across
+runs.
+
+Keys
+----
+A cache entry is addressed by two canonical fingerprints:
+
+* the **schedule fingerprint**
+  (:meth:`repro.schedule.schedule.Schedule.fingerprint`) — a SHA-256 of
+  the bound-op sequence, and
+* the **context fingerprint** (:func:`context_fingerprint`) — a SHA-256
+  of everything else that determines a measurement: the program (graph
+  structure, per-vertex durations/work, communication plans, work
+  overrides), the machine configuration (including the noise model and
+  its seed), the measurement protocol knobs, and the sample offset.
+
+Because a measurement is a pure function of (schedule, context), any
+cache hit is bit-identical to a fresh simulation; changing *any* input —
+a cost-model constant, the noise seed, ``max_samples`` — changes the
+context fingerprint and transparently invalidates all prior entries.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import sqlite3
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+from repro.dag.program import Program
+from repro.platform.machine import MachineConfig
+from repro.sim.measure import Measurement, MeasurementConfig
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS measurements (
+    context TEXT NOT NULL,
+    schedule TEXT NOT NULL,
+    time REAL NOT NULL,
+    n_samples INTEGER NOT NULL,
+    per_rank TEXT NOT NULL,
+    PRIMARY KEY (context, schedule)
+)
+"""
+
+
+def _canonical(obj):
+    """Convert nested dataclasses/enums/containers to JSON-stable data."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: _canonical(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+    if isinstance(obj, enum.Enum):
+        return obj.value
+    if isinstance(obj, dict):
+        items = sorted(obj.items(), key=lambda kv: str(kv[0]))
+        return {str(k): _canonical(v) for k, v in items}
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(v) for v in obj]
+    return obj
+
+
+def _digest(payload) -> str:
+    text = json.dumps(_canonical(payload), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def program_fingerprint(program: Program) -> str:
+    """Stable hash of everything about a program that affects timing.
+
+    Payload callbacks are deliberately excluded: they compute numeric
+    results on a side context and never influence the simulated clock.
+    """
+    vertices = sorted(
+        (
+            v.name,
+            v.kind.value,
+            v.duration,
+            _canonical(v.work) if v.work is not None else None,
+            _canonical(v.action) if v.action is not None else None,
+            list(v.reads),
+            list(v.writes),
+        )
+        for v in program.graph
+    )
+    edges = sorted((src.name, dst.name) for src, dst in program.graph.edges())
+    comm = {group: _canonical(plan.messages) for group, plan in program.comm.items()}
+    overrides = {
+        f"{name}@{rank}": _canonical(work)
+        for (name, rank), work in program.work_overrides.items()
+    }
+    return _digest(
+        {
+            "name": program.name,
+            "n_ranks": program.n_ranks,
+            "vertices": vertices,
+            "edges": edges,
+            "comm": comm,
+            "overrides": overrides,
+        }
+    )
+
+
+def context_fingerprint(
+    program: Program,
+    machine: MachineConfig,
+    config: MeasurementConfig,
+    sample_offset: int = 0,
+) -> str:
+    """Stable hash of the full measurement context (everything but the
+    schedule)."""
+    return _digest(
+        {
+            "program": program_fingerprint(program),
+            "machine": _canonical(machine),
+            "measurement": _canonical(config),
+            "sample_offset": sample_offset,
+        }
+    )
+
+
+class MeasurementCache:
+    """On-disk (SQLite) store of schedule measurements.
+
+    ``path`` may be ``":memory:"`` for an ephemeral cache (useful in
+    tests).  The cache is safe to share between sequential runs; writes
+    are committed per batch.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+        self._conn = sqlite3.connect(self.path)
+        self._conn.execute(_SCHEMA)
+        self._conn.commit()
+
+    # ------------------------------------------------------------------
+    def get(self, context: str, schedule_fp: str) -> Optional[Measurement]:
+        row = self._conn.execute(
+            "SELECT time, n_samples, per_rank FROM measurements "
+            "WHERE context = ? AND schedule = ?",
+            (context, schedule_fp),
+        ).fetchone()
+        if row is None:
+            return None
+        return Measurement(
+            time=row[0],
+            n_samples=row[1],
+            per_rank_time=tuple(json.loads(row[2])),
+        )
+
+    #: SQLite's default variable limit is 999; stay safely below it.
+    _SELECT_CHUNK = 500
+
+    def get_many(
+        self, context: str, schedule_fps: Sequence[str]
+    ) -> Dict[str, Measurement]:
+        """Measurements for every known fingerprint in ``schedule_fps``."""
+        found: Dict[str, Measurement] = {}
+        unique = list(dict.fromkeys(schedule_fps))
+        for i in range(0, len(unique), self._SELECT_CHUNK):
+            chunk = unique[i : i + self._SELECT_CHUNK]
+            placeholders = ",".join("?" * len(chunk))
+            rows = self._conn.execute(
+                "SELECT schedule, time, n_samples, per_rank "
+                "FROM measurements WHERE context = ? "
+                f"AND schedule IN ({placeholders})",
+                [context, *chunk],
+            )
+            for fp, time, n_samples, per_rank in rows:
+                found[fp] = Measurement(
+                    time=time,
+                    n_samples=n_samples,
+                    per_rank_time=tuple(json.loads(per_rank)),
+                )
+        return found
+
+    def put(self, context: str, schedule_fp: str, m: Measurement) -> None:
+        self.put_many(context, [(schedule_fp, m)])
+
+    def put_many(
+        self, context: str, entries: Iterable[Tuple[str, Measurement]]
+    ) -> None:
+        self._conn.executemany(
+            "INSERT OR REPLACE INTO measurements "
+            "(context, schedule, time, n_samples, per_rank) "
+            "VALUES (?, ?, ?, ?, ?)",
+            [
+                (
+                    context,
+                    fp,
+                    m.time,
+                    m.n_samples,
+                    json.dumps(list(m.per_rank_time)),
+                )
+                for fp, m in entries
+            ],
+        )
+        self._conn.commit()
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        (n,) = self._conn.execute("SELECT COUNT(*) FROM measurements").fetchone()
+        return int(n)
+
+    def n_contexts(self) -> int:
+        (n,) = self._conn.execute(
+            "SELECT COUNT(DISTINCT context) FROM measurements"
+        ).fetchone()
+        return int(n)
+
+    def clear(self) -> None:
+        self._conn.execute("DELETE FROM measurements")
+        self._conn.commit()
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "MeasurementCache":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MeasurementCache({self.path!r}, {len(self)} entries)"

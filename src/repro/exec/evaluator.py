@@ -1,0 +1,132 @@
+"""Batched schedule evaluation: the uniform measurement interface.
+
+Search strategies submit *batches* of schedules through an
+:class:`Evaluator` instead of owning their measurement loops.  The
+interface decouples *what* is measured (the paper's protocol,
+:mod:`repro.sim.measure`) from *how* it is scheduled onto hardware
+(serially here, across a worker pool in
+:class:`repro.exec.parallel.ParallelEvaluator`, potentially across a
+cluster later) — all backends must return bit-identical measurements.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Optional, Sequence
+
+from repro.exec.cache import MeasurementCache, context_fingerprint
+from repro.schedule.schedule import Schedule
+from repro.sim.measure import Benchmarker, Measurement
+
+
+class Evaluator(abc.ABC):
+    """Measures schedules; the only way search strategies touch the sim.
+
+    Implementations must be *pure* with respect to the measurement
+    semantics: for a fixed program/machine/measurement-config context,
+    ``evaluate_batch`` returns the same :class:`Measurement` for a given
+    schedule regardless of batch composition, ordering, concurrency, or
+    cache state.
+    """
+
+    @abc.abstractmethod
+    def evaluate_batch(self, schedules: Sequence[Schedule]) -> List[Measurement]:
+        """Measure every schedule; results align with the input order."""
+
+    @property
+    @abc.abstractmethod
+    def n_simulations(self) -> int:
+        """Total simulator invocations (samples) performed so far."""
+
+    # ------------------------------------------------------------------
+    def evaluate(self, schedule: Schedule) -> Measurement:
+        return self.evaluate_batch([schedule])[0]
+
+    def time_of(self, schedule: Schedule) -> float:
+        return self.evaluate(schedule).time
+
+    def times_of(self, schedules: Sequence[Schedule]) -> List[float]:
+        return [m.time for m in self.evaluate_batch(schedules)]
+
+    def close(self) -> None:
+        """Release any resources (worker pools, cache connections)."""
+
+
+class SerialEvaluator(Evaluator):
+    """Evaluates batches one schedule at a time through a
+    :class:`~repro.sim.measure.Benchmarker`.
+
+    This is the reference backend: every other evaluator must agree with
+    it bit-for-bit.  An optional :class:`MeasurementCache` is consulted
+    before the benchmarker and updated with fresh results; the
+    benchmarker's in-memory memo and the disk cache share the same
+    schedule fingerprints.
+    """
+
+    def __init__(
+        self,
+        benchmarker: Benchmarker,
+        cache: Optional[MeasurementCache] = None,
+    ) -> None:
+        self.benchmarker = benchmarker
+        self.cache = cache
+        self._context: Optional[str] = None
+        #: Fingerprints known to be on disk (read or written by us), so a
+        #: warm-cache run doesn't rewrite the database it just read.
+        self._on_disk: set = set()
+        if cache is not None:
+            self._context = context_fingerprint(
+                benchmarker.executor.program,
+                benchmarker.executor.machine,
+                benchmarker.config,
+                benchmarker.sample_offset,
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def n_simulations(self) -> int:
+        return self.benchmarker.n_simulations
+
+    def evaluate_batch(self, schedules: Sequence[Schedule]) -> List[Measurement]:
+        if self.cache is not None:
+            self._preload_from_cache(schedules)
+        results = [self.benchmarker.measure(s) for s in schedules]
+        if self.cache is not None:
+            self._write_back(schedules, results)
+        return results
+
+    # ------------------------------------------------------------------
+    def _preload_from_cache(self, schedules: Sequence[Schedule]) -> None:
+        missing: Dict[str, Schedule] = {
+            s.fingerprint(): s
+            for s in schedules
+            if self.benchmarker.cached(s) is None
+        }
+        if not missing:
+            return
+        hits = self.cache.get_many(self._context, list(missing))
+        for fp, m in hits.items():
+            self.benchmarker.seed_cache(missing[fp], m)
+        self._on_disk.update(hits)
+
+    def _write_back(
+        self, schedules: Sequence[Schedule], results: Sequence[Measurement]
+    ) -> None:
+        entries = {
+            s.fingerprint(): m
+            for s, m in zip(schedules, results)
+            if s.fingerprint() not in self._on_disk
+        }
+        if entries:
+            self.cache.put_many(self._context, entries.items())
+            self._on_disk.update(entries)
+
+
+def as_evaluator(obj) -> Evaluator:
+    """Coerce a :class:`Benchmarker` (or pass through an
+    :class:`Evaluator`) so call sites accept either."""
+    if isinstance(obj, Evaluator):
+        return obj
+    if isinstance(obj, Benchmarker):
+        return SerialEvaluator(obj)
+    raise TypeError(f"expected an Evaluator or Benchmarker, got {type(obj).__name__}")

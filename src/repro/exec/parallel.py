@@ -1,0 +1,230 @@
+"""Process-parallel batched schedule evaluation.
+
+A :class:`ParallelEvaluator` shards a batch of schedules across a pool of
+worker processes.  Each worker owns a private
+:class:`~repro.sim.executor.ScheduleExecutor` and
+:class:`~repro.sim.measure.Benchmarker` built in its initializer, so no
+simulator state is ever shared between processes.
+
+Determinism
+-----------
+Parallel results are **bit-identical** to
+:class:`~repro.exec.evaluator.SerialEvaluator` because a measurement is a
+pure function of ``(schedule, program, machine, measurement config,
+sample offset)``: the noise model derives every jitter factor from a
+stable hash of ``(noise seed, sample index, op key)`` rather than from
+shared RNG state, so neither batch composition, nor worker assignment,
+nor completion order can change a result.  Each schedule is effectively
+"seeded" by its own content.
+
+Start methods
+-------------
+The default start method is ``fork`` (when the platform offers it):
+worker initializer arguments are inherited through the forked address
+space, so programs carrying non-picklable payload closures work
+unchanged.  Under ``spawn``/``forkserver`` the program and machine must
+be picklable.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Sequence
+
+from repro.dag.program import Program
+from repro.exec.cache import MeasurementCache, context_fingerprint
+from repro.exec.evaluator import Evaluator, SerialEvaluator
+from repro.platform.machine import MachineConfig
+from repro.schedule.schedule import Schedule
+from repro.sim.executor import ScheduleExecutor
+from repro.sim.measure import Benchmarker, Measurement, MeasurementConfig
+
+#: Per-worker benchmarker, created once by :func:`_init_worker`.
+_WORKER_BENCH: Optional[Benchmarker] = None
+
+
+def _init_worker(
+    program: Program,
+    machine: MachineConfig,
+    config: MeasurementConfig,
+    sample_offset: int,
+) -> None:
+    global _WORKER_BENCH
+    executor = ScheduleExecutor(program, machine)
+    _WORKER_BENCH = Benchmarker(executor, config, sample_offset=sample_offset)
+
+
+def _measure_one(schedule: Schedule) -> Measurement:
+    assert _WORKER_BENCH is not None, "worker pool not initialized"
+    return _WORKER_BENCH.measure(schedule)
+
+
+def build_evaluator(
+    program: Program,
+    machine: MachineConfig,
+    config: MeasurementConfig = MeasurementConfig(),
+    *,
+    workers: int = 0,
+    cache: Optional[MeasurementCache] = None,
+    benchmarker: Optional[Benchmarker] = None,
+    sample_offset: int = 0,
+) -> Evaluator:
+    """Construct the configured evaluation backend in one place.
+
+    ``workers > 1`` yields a :class:`ParallelEvaluator`; anything else a
+    :class:`~repro.exec.evaluator.SerialEvaluator` wrapping
+    ``benchmarker`` (or a fresh one).  Call sites that offer a
+    workers/cache knob (pipeline, workbench) share this logic so the
+    two backends cannot drift.
+    """
+    if workers > 1:
+        return ParallelEvaluator(
+            program,
+            machine,
+            config,
+            n_workers=workers,
+            cache=cache,
+            sample_offset=sample_offset,
+        )
+    if benchmarker is None:
+        benchmarker = Benchmarker(
+            ScheduleExecutor(program, machine),
+            config,
+            sample_offset=sample_offset,
+        )
+    return SerialEvaluator(benchmarker, cache=cache)
+
+
+class ParallelEvaluator(Evaluator):
+    """Evaluates schedule batches on a ``multiprocessing`` worker pool.
+
+    Parameters
+    ----------
+    program, machine:
+        The measurement context; every worker builds its own executor
+        from these.
+    config:
+        Measurement protocol knobs (identical semantics to serial).
+    n_workers:
+        Pool size; defaults to ``os.cpu_count()``.
+    cache:
+        Optional persistent :class:`MeasurementCache` consulted before
+        dispatch and updated with fresh results.
+    sample_offset:
+        Forwarded to each worker's benchmarker.
+    start_method:
+        ``multiprocessing`` start method; defaults to ``fork`` when
+        available (required for programs with closure payloads).
+    chunksize:
+        Schedules per worker task; defaults to a heuristic that spreads
+        each batch roughly four tasks per worker.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        machine: MachineConfig,
+        config: MeasurementConfig = MeasurementConfig(),
+        *,
+        n_workers: Optional[int] = None,
+        cache: Optional[MeasurementCache] = None,
+        sample_offset: int = 0,
+        start_method: Optional[str] = None,
+        chunksize: Optional[int] = None,
+    ) -> None:
+        if n_workers is not None and n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        self.program = program
+        self.machine = machine
+        self.config = config
+        self.n_workers = n_workers or os.cpu_count() or 1
+        self.cache = cache
+        self.sample_offset = sample_offset
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        self.start_method = start_method
+        self.chunksize = chunksize
+        self._context = context_fingerprint(program, machine, config, sample_offset)
+        self._memo: Dict[str, Measurement] = {}
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._n_simulations = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def n_simulations(self) -> int:
+        return self._n_simulations
+
+    @property
+    def n_unique_schedules(self) -> int:
+        return len(self._memo)
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.n_workers,
+                mp_context=multiprocessing.get_context(self.start_method),
+                initializer=_init_worker,
+                initargs=(
+                    self.program,
+                    self.machine,
+                    self.config,
+                    self.sample_offset,
+                ),
+            )
+        return self._pool
+
+    # ------------------------------------------------------------------
+    def evaluate_batch(self, schedules: Sequence[Schedule]) -> List[Measurement]:
+        fps = [s.fingerprint() for s in schedules]
+        pending: Dict[str, Schedule] = {
+            fp: s for fp, s in zip(fps, schedules) if fp not in self._memo
+        }
+        if pending and self.cache is not None:
+            hits = self.cache.get_many(self._context, list(pending))
+            for fp, m in hits.items():
+                self._memo[fp] = m
+                del pending[fp]
+        if pending:
+            fresh = self._dispatch(list(pending.values()))
+            if self.cache is not None:
+                self.cache.put_many(self._context, fresh.items())
+            self._memo.update(fresh)
+        return [self._memo[fp] for fp in fps]
+
+    def _dispatch(self, schedules: List[Schedule]) -> Dict[str, Measurement]:
+        pool = self._ensure_pool()
+        chunksize = self.chunksize or max(1, len(schedules) // (4 * self.n_workers))
+        results = list(pool.map(_measure_one, schedules, chunksize=chunksize))
+        fresh: Dict[str, Measurement] = {}
+        for schedule, m in zip(schedules, results):
+            fresh[schedule.fingerprint()] = m
+            self._n_simulations += m.n_samples
+        return fresh
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+    def __enter__(self) -> "ParallelEvaluator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter shutdown
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ParallelEvaluator(workers={self.n_workers}, "
+            f"method={self.start_method!r}, "
+            f"memo={len(self._memo)})"
+        )

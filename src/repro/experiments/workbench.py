@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.apps.spmv import SpmvCase, SpmvInstance, build_spmv_program
 from repro.core.pipeline import DesignRulePipeline, PipelineConfig, PipelineResult
+from repro.exec import Evaluator, MeasurementCache, build_evaluator
 from repro.ml.labeling import LabelingConfig
 from repro.platform.machine import MachineConfig
 from repro.platform.presets import perlmutter_like
@@ -39,9 +40,15 @@ class SpmvWorkbench:
     )
     labeling: LabelingConfig = field(default_factory=LabelingConfig)
     n_streams: int = 2
+    #: Worker processes for schedule evaluation (<= 1: serial).
+    workers: int = 0
+    #: Optional persistent measurement cache shared by all pipelines.
+    cache_path: Optional[str] = None
     _instance: Optional[SpmvInstance] = None
     _space: Optional[DesignSpace] = None
     _benchmarker: Optional[Benchmarker] = None
+    _evaluator: Optional[Evaluator] = None
+    _cache: Optional[MeasurementCache] = None
     _full: Optional[SearchResult] = None
     _full_pipeline: Optional[PipelineResult] = None
 
@@ -67,11 +74,38 @@ class SpmvWorkbench:
             self._benchmarker = Benchmarker(executor, self.measurement)
         return self._benchmarker
 
+    @property
+    def evaluator(self) -> Evaluator:
+        """The shared evaluation backend: every experiment on this bench
+        (exhaustive sweep, searches, pipelines) measures through one
+        memo/pool, honoring ``workers`` and ``cache_path``."""
+        if self._evaluator is None:
+            if self.cache_path is not None and self._cache is None:
+                self._cache = MeasurementCache(self.cache_path)
+            self._evaluator = build_evaluator(
+                self.instance.program,
+                self.machine,
+                self.measurement,
+                workers=self.workers,
+                cache=self._cache,
+                benchmarker=self.benchmarker,
+            )
+        return self._evaluator
+
+    def close(self) -> None:
+        """Release the evaluation backend (worker pool, cache connection)."""
+        if self._evaluator is not None:
+            self._evaluator.close()
+            self._evaluator = None
+        if self._cache is not None:
+            self._cache.close()
+            self._cache = None
+
     # ------------------------------------------------------------------
     def full_search(self) -> SearchResult:
         """Exhaustive benchmark of the whole space (cached)."""
         if self._full is None:
-            self._full = ExhaustiveSearch(self.space, self.benchmarker).run()
+            self._full = ExhaustiveSearch(self.space, self.evaluator).run()
         return self._full
 
     def full_pipeline(self) -> PipelineResult:
@@ -91,19 +125,20 @@ class SpmvWorkbench:
                 measurement=self.measurement,
                 labeling=self.labeling,
                 seed=seed,
+                workers=self.workers,
+                cache_path=self.cache_path,
             ),
         )
         # Share the benchmark cache across all experiments on this bench.
         pipe.benchmarker = self.benchmarker
+        pipe.evaluator = self.evaluator
         return pipe
 
     def mcts(self, seed: int = 0) -> MctsSearch:
-        return MctsSearch(
-            self.space, self.benchmarker, MctsConfig(seed=seed)
-        )
+        return MctsSearch(self.space, self.evaluator, MctsConfig(seed=seed))
 
     def random(self, seed: int = 0) -> RandomSearch:
-        return RandomSearch(self.space, self.benchmarker, seed=seed)
+        return RandomSearch(self.space, self.evaluator, seed=seed)
 
     def iteration_grid(self) -> list:
         """Iteration counts analogous to the paper's {50,100,200,400,2036},
@@ -116,13 +151,22 @@ class SpmvWorkbench:
 
 
 @functools.lru_cache(maxsize=4)
-def default_workbench(scale: float = 1.0, noise_sigma: float = 0.01) -> SpmvWorkbench:
+def default_workbench(
+    scale: float = 1.0,
+    noise_sigma: float = 0.01,
+    workers: int = 0,
+    cache_path: Optional[str] = None,
+) -> SpmvWorkbench:
     """The paper's SpMV on the perlmutter-like platform (memoized).
 
-    ``scale < 1`` shrinks the matrix proportionally for fast tests.
+    ``scale < 1`` shrinks the matrix proportionally for fast tests;
+    ``workers``/``cache_path`` configure the evaluation substrate of every
+    pipeline the workbench builds (see :mod:`repro.exec`).
     """
     case = SpmvCase() if scale >= 1.0 else SpmvCase().scaled(scale)
     return SpmvWorkbench(
         case=case,
         machine=perlmutter_like(noise_sigma=noise_sigma),
+        workers=workers,
+        cache_path=cache_path,
     )

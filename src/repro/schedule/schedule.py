@@ -10,6 +10,7 @@ such as "yL before CES-b4-PostSend").
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Dict, Iterator, Optional, Sequence, Tuple
 
@@ -71,7 +72,7 @@ class Schedule:
     feature extractor, and result caches all rely on.
     """
 
-    __slots__ = ("ops", "_key")
+    __slots__ = ("ops", "_key", "_fingerprint")
 
     def __init__(self, ops: Sequence[BoundOp]) -> None:
         self.ops: Tuple[BoundOp, ...] = tuple(ops)
@@ -80,6 +81,7 @@ class Schedule:
             dupes = sorted({n for n in names if names.count(n) > 1})
             raise ScheduleError(f"duplicate ops in schedule: {dupes}")
         self._key = tuple((op.name, op.stream, op.event) for op in self.ops)
+        self._fingerprint: Optional[str] = None
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -97,6 +99,25 @@ class Schedule:
     @property
     def key(self) -> Tuple:
         return self._key
+
+    def fingerprint(self) -> str:
+        """Canonical, process-stable identity of this schedule.
+
+        A SHA-256 hex digest of the bound-op sequence (names, streams,
+        events).  Unlike ``hash(schedule)`` it does not depend on
+        ``PYTHONHASHSEED`` or the process, so it can key persistent
+        measurement caches and cross-process memoization.  Two equal
+        schedules (``a == b``) always share a fingerprint.
+        """
+        if self._fingerprint is None:
+            text = "\x1f".join(
+                f"{name}\x1e{stream}\x1e{event}"
+                for name, stream, event in self._key
+            )
+            self._fingerprint = hashlib.sha256(
+                text.encode("utf-8")
+            ).hexdigest()
+        return self._fingerprint
 
     # ------------------------------------------------------------------
     def position(self, name: str) -> int:

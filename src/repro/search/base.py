@@ -4,13 +4,16 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.schedule.schedule import Schedule
 from repro.schedule.space import DesignSpace
 from repro.sim.measure import Benchmarker
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.exec.evaluator import Evaluator
 
 
 @dataclass(frozen=True)
@@ -68,13 +71,29 @@ class SearchResult:
 
 
 class SearchStrategy(abc.ABC):
-    """A strategy explores a design space using a benchmarker."""
+    """A strategy explores a design space through an evaluator.
+
+    Strategies submit *batches* of candidate schedules via
+    :meth:`repro.exec.Evaluator.evaluate_batch` and never own a
+    measurement loop, so serial and parallel evaluation are
+    interchangeable.  For backwards compatibility a bare
+    :class:`~repro.sim.measure.Benchmarker` is accepted and wrapped in a
+    :class:`~repro.exec.SerialEvaluator`; ``self.benchmarker`` then
+    aliases the wrapped benchmarker (``None`` for non-serial backends).
+    """
 
     name: str = "search"
 
-    def __init__(self, space: DesignSpace, benchmarker: Benchmarker) -> None:
+    def __init__(
+        self, space: DesignSpace, evaluator: "Evaluator | Benchmarker"
+    ) -> None:
+        from repro.exec.evaluator import as_evaluator
+
         self.space = space
-        self.benchmarker = benchmarker
+        self.evaluator = as_evaluator(evaluator)
+        self.benchmarker: Optional[Benchmarker] = getattr(
+            self.evaluator, "benchmarker", None
+        )
 
     @abc.abstractmethod
     def run(self, n_iterations: int) -> SearchResult:

@@ -8,9 +8,13 @@ of ``rollouts_per_candidate`` random completions, exactly the estimator
 MCTS uses in its rollout phase.
 
 The search proceeds level by level: expand every action of every prefix in
-the beam, score the children, keep the ``width`` best.  Every benchmarked
-rollout is recorded in the result, so beam search plugs into the same
-label/train/rules pipeline as the other strategies.
+the beam, score the children, keep the ``width`` best.  All rollouts of a
+level are submitted to the evaluator as **one batch** (random completions
+are drawn first, in the serial order; measurement never consumes the RNG,
+so scores and the sample trace are identical to rollout-at-a-time
+evaluation).  Every benchmarked rollout is recorded in the result, so beam
+search plugs into the same label/train/rules pipeline as the other
+strategies.
 """
 
 from __future__ import annotations
@@ -19,9 +23,9 @@ from typing import List, Tuple
 
 import numpy as np
 
-from repro.schedule.space import DecisionState, DesignSpace
+from repro.schedule.schedule import Schedule
+from repro.schedule.space import DecisionState
 from repro.search.base import SearchResult, SearchStrategy
-from repro.sim.measure import Benchmarker
 
 
 class BeamSearch(SearchStrategy):
@@ -31,13 +35,13 @@ class BeamSearch(SearchStrategy):
 
     def __init__(
         self,
-        space: DesignSpace,
-        benchmarker: Benchmarker,
+        space,
+        evaluator,
         width: int = 8,
         rollouts_per_candidate: int = 1,
         seed: int = 0,
     ) -> None:
-        super().__init__(space, benchmarker)
+        super().__init__(space, evaluator)
         if width < 1:
             raise ValueError("beam width must be >= 1")
         if rollouts_per_candidate < 1:
@@ -55,46 +59,50 @@ class BeamSearch(SearchStrategy):
             )
         return state.schedule()
 
-    def _score(
-        self, state: DecisionState, budget: List[int], result: SearchResult
-    ) -> float:
-        """Best rollout time from ``state`` within the remaining budget."""
-        best = np.inf
-        for _ in range(self.rollouts_per_candidate):
-            if budget[0] <= 0:
-                break
-            schedule = self._random_completion(state)
-            t = self.benchmarker.time_of(schedule)
-            result.add(schedule, t)
-            result.n_iterations += 1
-            budget[0] -= 1
-            best = min(best, t)
-        return best
-
     # ------------------------------------------------------------------
     def run(self, n_iterations: int) -> SearchResult:
         """Explore with a total budget of ``n_iterations`` benchmarks."""
         result = SearchResult(strategy=self.name)
-        budget = [n_iterations]
+        budget = n_iterations
         beam: List[Tuple[float, DecisionState]] = [
             (np.inf, self.space.initial_state())
         ]
-        while budget[0] > 0:
-            candidates: List[Tuple[float, DecisionState]] = []
+        while budget > 0:
+            # Expand the level and draw all rollout completions first.
+            candidates: List[DecisionState] = []
+            rollouts: List[Tuple[int, Schedule]] = []
             any_expandable = False
             for _, state in beam:
                 if state.is_complete():
                     continue
                 any_expandable = True
                 for action in state.available_actions():
-                    if budget[0] <= 0:
+                    if budget <= 0:
                         break
                     child = state.apply(action)
-                    score = self._score(child, budget, result)
-                    candidates.append((score, child))
+                    idx = len(candidates)
+                    candidates.append(child)
+                    for _ in range(self.rollouts_per_candidate):
+                        if budget <= 0:
+                            break
+                        rollouts.append(
+                            (idx, self._random_completion(child))
+                        )
+                        budget -= 1
             if not any_expandable or not candidates:
                 break
-            candidates.sort(key=lambda sc: sc[0])
-            beam = candidates[: self.width]
-        result.n_simulations = self.benchmarker.n_simulations
+            # One batch per beam level.
+            scores = [np.inf] * len(candidates)
+            measurements = self.evaluator.evaluate_batch(
+                [schedule for _, schedule in rollouts]
+            )
+            for (idx, schedule), m in zip(rollouts, measurements):
+                result.add(schedule, m.time)
+                result.n_iterations += 1
+                scores[idx] = min(scores[idx], m.time)
+            scored = sorted(
+                zip(scores, candidates), key=lambda sc: sc[0]
+            )
+            beam = scored[: self.width]
+        result.n_simulations = self.evaluator.n_simulations
         return result

@@ -4,15 +4,18 @@ The paper's canonical labels and rules (the "2036" column of Tables VI-VIII
 and Figures 1/4/5/6) come from benchmarking every possible traversal; this
 strategy reproduces that.  ``n_iterations`` is ignored beyond capping the
 number of schedules benchmarked (useful for tests).
+
+Enumeration is submitted to the evaluator in frontier blocks of
+``batch_size`` schedules, so a parallel evaluator keeps all workers busy
+while results remain in enumeration order.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
-from repro.schedule.space import DesignSpace
+from repro.schedule.schedule import Schedule
 from repro.search.base import SearchResult, SearchStrategy
-from repro.sim.measure import Benchmarker
 
 
 class ExhaustiveSearch(SearchStrategy):
@@ -20,13 +23,32 @@ class ExhaustiveSearch(SearchStrategy):
 
     name = "exhaustive"
 
+    def __init__(self, space, evaluator, batch_size: int = 64) -> None:
+        super().__init__(space, evaluator)
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.batch_size = batch_size
+
+    def _flush(self, batch: List[Schedule], result: SearchResult) -> None:
+        for schedule, m in zip(
+            batch, self.evaluator.evaluate_batch(batch)
+        ):
+            result.add(schedule, m.time)
+            result.n_iterations += 1
+        batch.clear()
+
     def run(self, n_iterations: Optional[int] = None) -> SearchResult:
         result = SearchResult(strategy=self.name)
+        batch: List[Schedule] = []
+        n_taken = 0
         for schedule in self.space.enumerate_schedules():
-            if n_iterations is not None and result.n_iterations >= n_iterations:
+            if n_iterations is not None and n_taken >= n_iterations:
                 break
-            time = self.benchmarker.time_of(schedule)
-            result.add(schedule, time)
-            result.n_iterations += 1
-        result.n_simulations = self.benchmarker.n_simulations
+            batch.append(schedule)
+            n_taken += 1
+            if len(batch) >= self.batch_size:
+                self._flush(batch, result)
+        if batch:
+            self._flush(batch, result)
+        result.n_simulations = self.evaluator.n_simulations
         return result

@@ -33,10 +33,9 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.errors import SearchError
-from repro.schedule.schedule import BoundOp, Schedule
+from repro.schedule.schedule import Schedule
 from repro.schedule.space import Action, DecisionState, DesignSpace, _action_key
 from repro.search.base import SearchResult, SearchStrategy
-from repro.sim.measure import Benchmarker
 
 
 @dataclass(frozen=True)
@@ -47,6 +46,19 @@ class MctsConfig:
     exploration_c: float = math.sqrt(2.0)
     #: RNG seed for rollouts and tie-breaking.
     seed: int = 0
+    #: Leaf-parallel rollouts per iteration group.  ``1`` (default) is the
+    #: paper's serial protocol: select → expand → rollout → backpropagate,
+    #: one schedule at a time.  With ``k > 1`` the search collects ``k``
+    #: rollout schedules before benchmarking them as one batch and
+    #: backpropagating the measurements *in collection order*; selection
+    #: then sees rollout statistics that are up to ``k - 1`` iterations
+    #: stale, the standard leaf-parallelization deviation (see
+    #: :mod:`repro.exec` for the full determinism contract).
+    rollout_batch: int = 1
+
+    def __post_init__(self) -> None:
+        if self.rollout_batch < 1:
+            raise ValueError("rollout_batch must be >= 1")
 
 
 class MctsNode:
@@ -165,10 +177,10 @@ class MctsSearch(SearchStrategy):
     def __init__(
         self,
         space: DesignSpace,
-        benchmarker: Benchmarker,
+        evaluator,
         config: MctsConfig = MctsConfig(),
     ) -> None:
-        super().__init__(space, benchmarker)
+        super().__init__(space, evaluator)
         self.config = config
         self.rng = np.random.default_rng(config.seed)
         self.root = MctsNode(
@@ -178,17 +190,32 @@ class MctsSearch(SearchStrategy):
     # ------------------------------------------------------------------
     def run(self, n_iterations: int) -> SearchResult:
         result = SearchResult(strategy=self.name)
-        for _ in range(n_iterations):
+        while result.n_iterations < n_iterations:
             if self.root.fully_explored:
                 break
-            node = self._select(self.root)
-            node = self._expand(node)
-            schedule, path = self._rollout(node)
-            time = self.benchmarker.time_of(schedule)
-            self._backpropagate(path, time)
-            result.add(schedule, time)
-            result.n_iterations += 1
-        result.n_simulations = self.benchmarker.n_simulations
+            # Collect up to ``rollout_batch`` rollouts, then benchmark
+            # them as one batch and backpropagate in collection order.
+            k = min(
+                self.config.rollout_batch,
+                n_iterations - result.n_iterations,
+            )
+            pending: List[Tuple[Schedule, List[MctsNode]]] = []
+            for _ in range(k):
+                if self.root.fully_explored:
+                    break
+                node = self._select(self.root)
+                node = self._expand(node)
+                pending.append(self._rollout(node))
+            if not pending:
+                break
+            measurements = self.evaluator.evaluate_batch(
+                [schedule for schedule, _ in pending]
+            )
+            for (schedule, path), m in zip(pending, measurements):
+                self._backpropagate(path, m.time)
+                result.add(schedule, m.time)
+                result.n_iterations += 1
+        result.n_simulations = self.evaluator.n_simulations
         return result
 
     # -- phases ----------------------------------------------------------

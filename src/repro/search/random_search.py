@@ -6,15 +6,21 @@ show that the current strategy indeed produces better results."  We
 implement it as the ablation baseline: each iteration draws one schedule
 by uniform frontier choice (the same policy as an MCTS rollout, but with
 no tree, no selection bias, and no memory).
+
+Draws are collected into sample blocks of up to ``batch_size`` schedules
+and submitted to the evaluator as one batch.  Because measurement never
+consumes the sampling RNG, the drawn sequence — and therefore every
+result — is identical to drawing and measuring one schedule at a time.
 """
 
 from __future__ import annotations
 
+from typing import List
+
 import numpy as np
 
-from repro.schedule.space import DesignSpace
+from repro.schedule.schedule import Schedule
 from repro.search.base import SearchResult, SearchStrategy
-from repro.sim.measure import Benchmarker
 
 
 class RandomSearch(SearchStrategy):
@@ -24,14 +30,18 @@ class RandomSearch(SearchStrategy):
 
     def __init__(
         self,
-        space: DesignSpace,
-        benchmarker: Benchmarker,
+        space,
+        evaluator,
         seed: int = 0,
         dedup: bool = False,
+        batch_size: int = 64,
     ) -> None:
-        super().__init__(space, benchmarker)
+        super().__init__(space, evaluator)
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
         self.rng = np.random.default_rng(seed)
         self.dedup = dedup
+        self.batch_size = batch_size
 
     def run(self, n_iterations: int) -> SearchResult:
         result = SearchResult(strategy=self.name)
@@ -39,14 +49,25 @@ class RandomSearch(SearchStrategy):
         attempts = 0
         max_attempts = 50 * max(1, n_iterations)
         while result.n_iterations < n_iterations and attempts < max_attempts:
-            attempts += 1
-            schedule = self.space.random_schedule(self.rng)
-            if self.dedup:
-                if schedule in seen:
-                    continue
-                seen.add(schedule)
-            time = self.benchmarker.time_of(schedule)
-            result.add(schedule, time)
-            result.n_iterations += 1
-        result.n_simulations = self.benchmarker.n_simulations
+            block: List[Schedule] = []
+            while (
+                result.n_iterations + len(block) < n_iterations
+                and len(block) < self.batch_size
+                and attempts < max_attempts
+            ):
+                attempts += 1
+                schedule = self.space.random_schedule(self.rng)
+                if self.dedup:
+                    if schedule in seen:
+                        continue
+                    seen.add(schedule)
+                block.append(schedule)
+            if not block:
+                break
+            for schedule, m in zip(
+                block, self.evaluator.evaluate_batch(block)
+            ):
+                result.add(schedule, m.time)
+                result.n_iterations += 1
+        result.n_simulations = self.evaluator.n_simulations
         return result

@@ -1,0 +1,156 @@
+"""Tests for fingerprints and the persistent measurement cache."""
+
+import dataclasses
+
+from repro.exec.cache import (
+    MeasurementCache,
+    context_fingerprint,
+    program_fingerprint,
+)
+from repro.platform.noise import NoiseModel
+from repro.sim.executor import ScheduleExecutor
+from repro.sim.measure import Benchmarker, Measurement, MeasurementConfig
+
+
+class TestScheduleFingerprint:
+    def test_equal_schedules_share_fingerprint(self, spmv_schedules):
+        import pickle
+
+        a = spmv_schedules[0]
+        b = pickle.loads(pickle.dumps(a))  # distinct object, equal value
+        assert a is not b and a == b
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_distinct_schedules_differ(self, spmv_schedules):
+        fps = {s.fingerprint() for s in spmv_schedules[:50]}
+        assert len(fps) == 50
+
+    def test_fingerprint_is_hex_sha256(self, spmv_schedules):
+        fp = spmv_schedules[0].fingerprint()
+        assert len(fp) == 64
+        int(fp, 16)  # parses as hex
+
+
+class TestContextFingerprint:
+    def test_stable_across_calls(self, spmv_instance, machine):
+        cfg = MeasurementConfig(max_samples=1)
+        a = context_fingerprint(spmv_instance.program, machine, cfg)
+        b = context_fingerprint(spmv_instance.program, machine, cfg)
+        assert a == b
+
+    def test_changes_with_measurement_config(self, spmv_instance, machine):
+        a = context_fingerprint(
+            spmv_instance.program, machine, MeasurementConfig(max_samples=1)
+        )
+        b = context_fingerprint(
+            spmv_instance.program, machine, MeasurementConfig(max_samples=2)
+        )
+        assert a != b
+
+    def test_changes_with_noise_seed(self, spmv_instance, machine):
+        cfg = MeasurementConfig()
+        noisy = machine.with_noise(NoiseModel(sigma=0.01, seed=7))
+        noisy2 = machine.with_noise(NoiseModel(sigma=0.01, seed=8))
+        fps = {
+            context_fingerprint(spmv_instance.program, m, cfg)
+            for m in (machine, noisy, noisy2)
+        }
+        assert len(fps) == 3
+
+    def test_changes_with_sample_offset(self, spmv_instance, machine):
+        cfg = MeasurementConfig()
+        a = context_fingerprint(spmv_instance.program, machine, cfg, 0)
+        b = context_fingerprint(spmv_instance.program, machine, cfg, 1)
+        assert a != b
+
+    def test_changes_with_program(self, spmv_instance, machine):
+        other = dataclasses.replace(spmv_instance.program, name="renamed")
+        cfg = MeasurementConfig()
+        fp_a = context_fingerprint(spmv_instance.program, machine, cfg)
+        fp_b = context_fingerprint(other, machine, cfg)
+        assert fp_a != fp_b
+
+    def test_program_fingerprint_ignores_payloads(self, spmv_instance):
+        fp = program_fingerprint(spmv_instance.program)
+        stripped = dataclasses.replace(spmv_instance.program, payloads={})
+        assert program_fingerprint(stripped) == fp
+
+
+class TestMeasurementCache:
+    def test_round_trip(self, tmp_path):
+        cache = MeasurementCache(str(tmp_path / "m.sqlite"))
+        m = Measurement(time=1.5, n_samples=3, per_rank_time=(1.5, 1.0))
+        cache.put("ctx", "fp", m)
+        assert cache.get("ctx", "fp") == m
+        assert len(cache) == 1
+        cache.close()
+
+    def test_miss_returns_none(self, tmp_path):
+        with MeasurementCache(str(tmp_path / "m.sqlite")) as cache:
+            assert cache.get("ctx", "nope") is None
+
+    def test_persists_across_instances(self, tmp_path):
+        path = str(tmp_path / "m.sqlite")
+        m = Measurement(time=2.0, n_samples=1, per_rank_time=(2.0,))
+        with MeasurementCache(path) as cache:
+            cache.put("ctx", "fp", m)
+        with MeasurementCache(path) as cache:
+            assert cache.get("ctx", "fp") == m
+
+    def test_context_isolation(self, tmp_path):
+        """Entries written under one context never satisfy another —
+        i.e. changing any measurement input invalidates the cache."""
+        with MeasurementCache(str(tmp_path / "m.sqlite")) as cache:
+            m = Measurement(time=1.0, n_samples=1, per_rank_time=(1.0,))
+            cache.put("ctx-a", "fp", m)
+            assert cache.get("ctx-b", "fp") is None
+            assert cache.n_contexts() == 1
+
+    def test_get_many_and_put_many(self, tmp_path):
+        with MeasurementCache(str(tmp_path / "m.sqlite")) as cache:
+            entries = [
+                (f"fp{i}", Measurement(float(i), 1, (float(i),))) for i in range(5)
+            ]
+            cache.put_many("ctx", entries)
+            hits = cache.get_many("ctx", ["fp1", "fp3", "fp9"])
+            assert set(hits) == {"fp1", "fp3"}
+            assert hits["fp3"].time == 3.0
+
+    def test_clear(self, tmp_path):
+        with MeasurementCache(str(tmp_path / "m.sqlite")) as cache:
+            cache.put("c", "f", Measurement(1.0, 1, (1.0,)))
+            cache.clear()
+            assert len(cache) == 0
+
+
+class TestBenchmarkerMemoKeying:
+    def test_memo_hits_across_equal_objects(
+        self, spmv_instance, machine, spmv_schedules
+    ):
+        """The memo keys by canonical fingerprint, not object identity:
+        an equal-but-distinct Schedule object must hit."""
+        import pickle
+
+        bench = Benchmarker(
+            ScheduleExecutor(spmv_instance.program, machine),
+            MeasurementConfig(max_samples=1),
+        )
+        first = bench.measure(spmv_schedules[0])
+        clone = pickle.loads(pickle.dumps(spmv_schedules[0]))
+        sims = bench.n_simulations
+        assert bench.measure(clone) == first
+        assert bench.n_simulations == sims
+        assert bench.n_unique_schedules == 1
+
+    def test_cached_and_seed_cache(self, spmv_instance, machine, spmv_schedules):
+        bench = Benchmarker(
+            ScheduleExecutor(spmv_instance.program, machine),
+            MeasurementConfig(max_samples=1),
+        )
+        s = spmv_schedules[1]
+        assert bench.cached(s) is None
+        m = Measurement(time=0.5, n_samples=1, per_rank_time=(0.5,))
+        bench.seed_cache(s, m)
+        assert bench.cached(s) == m
+        assert bench.measure(s) == m  # no simulation happened
+        assert bench.n_simulations == 0

@@ -46,6 +46,27 @@ def test_multi_input_small_scale(capsys):
     assert "bw=n/4" in out and "bw=n/8" in out
 
 
+def test_fig4_with_workers_matches_serial(capsys):
+    """--workers shards evaluation but must not change any output."""
+    assert main(["fig4", "--scale", "0.025"]) == 0
+    serial_out = capsys.readouterr().out
+    assert main(["fig4", "--scale", "0.025", "--workers", "2"]) == 0
+    assert capsys.readouterr().out == serial_out
+
+
+def test_fig4_with_cache(tmp_path, capsys):
+    from repro.experiments import default_workbench
+
+    cache = str(tmp_path / "measurements.sqlite")
+    assert main(["fig4", "--scale", "0.025", "--cache", cache]) == 0
+    first = capsys.readouterr().out
+    # Drop the memoized workbench so the second run must read the
+    # measurements back from the SQLite cache (cold in-process state).
+    default_workbench.cache_clear()
+    assert main(["fig4", "--scale", "0.025", "--cache", cache]) == 0
+    assert capsys.readouterr().out == first
+
+
 def test_bad_experiment_rejected():
     with pytest.raises(SystemExit):
         main(["not-an-experiment"])
