@@ -12,8 +12,6 @@ assignment to multiple GPUs.  Two sweeps:
 
 import dataclasses
 
-import numpy as np
-
 from benchmarks.conftest import emit
 from repro.apps.halo import GridCase, build_halo_program
 from repro.schedule import DesignSpace

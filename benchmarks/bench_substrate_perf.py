@@ -8,11 +8,8 @@ benches; the parallel one should win by roughly the worker count on
 multi-core hosts).
 """
 
-import numpy as np
-
 from repro.exec import ParallelEvaluator, SerialEvaluator
 from repro.ml.tree import DecisionTree, TreeConfig
-from repro.schedule import DesignSpace
 from repro.search import ExhaustiveSearch, MctsSearch
 from repro.sim import Benchmarker, MeasurementConfig, ScheduleExecutor
 

@@ -21,9 +21,9 @@ Quick start::
         print(ruleset.predicted_class, "<-", str(ruleset))
 """
 
-from repro.version import __version__
-
-# DAG layer
+from repro.apps.halo import GridCase, build_halo_program
+from repro.apps.spmv import SpmvCase, build_spmv_program, spmv_paper_case
+from repro.core import DesignRulePipeline, PipelineConfig, PipelineResult
 from repro.dag import (
     Action,
     ActionKind,
@@ -37,34 +37,7 @@ from repro.dag import (
     cpu_op,
     gpu_op,
 )
-
-# Platform + simulator
-from repro.platform import (
-    CostModel,
-    MachineConfig,
-    NoiseModel,
-    noiseless,
-    perlmutter_like,
-)
-from repro.sim import (
-    Benchmarker,
-    Gantt,
-    MeasurementConfig,
-    ScheduleExecutor,
-    SimResult,
-)
-from repro.exec import (
-    Evaluator,
-    MeasurementCache,
-    ParallelEvaluator,
-    SerialEvaluator,
-)
-
-# Scheduling + search
-from repro.schedule import BoundOp, DesignSpace, Schedule
-from repro.search import ExhaustiveSearch, MctsConfig, MctsSearch, RandomSearch
-
-# ML + rules
+from repro.exec import Evaluator, MeasurementCache, ParallelEvaluator, SerialEvaluator
 from repro.ml import (
     DecisionTree,
     FeatureExtractor,
@@ -74,12 +47,27 @@ from repro.ml import (
     range_accuracy,
     search_tree_size,
 )
+from repro.platform import (
+    CostModel,
+    MachineConfig,
+    NoiseModel,
+    noiseless,
+    perlmutter_like,
+)
 from repro.rules import RuleSet, compare_rulesets, extract_rulesets
-
-# Applications + pipeline
-from repro.apps.spmv import SpmvCase, build_spmv_program, spmv_paper_case
-from repro.apps.halo import GridCase, build_halo_program
-from repro.core import DesignRulePipeline, PipelineConfig, PipelineResult
+from repro.schedule import BoundOp, DesignSpace, Schedule
+from repro.search import ExhaustiveSearch, MctsConfig, MctsSearch, RandomSearch
+from repro.sim import Benchmarker, Gantt, MeasurementConfig, ScheduleExecutor, SimResult
+from repro.version import __version__
+from repro.workloads import (
+    Suite,
+    SuiteReport,
+    SuiteRunner,
+    WorkloadSpec,
+    build_workload,
+    list_families,
+    run_suite,
+)
 
 __all__ = [
     "Action",
@@ -117,20 +105,27 @@ __all__ = [
     "SerialEvaluator",
     "SimResult",
     "SpmvCase",
+    "Suite",
+    "SuiteReport",
+    "SuiteRunner",
     "TreeConfig",
     "Vertex",
     "Work",
+    "WorkloadSpec",
     "__version__",
     "build_halo_program",
     "build_spmv_program",
+    "build_workload",
     "compare_rulesets",
     "cpu_op",
     "extract_rulesets",
     "gpu_op",
     "label_by_performance",
+    "list_families",
     "noiseless",
     "perlmutter_like",
     "range_accuracy",
+    "run_suite",
     "search_tree_size",
     "spmv_paper_case",
 ]

@@ -4,7 +4,7 @@
 modeling fine-grained communication operations in each dimension."
 """
 
-from repro.apps.halo.grid import GridCase, GridDecomposition, decompose
 from repro.apps.halo.dag import build_halo_program
+from repro.apps.halo.grid import GridCase, GridDecomposition, decompose
 
 __all__ = ["GridCase", "GridDecomposition", "build_halo_program", "decompose"]

@@ -16,10 +16,9 @@ paper's MCTS is for.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
-from repro.apps.halo.grid import FACES, FACE_NAMES, GridCase, decompose
+from repro.apps.halo.grid import GridCase, decompose
 from repro.dag.graph import Graph
 from repro.dag.program import CommPlan, Message, Program
 from repro.dag.vertex import Action, ActionKind, Work, cpu_op, gpu_op

@@ -8,7 +8,7 @@ face halos with up to six neighbours each step.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 #: The six face directions: (axis, sign).
 FACES: Tuple[Tuple[int, int], ...] = (

@@ -1,17 +1,17 @@
 """Distributed sparse-matrix vector multiplication (the paper's workload)."""
 
+from repro.apps.spmv.dag import (
+    SpmvCase,
+    SpmvInstance,
+    build_spmv_program,
+    spmv_paper_case,
+)
 from repro.apps.spmv.matrix import band_matrix, matrix_stats
 from repro.apps.spmv.partition import (
     RankPart,
     SpmvPartition,
     partition_spmv,
     row_ranges,
-)
-from repro.apps.spmv.dag import (
-    SpmvCase,
-    SpmvInstance,
-    build_spmv_program,
-    spmv_paper_case,
 )
 
 __all__ = [

@@ -37,17 +37,17 @@ balance the paper engineered via the matrix bandwidth.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
 
 import numpy as np
 import scipy.sparse as sp
 
+from repro.apps.spmv.matrix import band_matrix
+from repro.apps.spmv.partition import SpmvPartition, partition_spmv
 from repro.dag.graph import Graph
 from repro.dag.program import CommPlan, Message, Program
 from repro.dag.vertex import Action, ActionKind, Work, cpu_op, gpu_op
-from repro.apps.spmv.matrix import band_matrix
-from repro.apps.spmv.partition import SpmvPartition, partition_spmv
 from repro.sim.semantics import PayloadContext, RankContext
 
 #: Bytes per CSR non-zero visited (value + column index + amortized row ptr).

@@ -1,25 +1,23 @@
-"""Command-line interface: run any paper experiment.
+"""Command-line interface: paper experiments, workload suites, listings.
 
-Usage::
+Run ``repro list`` for the authoritative command / workload / suite
+inventory (this docstring deliberately stops naming every command — the
+registry is the single source of truth).
 
-    repro fig1 [--scale 0.025]      # sorted implementation sweep
-    repro fig4                      # labeling pipeline
-    repro fig5                      # Algorithm 1 trace
-    repro fig6                      # six-leaf tree + rules
-    repro table5                    # MCTS iterations vs accuracy
+Examples::
+
+    repro list                      # what can I run?
+    repro fig1 --scale 0.025        # sorted implementation sweep
     repro rules                     # Tables VI-VIII
-    repro ablation-random           # MCTS vs random sampling
-    repro ablation-exploit          # exploitation-term ablation
-    repro ablation-noise            # labeling noise sensitivity
-    repro platform                  # Table I analog
-    repro all                       # everything above
+    repro all                       # every paper experiment
+    repro suite smoke --workers 2   # cross-workload suite, parallel eval
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.platform.presets import describe
 
@@ -120,40 +118,92 @@ def _cmd_multi_input(args) -> str:
     ).report()
 
 
-_COMMANDS: Dict[str, Callable] = {
-    "fig1": _cmd_fig1,
-    "fig4": _cmd_fig4,
-    "fig5": _cmd_fig5,
-    "fig6": _cmd_fig6,
-    "table5": _cmd_table5,
-    "rules": _cmd_rules,
-    "ablation-random": _cmd_ablation_random,
-    "ablation-exploit": _cmd_ablation_exploit,
-    "ablation-noise": _cmd_ablation_noise,
-    "platform": _cmd_platform,
-    "multi-input": _cmd_multi_input,
+#: Paper-experiment registry: name -> (handler, one-line help).
+_COMMANDS: Dict[str, Tuple[Callable, str]] = {
+    "fig1": (_cmd_fig1, "sorted implementation sweep (Figure 1)"),
+    "fig4": (_cmd_fig4, "labeling pipeline (Figure 4)"),
+    "fig5": (_cmd_fig5, "Algorithm 1 hyperparameter trace (Figure 5)"),
+    "fig6": (_cmd_fig6, "six-leaf tree + rules (Figure 6)"),
+    "table5": (_cmd_table5, "MCTS iterations vs accuracy (Table V)"),
+    "rules": (_cmd_rules, "ruleset consistency tables (Tables VI-VIII)"),
+    "ablation-random": (_cmd_ablation_random, "MCTS vs random sampling"),
+    "ablation-exploit": (_cmd_ablation_exploit, "exploitation-term ablation"),
+    "ablation-noise": (_cmd_ablation_noise, "labeling noise sensitivity"),
+    "platform": (_cmd_platform, "simulated platform description (Table I)"),
+    "multi-input": (_cmd_multi_input, "cross-input rule generalization"),
 }
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="repro",
-        description=(
-            "Reproduce experiments from 'Machine Learning for CUDA+MPI "
-            "Design Rules' (arXiv:2203.02530) on the simulated platform."
-        ),
+# ----------------------------------------------------------------------
+def _cmd_list(args) -> str:
+    """Enumerate experiments, workload families, and suites."""
+    from repro.workloads import builtin_suites, list_families
+
+    lines = ["Experiments (repro <name>):"]
+    width = max(len(n) for n in _COMMANDS) + 2
+    for name in sorted(_COMMANDS):
+        lines.append(f"  {name.ljust(width)}{_COMMANDS[name][1]}")
+    lines.append(f"  {'all'.ljust(width)}every experiment above, in order")
+
+    lines.append("")
+    lines.append("Workload families (repro suite, or repro.workloads API):")
+    families = list_families()
+    width = max(len(f.name) for f in families) + 2
+    for fam in families:
+        lines.append(f"  {fam.name.ljust(width)}{fam.description}")
+        if fam.defaults:
+            defaults = ", ".join(f"{k}={v}" for k, v in fam.defaults)
+            lines.append(f"  {''.ljust(width)}defaults: {defaults}")
+
+    lines.append("")
+    lines.append("Suites (repro suite <name>):")
+    suites = builtin_suites()
+    width = max(len(n) for n in suites) + 2
+    for name in sorted(suites):
+        s = suites[name]
+        lines.append(f"  {name.ljust(width)}{s.description}")
+        lines.append(
+            f"  {''.ljust(width)}{len(s.specs)} workloads x "
+            f"{len(s.strategies)} strategies "
+            f"({', '.join(s.strategies)}), {s.n_iterations} iterations"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_suite(args) -> str:
+    """Run a named suite through the batched evaluation substrate."""
+    from repro.platform.presets import perlmutter_like
+    from repro.workloads import run_suite
+
+    report = run_suite(
+        args.name,
+        machine=perlmutter_like(noise_sigma=args.noise),
+        workers=args.workers,
+        cache_path=args.cache,
+        seed=args.seed,
     )
-    parser.add_argument(
-        "experiment",
-        choices=sorted(_COMMANDS) + ["all"],
-        help="which experiment to run",
-    )
+    json_path = args.json or f"repro-suite-{args.name}.json"
+    out = report.ascii_table()
+    if json_path == "-":
+        out += "\n" + report.to_json()
+    else:
+        report.save_json(json_path)
+        out += f"\nJSON report written to {json_path}"
+    return out
+
+
+# ----------------------------------------------------------------------
+def _add_experiment_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--scale",
         type=float,
         default=1.0,
         help="matrix scale factor (1.0 = the paper's 150k-row case)",
     )
+    _add_common_options(parser)
+
+
+def _add_common_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--noise",
         type=float,
@@ -179,13 +229,62 @@ def main(argv: Optional[List[str]] = None) -> int:
             "already-simulated schedules"
         ),
     )
-    args = parser.parse_args(argv)
-    if args.experiment == "all":
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduce experiments from 'Machine Learning for CUDA+MPI "
+            "Design Rules' (arXiv:2203.02530) on the simulated platform."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True, metavar="command")
+
+    for name, (_, help_text) in sorted(_COMMANDS.items()):
+        p = sub.add_parser(name, help=help_text)
+        _add_experiment_options(p)
+    p = sub.add_parser("all", help="run every experiment, in order")
+    _add_experiment_options(p)
+
+    p = sub.add_parser(
+        "list", help="list experiments, workload families, and suites"
+    )
+
+    p = sub.add_parser(
+        "suite",
+        help="run a workload suite (every workload x strategy cell)",
+    )
+    p.add_argument("name", help="suite name (see `repro list`)")
+    p.add_argument(
+        "--seed", type=int, default=0, help="seed for sampling strategies"
+    )
+    p.add_argument(
+        "--json",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help=(
+            "where to write the JSON report "
+            "(default repro-suite-<name>.json; '-' appends it to stdout)"
+        ),
+    )
+    _add_common_options(p)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "all":
         for name in sorted(_COMMANDS):
             print(f"\n===== {name} =====")
-            print(_COMMANDS[name](args))
+            print(_COMMANDS[name][0](args))
+    elif args.command == "list":
+        print(_cmd_list(args))
+    elif args.command == "suite":
+        print(_cmd_suite(args))
     else:
-        print(_COMMANDS[args.experiment](args))
+        print(_COMMANDS[args.command][0](args))
     return 0
 
 

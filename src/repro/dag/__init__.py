@@ -7,15 +7,6 @@ the set of topological traversals of the graph combined with stream
 assignments for the GPU vertices.
 """
 
-from repro.dag.vertex import (
-    Action,
-    ActionKind,
-    OpKind,
-    Vertex,
-    Work,
-    cpu_op,
-    gpu_op,
-)
 from repro.dag.graph import Graph
 from repro.dag.program import CommPlan, Message, Program
 from repro.dag.traversal import (
@@ -24,6 +15,7 @@ from repro.dag.traversal import (
     is_topological_order,
     random_topological_order,
 )
+from repro.dag.vertex import Action, ActionKind, OpKind, Vertex, Work, cpu_op, gpu_op
 
 __all__ = [
     "Action",

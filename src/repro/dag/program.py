@@ -17,7 +17,7 @@ of that DAG on an SPMD machine:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.dag.graph import Graph
 from repro.dag.vertex import ActionKind, OpKind, Vertex, Work

@@ -12,7 +12,7 @@ uniformly from the set of all linear extensions (documented on
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import Dict, FrozenSet, Iterator, List, Sequence, Tuple
+from typing import Dict, Iterator, List, Sequence, Tuple
 
 import numpy as np
 

@@ -56,3 +56,8 @@ class TrainingError(ReproError):
 
 class LabelingError(ReproError):
     """Raised when performance-class labeling fails."""
+
+
+class WorkloadError(ReproError):
+    """Raised for unknown workload families, invalid workload parameters,
+    or registration conflicts in the workload registry."""

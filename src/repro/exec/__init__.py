@@ -38,11 +38,7 @@ Determinism guarantees
    measurement is still bit-identical.
 """
 
-from repro.exec.cache import (
-    MeasurementCache,
-    context_fingerprint,
-    program_fingerprint,
-)
+from repro.exec.cache import MeasurementCache, context_fingerprint, program_fingerprint
 from repro.exec.evaluator import Evaluator, SerialEvaluator, as_evaluator
 from repro.exec.parallel import ParallelEvaluator, build_evaluator
 

@@ -5,7 +5,12 @@ and the CLI all call; each returns a small dataclass with the series/rows
 the paper reports, plus helpers to print them.
 """
 
-from repro.experiments.workbench import SpmvWorkbench, default_workbench
+from repro.experiments.ablations import (
+    AblationResult,
+    run_exploitation_ablation,
+    run_mcts_vs_random,
+    run_noise_sensitivity,
+)
 from repro.experiments.figures import (
     Fig1Result,
     Fig4Result,
@@ -16,19 +21,14 @@ from repro.experiments.figures import (
     run_fig5,
     run_fig6,
 )
-from repro.experiments.tables import (
-    Table5Result,
-    RuleTableResult,
-    run_table5,
-    run_rule_tables,
-)
-from repro.experiments.ablations import (
-    AblationResult,
-    run_mcts_vs_random,
-    run_exploitation_ablation,
-    run_noise_sensitivity,
-)
 from repro.experiments.multi_input import MultiInputResult, run_multi_input
+from repro.experiments.tables import (
+    RuleTableResult,
+    Table5Result,
+    run_rule_tables,
+    run_table5,
+)
+from repro.experiments.workbench import SpmvWorkbench, default_workbench
 
 __all__ = [
     "AblationResult",

@@ -12,17 +12,17 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.experiments.workbench import SpmvWorkbench
 from repro.ml.labeling import label_by_performance
 from repro.platform.presets import perlmutter_like
+from repro.search.exhaustive import ExhaustiveSearch
 from repro.search.mcts import MctsConfig, MctsNode, MctsSearch
 from repro.sim.executor import ScheduleExecutor
-from repro.sim.measure import Benchmarker, MeasurementConfig
-from repro.search.exhaustive import ExhaustiveSearch
+from repro.sim.measure import Benchmarker
 
 
 @dataclass

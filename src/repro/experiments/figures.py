@@ -4,7 +4,7 @@ Fig. 5 (Algorithm 1 trace), Fig. 6 (six-leaf tree)."""
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List
 
 import numpy as np
 

@@ -19,15 +19,13 @@ extension would need to close.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Sequence, Tuple
 
 from repro.apps.spmv import SpmvCase, build_spmv_program
 from repro.core.pipeline import DesignRulePipeline, PipelineConfig
-from repro.ml.labeling import LabelingConfig
 from repro.platform.machine import MachineConfig
 from repro.rules.extract import rulesets_by_class
-from repro.rules.ruleset import Rule
 from repro.sim.measure import MeasurementConfig
 
 

@@ -6,15 +6,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-import numpy as np
-
 from repro.experiments.workbench import SpmvWorkbench
-from repro.rules.compare import (
-    Annotation,
-    CompareResult,
-    compare_all,
-    consistency_summary,
-)
+from repro.rules.compare import CompareResult, compare_all, consistency_summary
 from repro.rules.extract import rulesets_by_class
 from repro.rules.render import render_ruleset_table
 from repro.rules.ruleset import RuleSet

@@ -10,9 +10,7 @@ from __future__ import annotations
 
 import functools
 from dataclasses import dataclass, field
-from typing import Dict, Optional
-
-import numpy as np
+from typing import Optional
 
 from repro.apps.spmv import SpmvCase, SpmvInstance, build_spmv_program
 from repro.core.pipeline import DesignRulePipeline, PipelineConfig, PipelineResult

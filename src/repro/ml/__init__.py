@@ -6,12 +6,22 @@ the algorithm — gini/entropy impurity, balanced class weights, best-first
 growth bounded by ``max_leaf_nodes`` — matches what the paper used).
 """
 
-from repro.ml.peaks import find_peaks, peak_prominences
-from repro.ml.labeling import ClassInfo, LabelingConfig, LabelResult, label_by_performance
-from repro.ml.features import FeatureExtractor, FeatureMatrix, OrderFeature, StreamFeature
-from repro.ml.tree import DecisionTree, TreeConfig, TreeNode
+from repro.ml.features import (
+    FeatureExtractor,
+    FeatureMatrix,
+    OrderFeature,
+    StreamFeature,
+)
 from repro.ml.hyperparam import HyperparamTrace, search_tree_size
+from repro.ml.labeling import (
+    ClassInfo,
+    LabelingConfig,
+    LabelResult,
+    label_by_performance,
+)
 from repro.ml.metrics import range_accuracy, training_error
+from repro.ml.peaks import find_peaks, peak_prominences
+from repro.ml.tree import DecisionTree, TreeConfig, TreeNode
 
 __all__ = [
     "ClassInfo",

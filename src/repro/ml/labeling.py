@@ -16,8 +16,8 @@ performance that falls within the label's range").
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Sequence
 
 import numpy as np
 

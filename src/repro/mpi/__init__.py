@@ -9,6 +9,6 @@ reference SpMV implementation and by tests that cross-check the schedule
 executor's communication behaviour against a hand-written MPI program.
 """
 
-from repro.mpi.comm import SimComm, SimMpiWorld, Request, run_spmd
+from repro.mpi.comm import Request, SimComm, SimMpiWorld, run_spmd
 
 __all__ = ["Request", "SimComm", "SimMpiWorld", "run_spmd"]

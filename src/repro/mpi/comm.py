@@ -17,14 +17,13 @@ no reference semantics, mirroring real MPI.  Transfer timing uses the same
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
+from typing import Any, Callable, Dict, Generator, List, Tuple
 
 import numpy as np
 
 from repro.dag.program import Message
 from repro.errors import MpiError
 from repro.platform.machine import MachineConfig
-from repro.platform.noise import NoiseModel
 from repro.sim.engine import Environment, Event
 from repro.sim.network import MpiRequest, Network
 

@@ -6,15 +6,10 @@ simulator (:mod:`repro.sim`); :func:`repro.platform.presets.perlmutter_like`
 is the default configuration used by all paper-reproduction experiments.
 """
 
-from repro.platform.machine import (
-    CpuModel,
-    GpuModel,
-    MachineConfig,
-    NetworkModel,
-)
 from repro.platform.costs import CostModel
+from repro.platform.machine import CpuModel, GpuModel, MachineConfig, NetworkModel
 from repro.platform.noise import NoiseModel
-from repro.platform.presets import perlmutter_like, describe, noiseless
+from repro.platform.presets import describe, noiseless, perlmutter_like
 
 __all__ = [
     "CostModel",

@@ -8,18 +8,34 @@ and annotated overconstrained / underconstrained exactly as in the
 paper's Tables VI-VIII.
 """
 
-from repro.rules.ruleset import Rule, RuleSet
-from repro.rules.extract import extract_rulesets
 from repro.rules.compare import Annotation, CompareResult, compare_rulesets
+from repro.rules.extract import extract_rulesets
 from repro.rules.render import render_ruleset_table, render_rulesets
+from repro.rules.ruleset import Rule, RuleSet
+from repro.rules.score import (
+    RuleScore,
+    class_rules,
+    op_role,
+    rule_satisfied,
+    rule_transfers,
+    score_rules,
+    transfer_summary,
+)
 
 __all__ = [
     "Annotation",
     "CompareResult",
     "Rule",
+    "RuleScore",
     "RuleSet",
+    "class_rules",
     "compare_rulesets",
     "extract_rulesets",
+    "op_role",
     "render_ruleset_table",
     "render_rulesets",
+    "rule_satisfied",
+    "rule_transfers",
+    "score_rules",
+    "transfer_summary",
 ]

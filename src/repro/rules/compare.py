@@ -11,7 +11,7 @@ assignment of operations sufficiently [red, 'insufficient rules']."
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.rules.ruleset import Rule, RuleSet

@@ -8,8 +8,8 @@ given ruleset are followed, other decisions do not matter" (paper §V).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import FrozenSet, Iterable, Iterator, Optional, Tuple
+from dataclasses import dataclass
+from typing import FrozenSet, Iterator, Tuple
 
 from repro.ml.features import OrderFeature, StreamFeature
 

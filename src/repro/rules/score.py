@@ -1,0 +1,216 @@
+"""Score rules against foreign schedule sets (cross-workload transfer).
+
+Rules are extracted per workload (paper §IV-D), but their constraints are
+plain statements about operation order and stream assignment, so any rule
+whose two operations also exist in *another* workload's schedules can be
+evaluated there.  This module provides that evaluation: which rules
+*transfer*, and how often the transferred constraint is satisfied by a
+given set of schedules.
+
+Exact and role matching
+-----------------------
+Workload generators qualify operation names per instance — SpMV has
+``Pack``, the halo exchange ``Pack_x``, the allreduce ``Pack_0`` — so
+exact-name matching would make most cross-workload rules vacuously
+non-transferable.  *Role* matching (``by_role=True``) strips the
+positional qualifier (a trailing ``_<digits>`` or ``_<axis>``), including
+inside the scheduler's compound sync-op names (``CER-after-Pack_x`` →
+``CER-after-Pack``), and evaluates the rule universally: it holds on a
+schedule iff **every** pair of ops matching the two roles satisfies the
+constraint.
+
+This is the measurement behind the cross-workload generalization table
+(:mod:`repro.workloads.generalization`): a rule that separates fast from
+slow schedules on the workload it was learned on, *and* on workloads it
+never saw, is a genuine design rule rather than an artifact of one DAG.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.dag.vertex import OpKind
+from repro.ml.features import OrderFeature, StreamFeature
+from repro.rules.ruleset import Rule
+from repro.schedule.schedule import Schedule
+
+#: Positional qualifier a generator appends to a role name: a round index
+#: (``Pack_0``), an axis (``Pack_x``), or a grid/branch coordinate.
+_QUALIFIER = re.compile(r"_(?:[0-9]+|[xyz])$")
+
+
+def op_role(name: str) -> str:
+    """Strip the positional qualifier from ``name``, recursing into the
+    scheduler's compound sync-op names.
+
+    >>> op_role("Pack_x")
+    'Pack'
+    >>> op_role("CER-after-Pack_0")
+    'CER-after-Pack'
+    >>> op_role("Pack")
+    'Pack'
+    """
+    if name.startswith("CER-after-"):
+        return "CER-after-" + op_role(name[len("CER-after-") :])
+    if name.startswith("CES-b4-"):
+        rest = name[len("CES-b4-") :]
+        if "-after-" in rest:  # disambiguated form: CES-b4-{v}-after-{u}
+            v, u = rest.split("-after-", 1)
+            return f"CES-b4-{op_role(v)}-after-{op_role(u)}"
+        return "CES-b4-" + op_role(rest)
+    if name.startswith("CSWE-") and "-waits-" in name:
+        v, u = name[len("CSWE-") :].split("-waits-", 1)
+        return f"CSWE-{op_role(v)}-waits-{op_role(u)}"
+    return _QUALIFIER.sub("", name)
+
+
+def _order_groups(
+    schedule: Schedule, by_role: bool
+) -> Dict[str, List[int]]:
+    """Op name (or role) -> launch positions."""
+    groups: Dict[str, List[int]] = {}
+    for i, op in enumerate(schedule.ops):
+        key = op_role(op.name) if by_role else op.name
+        groups.setdefault(key, []).append(i)
+    return groups
+
+
+def _stream_groups(
+    schedule: Schedule, by_role: bool
+) -> Dict[str, List[int]]:
+    """GPU op name (or role) -> stream bindings."""
+    groups: Dict[str, List[int]] = {}
+    for op in schedule.ops:
+        if op.kind is not OpKind.GPU:
+            continue
+        key = op_role(op.name) if by_role else op.name
+        groups.setdefault(key, []).append(op.stream)  # type: ignore[arg-type]
+    return groups
+
+
+def _eval_rule(
+    rule: Rule,
+    order_groups: Dict[str, List[int]],
+    stream_groups: Dict[str, List[int]],
+    by_role: bool,
+) -> Optional[bool]:
+    f = rule.feature
+    if isinstance(f, OrderFeature):
+        groups = order_groups
+    elif isinstance(f, StreamFeature):
+        groups = stream_groups
+    else:
+        return None
+    key_u = op_role(f.u) if by_role else f.u
+    key_v = op_role(f.v) if by_role else f.v
+    us, vs = groups.get(key_u), groups.get(key_v)
+    if not us or not vs or key_u == key_v:
+        return None
+    if isinstance(f, OrderFeature):
+        if rule.value:
+            return max(us) < min(vs)
+        return max(vs) < min(us)
+    if rule.value:
+        return all(a == b for a in us for b in vs)
+    return all(a != b for a in us for b in vs)
+
+
+def rule_satisfied(
+    rule: Rule, schedule: Schedule, *, by_role: bool = False
+) -> Optional[bool]:
+    """Whether ``schedule`` follows ``rule``; ``None`` if the rule does
+    not transfer (an op/role the rule mentions is absent).
+
+    With ``by_role=True`` several ops may match each side; the rule is
+    satisfied iff every cross pair satisfies the constraint.
+    """
+    return _eval_rule(
+        rule,
+        _order_groups(schedule, by_role),
+        _stream_groups(schedule, by_role),
+        by_role,
+    )
+
+
+def rule_transfers(
+    rule: Rule, schedule: Schedule, *, by_role: bool = False
+) -> bool:
+    """True if the rule can be evaluated on ``schedule`` at all."""
+    return rule_satisfied(rule, schedule, by_role=by_role) is not None
+
+
+@dataclass(frozen=True)
+class RuleScore:
+    """How one rule fares on a foreign schedule set."""
+
+    rule: Rule
+    #: Schedules on which the rule transfers (its ops/roles exist).
+    n_transferred: int
+    #: Of those, how many satisfy the rule.
+    n_satisfied: int
+
+    @property
+    def satisfaction(self) -> float:
+        """Satisfied fraction over transferred schedules (0 if none)."""
+        if self.n_transferred == 0:
+            return 0.0
+        return self.n_satisfied / self.n_transferred
+
+
+def score_rules(
+    rules: Iterable[Rule],
+    schedules: Sequence[Schedule],
+    *,
+    by_role: bool = False,
+) -> List[RuleScore]:
+    """Evaluate every rule against every schedule.
+
+    Deterministic order: rules sorted by text, so reports and JSON output
+    are stable across runs and processes.  Per-schedule op groups are
+    computed once and shared by all rules.
+    """
+    grouped = [
+        (_order_groups(s, by_role), _stream_groups(s, by_role))
+        for s in schedules
+    ]
+    out: List[RuleScore] = []
+    for rule in sorted(rules, key=lambda r: r.text):
+        n_t = 0
+        n_s = 0
+        for order_groups, stream_groups in grouped:
+            verdict = _eval_rule(rule, order_groups, stream_groups, by_role)
+            if verdict is None:
+                continue
+            n_t += 1
+            if verdict:
+                n_s += 1
+        out.append(RuleScore(rule=rule, n_transferred=n_t, n_satisfied=n_s))
+    return out
+
+
+def transfer_summary(
+    scores: Sequence[RuleScore],
+) -> Tuple[int, int, float]:
+    """Aggregate ``(n_rules, n_transferable, mean_satisfaction)``.
+
+    A rule is *transferable* when it transferred to at least one
+    schedule; the mean satisfaction averages over transferable rules.
+    """
+    transferable = [s for s in scores if s.n_transferred > 0]
+    if not transferable:
+        return (len(scores), 0, 0.0)
+    mean = sum(s.satisfaction for s in transferable) / len(transferable)
+    return (len(scores), len(transferable), mean)
+
+
+def class_rules(rulesets, cls: int) -> List[Rule]:
+    """Deduplicated rules from every ruleset predicting class ``cls``."""
+    seen: Dict[Rule, None] = {}
+    for rs in rulesets:
+        if rs.predicted_class != cls:
+            continue
+        for rule in rs.rules:
+            seen.setdefault(rule, None)
+    return list(seen)

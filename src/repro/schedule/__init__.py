@@ -8,8 +8,8 @@ both exhaustive enumeration and MCTS consume.
 """
 
 from repro.schedule.schedule import BoundOp, Schedule
-from repro.schedule.sync import SyncPlan, build_sync_plan, cer_name, ces_name
 from repro.schedule.space import DecisionState, DesignSpace
+from repro.schedule.sync import SyncPlan, build_sync_plan, cer_name, ces_name
 
 __all__ = [
     "BoundOp",

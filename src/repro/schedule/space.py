@@ -23,8 +23,7 @@ almost always a single op; atomic sync groups make it longer.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import lru_cache
-from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
+from typing import Dict, FrozenSet, Iterator, List, Tuple
 
 import numpy as np
 

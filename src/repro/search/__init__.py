@@ -14,7 +14,7 @@ All strategies produce a :class:`~repro.search.base.SearchResult` — the
 from repro.search.base import SearchResult, SearchSample, SearchStrategy
 from repro.search.beam import BeamSearch
 from repro.search.exhaustive import ExhaustiveSearch
-from repro.search.mcts import MctsConfig, MctsSearch, MctsNode
+from repro.search.mcts import MctsConfig, MctsNode, MctsSearch
 from repro.search.random_search import RandomSearch
 
 __all__ = [

@@ -26,7 +26,7 @@ The run's elapsed time is the maximum completion time across ranks.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from repro.dag.program import Message, Program

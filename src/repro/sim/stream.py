@@ -14,9 +14,9 @@ CUDA: waiting on an already-fired event proceeds immediately.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Deque, Dict, List, Optional
 from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, List, Optional
 
 from repro.errors import SimulationError
 from repro.sim.engine import Environment, Event

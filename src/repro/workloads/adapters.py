@@ -1,0 +1,77 @@
+"""Adapters: the two :mod:`repro.apps` programs as registered workloads.
+
+The paper's demonstration workloads — distributed SpMV (Fig. 3) and the
+3-D halo exchange (§VI) — keep their original builders; these adapters
+only translate a :class:`~repro.workloads.spec.WorkloadSpec` into the
+builders' native case dataclasses, so registry-built programs are
+graph-identical to directly-built ones (tested in
+``tests/workloads/test_adapters.py``).
+"""
+
+from __future__ import annotations
+
+from repro.apps.halo import GridCase, build_halo_program
+from repro.apps.spmv import SpmvCase, build_spmv_program
+from repro.dag.program import Program
+from repro.errors import WorkloadError
+from repro.workloads.spec import WorkloadSpec, workload
+
+
+@workload(
+    "spmv",
+    description=(
+        "Distributed SpMV on a band matrix (the paper's Fig. 3 program); "
+        "'scale' shrinks the 150k-row case proportionally"
+    ),
+    defaults={"scale": 1.0, "bandwidth_frac": 0.25, "n_ranks": 4},
+)
+def build_spmv_workload(spec: WorkloadSpec) -> Program:
+    p = spec.param_dict
+    scale = float(p["scale"])
+    if scale <= 0:
+        raise WorkloadError(f"spmv scale={scale} must be positive")
+    base = SpmvCase(
+        bandwidth=150_000 * float(p["bandwidth_frac"]),
+        n_ranks=int(p["n_ranks"]),
+        seed=spec.seed,
+    )
+    case = base if scale == 1.0 else base.scaled(scale)
+    return build_spmv_program(case).program
+
+
+@workload(
+    "halo3d",
+    description=(
+        "3-D structured-grid halo exchange (paper §VI extension); "
+        "'axes' selects the active exchange dimensions, e.g. 'xy'"
+    ),
+    defaults={
+        "nx": 256,
+        "ny": 256,
+        "nz": 256,
+        "px": 2,
+        "py": 2,
+        "pz": 1,
+        "axes": "xyz",
+    },
+)
+def build_halo_workload(spec: WorkloadSpec) -> Program:
+    p = spec.param_dict
+    case = GridCase(
+        nx=int(p["nx"]),
+        ny=int(p["ny"]),
+        nz=int(p["nz"]),
+        px=int(p["px"]),
+        py=int(p["py"]),
+        pz=int(p["pz"]),
+    )
+    axis_of = {"x": 0, "y": 1, "z": 2}
+    axes_str = str(p["axes"])
+    bad = sorted(set(axes_str) - set(axis_of))
+    if bad or not axes_str:
+        raise WorkloadError(
+            f"halo3d axes={axes_str!r} must be a non-empty subset of 'xyz'"
+        )
+    return build_halo_program(
+        case, axes=tuple(axis_of[c] for c in axes_str)
+    )

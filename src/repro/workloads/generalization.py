@@ -1,0 +1,199 @@
+"""Cross-workload rule generalization (the ROADMAP's open question).
+
+The paper extracts design rules from one workload and asks (§VI) whether
+they hold beyond it.  This module answers mechanically: run the full
+design-rule pipeline on every workload of a suite, take each workload's
+*fastest-class* rules, and score them on every other workload's labeled
+schedules via :mod:`repro.rules.score`.
+
+Two numbers summarize each (source → target) pair:
+
+* **transferable** — how many of the source's rules mention only
+  operations that also exist in the target (e.g. ``PostSends before
+  WaitRecv`` transfers between any two workloads that post and wait;
+  ``yL same stream as yR`` is SpMV-specific);
+* **satisfaction** — among the target's *fastest-class* schedules, the
+  mean fraction that follow each transferable rule.  High satisfaction
+  means the source's design guidance also describes what is fast on the
+  target; ~50 % means the rule is uninformative there.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.pipeline import DesignRulePipeline, PipelineConfig, PipelineResult
+from repro.platform.machine import MachineConfig
+from repro.platform.presets import perlmutter_like
+from repro.rules.ruleset import Rule
+from repro.rules.score import class_rules, score_rules, transfer_summary
+from repro.schedule.schedule import Schedule
+from repro.workloads.spec import WorkloadSpec, build_workload
+
+#: The fastest performance class (labeling orders classes fastest-first).
+FASTEST_CLASS = 0
+
+
+@dataclass
+class WorkloadRules:
+    """One workload's pipeline output, reduced to what transfer needs."""
+
+    spec: WorkloadSpec
+    result: PipelineResult
+    #: Deduplicated fastest-class rules.
+    rules: List[Rule]
+    #: Unique schedules labeled into the fastest class.
+    fast_schedules: List[Schedule]
+
+
+@dataclass
+class CrossWorkloadResult:
+    """The full source × target transfer matrix."""
+
+    workloads: List[WorkloadRules]
+    #: (source label, target label) -> (n_rules, n_transferable, mean sat).
+    matrix: Dict[Tuple[str, str], Tuple[int, int, float]]
+
+    def rows(self) -> List[Dict[str, object]]:
+        """JSON-ready rows, one per off-diagonal (source, target) pair."""
+        out: List[Dict[str, object]] = []
+        for (src, dst), (n_rules, n_trans, sat) in sorted(self.matrix.items()):
+            out.append(
+                {
+                    "source": src,
+                    "target": dst,
+                    "n_rules": n_rules,
+                    "n_transferable": n_trans,
+                    "mean_satisfaction": sat,
+                }
+            )
+        return out
+
+    def report(self) -> str:
+        lines = ["Cross-workload rule transfer (fastest-class rules):"]
+        for row in self.rows():
+            lines.append(
+                f"  {row['source']} -> {row['target']}: "
+                f"{row['n_transferable']}/{row['n_rules']} rules transfer, "
+                f"{100.0 * float(row['mean_satisfaction']):.0f}% satisfied "
+                f"by the target's fastest class"
+            )
+        return "\n".join(lines)
+
+
+def pipeline_for_spec(
+    spec: WorkloadSpec,
+    machine: MachineConfig,
+    *,
+    n_streams: int = 2,
+    measurement=None,
+    workers: int = 0,
+    cache_path: Optional[str] = None,
+) -> DesignRulePipeline:
+    """Exhaustive design-rule pipeline for one workload spec."""
+    program = build_workload(spec)
+    kwargs = {} if measurement is None else {"measurement": measurement}
+    return DesignRulePipeline(
+        program,
+        machine.with_ranks(program.n_ranks),
+        PipelineConfig(
+            n_streams=n_streams,
+            strategy="exhaustive",
+            workers=workers,
+            cache_path=cache_path,
+            **kwargs,
+        ),
+    )
+
+
+def workload_rules(
+    spec: WorkloadSpec,
+    machine: MachineConfig,
+    *,
+    n_streams: int = 2,
+    measurement=None,
+    workers: int = 0,
+    cache_path: Optional[str] = None,
+) -> WorkloadRules:
+    """Run the exhaustive pipeline on ``spec`` and reduce to rules +
+    fastest-class schedules."""
+    pipe = pipeline_for_spec(
+        spec,
+        machine,
+        n_streams=n_streams,
+        measurement=measurement,
+        workers=workers,
+        cache_path=cache_path,
+    )
+    try:
+        result = pipe.run()
+    finally:
+        pipe.close()
+    schedules = result.search.schedules()
+    fast = [
+        s
+        for s, label in zip(schedules, result.labeling.labels)
+        if int(label) == FASTEST_CLASS
+    ]
+    return WorkloadRules(
+        spec=spec,
+        result=result,
+        rules=class_rules(result.rulesets, FASTEST_CLASS),
+        fast_schedules=fast,
+    )
+
+
+def run_cross_workload(
+    specs: Sequence[WorkloadSpec],
+    *,
+    machine: Optional[MachineConfig] = None,
+    n_streams: int = 2,
+    measurement=None,
+    workers: int = 0,
+    cache_path: Optional[str] = None,
+) -> CrossWorkloadResult:
+    """Score every workload's fastest-class rules on every other workload."""
+    if len(specs) < 2:
+        raise ValueError("need at least two workloads to generalize across")
+    machine = machine if machine is not None else perlmutter_like()
+    per_workload = [
+        workload_rules(
+            spec,
+            machine,
+            n_streams=n_streams,
+            measurement=measurement,
+            workers=workers,
+            cache_path=cache_path,
+        )
+        for spec in specs
+    ]
+    matrix: Dict[Tuple[str, str], Tuple[int, int, float]] = {}
+    for src in per_workload:
+        for dst in per_workload:
+            if src.spec.label == dst.spec.label:
+                continue
+            scores = score_rules(src.rules, dst.fast_schedules, by_role=True)
+            matrix[(src.spec.label, dst.spec.label)] = transfer_summary(scores)
+    return CrossWorkloadResult(workloads=per_workload, matrix=matrix)
+
+
+def cross_workload_table(
+    suite,
+    *,
+    machine: Optional[MachineConfig] = None,
+    workers: int = 0,
+    cache_path: Optional[str] = None,
+    seed: int = 0,
+) -> List[Dict[str, object]]:
+    """JSON-ready transfer rows for a suite (used by the suite runner)."""
+    del seed  # pipelines are exhaustive; the seed plays no role
+    result = run_cross_workload(
+        suite.specs,
+        machine=machine,
+        n_streams=suite.n_streams,
+        measurement=suite.measurement,
+        workers=workers,
+        cache_path=cache_path,
+    )
+    return result.rows()

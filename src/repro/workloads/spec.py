@@ -1,0 +1,207 @@
+"""Workload specifications and the global workload registry.
+
+A *workload* is a named, parameterized family of programs: given a
+:class:`WorkloadSpec` (family name + parameters + seed) the registered
+builder emits a concrete :class:`~repro.dag.program.Program` ready for
+design-space exploration.  The registry turns the two hardcoded
+:mod:`repro.apps` entries into one point in a large scenario space — any
+subsystem (suites, experiments, benchmarks, the CLI) can enumerate or
+build workloads without knowing how each family is generated.
+
+Determinism contract
+--------------------
+Building the same spec twice — in the same process or across processes —
+must produce programs with identical structure and identical timing
+inputs, so that
+:func:`repro.exec.cache.program_fingerprint` (and therefore the
+persistent :class:`~repro.exec.MeasurementCache` context) is bit-stable.
+Builders derive all randomness from ``spec.seed`` via
+``numpy.random.default_rng`` and must never consult global state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.dag.program import Program
+from repro.errors import WorkloadError
+
+#: Parameter values are JSON-scalar only, keeping specs hashable and
+#: trivially serializable for reports and cache keys.
+ParamValue = object  # int | float | str | bool
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One concrete point in a workload family's parameter space.
+
+    Parameters
+    ----------
+    family:
+        Registered family name (e.g. ``"spmv"``, ``"layered_random"``).
+    params:
+        Family-specific parameters as a name→scalar mapping; unspecified
+        parameters take the family's defaults.
+    seed:
+        Master seed for all randomness in generation.  Two builds of an
+        identical spec are bit-identical.
+    """
+
+    family: str
+    params: Tuple[Tuple[str, ParamValue], ...] = ()
+    seed: int = 0
+
+    def __init__(
+        self,
+        family: str,
+        params: "Optional[Mapping[str, ParamValue] | Tuple]" = None,
+        seed: int = 0,
+    ) -> None:
+        # Normalize to a sorted tuple so equal specs hash equally
+        # regardless of construction order.  The already-normalized tuple
+        # form is accepted too, so ``dataclasses.replace`` round-trips.
+        if params is None:
+            items = ()
+        elif isinstance(params, Mapping):
+            items = params.items()
+        else:
+            items = params
+        object.__setattr__(self, "family", family)
+        object.__setattr__(self, "params", tuple(sorted(items)))
+        object.__setattr__(self, "seed", seed)
+
+    @property
+    def param_dict(self) -> Dict[str, ParamValue]:
+        return dict(self.params)
+
+    def with_params(self, **updates: ParamValue) -> "WorkloadSpec":
+        merged = self.param_dict
+        merged.update(updates)
+        return WorkloadSpec(self.family, merged, self.seed)
+
+    def with_seed(self, seed: int) -> "WorkloadSpec":
+        return WorkloadSpec(self.family, self.param_dict, seed)
+
+    @property
+    def label(self) -> str:
+        """Short identifier used in suite reports (stable across runs)."""
+        if not self.params:
+            return f"{self.family}[seed={self.seed}]"
+        inner = ",".join(f"{k}={v}" for k, v in self.params)
+        return f"{self.family}[{inner},seed={self.seed}]"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.label
+
+
+#: A builder turns a spec into a ready-to-explore Program.
+WorkloadBuilder = Callable[[WorkloadSpec], Program]
+
+
+@dataclass(frozen=True)
+class WorkloadFamily:
+    """Registry entry: builder plus metadata for listings."""
+
+    name: str
+    builder: WorkloadBuilder
+    description: str = ""
+    defaults: Tuple[Tuple[str, ParamValue], ...] = ()
+
+    def default_spec(self, seed: int = 0) -> WorkloadSpec:
+        return WorkloadSpec(self.name, dict(self.defaults), seed=seed)
+
+
+_REGISTRY: Dict[str, WorkloadFamily] = {}
+
+
+def workload(
+    name: str,
+    *,
+    description: str = "",
+    defaults: Optional[Mapping[str, ParamValue]] = None,
+) -> Callable[[WorkloadBuilder], WorkloadBuilder]:
+    """Class-level decorator registering a builder as a workload family.
+
+    Usage::
+
+        @workload("layered_random", description="...", defaults={"layers": 3})
+        def build_layered(spec: WorkloadSpec) -> Program:
+            ...
+    """
+
+    def register(builder: WorkloadBuilder) -> WorkloadBuilder:
+        if name in _REGISTRY:
+            raise WorkloadError(f"workload family {name!r} already registered")
+        _REGISTRY[name] = WorkloadFamily(
+            name=name,
+            builder=builder,
+            description=description,
+            defaults=tuple(sorted((defaults or {}).items())),
+        )
+        return builder
+
+    return register
+
+
+def get_family(name: str) -> WorkloadFamily:
+    """Look up a registered family, raising :class:`WorkloadError` if absent."""
+    _ensure_builtin_families()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "(none)"
+        raise WorkloadError(
+            f"unknown workload family {name!r}; registered: {known}"
+        ) from None
+
+
+def list_families() -> List[WorkloadFamily]:
+    """All registered families, sorted by name."""
+    _ensure_builtin_families()
+    return [f for _, f in sorted(_REGISTRY.items())]
+
+
+def build_workload(spec: WorkloadSpec) -> Program:
+    """Build the concrete program for ``spec`` via its registered family.
+
+    Unknown parameter names are rejected here (against the family's
+    defaults) so typos fail fast instead of silently using defaults.
+    """
+    family = get_family(spec.family)
+    known = {k for k, _ in family.defaults}
+    if known:  # families without declared defaults accept anything
+        unknown = set(spec.param_dict) - known
+        if unknown:
+            raise WorkloadError(
+                f"unknown parameters for {spec.family!r}: {sorted(unknown)}; "
+                f"valid: {sorted(known)}"
+            )
+    merged = dict(family.defaults)
+    merged.update(spec.param_dict)
+    return family.builder(replace_params(spec, merged))
+
+
+def replace_params(spec: WorkloadSpec, merged: Mapping[str, ParamValue]) -> WorkloadSpec:
+    """Spec with defaults folded in (what builders actually receive)."""
+    return WorkloadSpec(spec.family, dict(merged), spec.seed)
+
+
+def _ensure_builtin_families() -> None:
+    """Import the modules whose import side effect registers the built-in
+    families (adapters for repro.apps, the synthetic generators)."""
+    import repro.workloads.adapters  # noqa: F401
+    import repro.workloads.synthetic  # noqa: F401
+
+
+__all__ = [
+    "ParamValue",
+    "WorkloadBuilder",
+    "WorkloadError",
+    "WorkloadFamily",
+    "WorkloadSpec",
+    "build_workload",
+    "get_family",
+    "list_families",
+    "workload",
+]

@@ -1,0 +1,420 @@
+"""Named workload suites and the cross-workload suite runner.
+
+A :class:`Suite` names a set of workload specs and search strategies; the
+:class:`SuiteRunner` fans every (workload × strategy) cell through the
+batched :mod:`repro.exec` evaluation substrate — honoring ``workers`` and
+a shared persistent :class:`~repro.exec.MeasurementCache` — and collects
+one :class:`SuiteCell` per cell into a :class:`SuiteReport` (JSON +
+ASCII).
+
+Built-in suites
+---------------
+``smoke``
+    Every registered family at tiny parameters; random + MCTS.  Fast
+    enough for CI, broad enough to exercise every generator and both
+    app adapters end-to-end.
+``paper``
+    The two paper workloads at meaningful sizes with all sampling
+    strategies — the per-workload comparison the paper's §VI asks for.
+``generalization``
+    Small-space workloads explored exhaustively so full pipelines are
+    affordable; the runner additionally extracts per-workload rules and
+    scores every workload's fastest-class rules on every other workload
+    (see :mod:`repro.workloads.generalization`).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import WorkloadError
+from repro.exec import Evaluator, MeasurementCache, build_evaluator
+from repro.platform.machine import MachineConfig
+from repro.platform.presets import perlmutter_like
+from repro.schedule.space import DesignSpace
+from repro.search.base import SearchResult, SearchStrategy
+from repro.search.beam import BeamSearch
+from repro.search.mcts import MctsConfig, MctsSearch
+from repro.search.random_search import RandomSearch
+from repro.sim.measure import MeasurementConfig
+from repro.workloads.spec import WorkloadSpec, build_workload
+
+
+@dataclass(frozen=True)
+class Suite:
+    """A named collection of workloads × strategies."""
+
+    name: str
+    description: str
+    specs: Tuple[WorkloadSpec, ...]
+    strategies: Tuple[str, ...] = ("random", "mcts")
+    #: Search iterations per (workload, strategy) cell.
+    n_iterations: int = 8
+    n_streams: int = 2
+    measurement: MeasurementConfig = field(
+        default_factory=lambda: MeasurementConfig(max_samples=2)
+    )
+    #: When set, the runner also extracts rules per workload and scores
+    #: them across workloads (requires small, exhaustible spaces).
+    cross_workload_rules: bool = False
+
+
+def _smoke_specs() -> Tuple[WorkloadSpec, ...]:
+    return (
+        WorkloadSpec("spmv", {"scale": 0.025}),
+        WorkloadSpec(
+            "halo3d",
+            {"nx": 32, "ny": 32, "nz": 32, "px": 2, "py": 2, "pz": 1, "axes": "x"},
+        ),
+        WorkloadSpec("layered_random", {"layers": 3, "width": 2, "edge_p": 0.5}),
+        WorkloadSpec("fork_join", {"stages": 2, "branches": 2, "depth": 1}),
+        WorkloadSpec("tree_allreduce", {"rounds": 1, "elems": 16384}),
+        WorkloadSpec("wavefront", {"width": 2, "height": 2}),
+    )
+
+
+def builtin_suites() -> Dict[str, Suite]:
+    """The named suites shipped with the system."""
+    return {
+        "smoke": Suite(
+            name="smoke",
+            description=(
+                "every workload family at tiny parameters; CI-fast "
+                "end-to-end exercise of the evaluation substrate"
+            ),
+            specs=_smoke_specs(),
+            strategies=("random", "mcts"),
+            n_iterations=6,
+        ),
+        "paper": Suite(
+            name="paper",
+            description=(
+                "the two paper workloads at meaningful sizes, all "
+                "sampling strategies"
+            ),
+            specs=(
+                WorkloadSpec("spmv", {"scale": 0.1}),
+                WorkloadSpec(
+                    "halo3d",
+                    {
+                        "nx": 128,
+                        "ny": 128,
+                        "nz": 128,
+                        "px": 2,
+                        "py": 2,
+                        "pz": 1,
+                        "axes": "xy",
+                    },
+                ),
+            ),
+            strategies=("random", "mcts", "beam"),
+            n_iterations=32,
+        ),
+        "generalization": Suite(
+            name="generalization",
+            description=(
+                "small-space workloads explored exhaustively; rules "
+                "extracted per workload and scored on every other"
+            ),
+            specs=(
+                WorkloadSpec("spmv", {"scale": 0.025}),
+                WorkloadSpec(
+                    "halo3d",
+                    {
+                        "nx": 32,
+                        "ny": 32,
+                        "nz": 32,
+                        "px": 2,
+                        "py": 2,
+                        "pz": 1,
+                        "axes": "x",
+                    },
+                ),
+                WorkloadSpec("tree_allreduce", {"rounds": 1, "elems": 16384}),
+                WorkloadSpec("fork_join", {"stages": 1, "branches": 2, "depth": 1}),
+            ),
+            strategies=("random", "mcts"),
+            n_iterations=12,
+            cross_workload_rules=True,
+        ),
+    }
+
+
+def get_suite(name: str) -> Suite:
+    suites = builtin_suites()
+    try:
+        return suites[name]
+    except KeyError:
+        known = ", ".join(sorted(suites))
+        raise WorkloadError(
+            f"unknown suite {name!r}; available: {known}"
+        ) from None
+
+
+# ----------------------------------------------------------------------
+def _format_table(headers: Tuple[str, ...], rows: List[Tuple[str, ...]]) -> List[str]:
+    """Fixed-width rows: header, dashed separator, one line per row."""
+    widths = [
+        max(len(h), *(len(r[i]) for r in rows)) if rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    fmt = "  ".join(f"{{:<{w}}}" for w in widths)
+    lines = [fmt.format(*headers), fmt.format(*("-" * w for w in widths))]
+    lines += [fmt.format(*r) for r in rows]
+    return lines
+
+
+@dataclass(frozen=True)
+class SuiteCell:
+    """One (workload, strategy) result row."""
+
+    workload: str
+    family: str
+    strategy: str
+    n_ops: int
+    n_iterations: int
+    n_unique: int
+    n_simulations: int
+    best_time: float
+    mean_time: float
+    wall_s: float
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "workload": self.workload,
+            "family": self.family,
+            "strategy": self.strategy,
+            "n_ops": self.n_ops,
+            "n_iterations": self.n_iterations,
+            "n_unique": self.n_unique,
+            "n_simulations": self.n_simulations,
+            "best_time_us": self.best_time * 1e6,
+            "mean_time_us": self.mean_time * 1e6,
+            "wall_s": self.wall_s,
+        }
+
+
+@dataclass
+class SuiteReport:
+    """Everything a suite run produced."""
+
+    suite: str
+    machine: str
+    cells: List[SuiteCell]
+    #: Cross-workload rule transfer rows (generalization suites only).
+    rules_table: List[Dict[str, object]] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "suite": self.suite,
+            "machine": self.machine,
+            "cells": [c.to_dict() for c in self.cells],
+            "rules_table": self.rules_table,
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def save_json(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json() + "\n")
+
+    # ------------------------------------------------------------------
+    def ascii_table(self) -> str:
+        """Fixed-width comparison table, one row per cell."""
+        headers = (
+            "workload",
+            "strategy",
+            "ops",
+            "iters",
+            "unique",
+            "sims",
+            "best(us)",
+            "mean(us)",
+        )
+        rows = [
+            (
+                c.workload,
+                c.strategy,
+                str(c.n_ops),
+                str(c.n_iterations),
+                str(c.n_unique),
+                str(c.n_simulations),
+                f"{c.best_time * 1e6:.2f}",
+                f"{c.mean_time * 1e6:.2f}",
+            )
+            for c in self.cells
+        ]
+        lines = [
+            f"Suite {self.suite!r} on {self.machine} "
+            f"({len(self.cells)} cells)"
+        ]
+        lines += _format_table(headers, rows)
+        if self.rules_table:
+            lines.append("")
+            lines.append(self._rules_ascii())
+        return "\n".join(lines)
+
+    def _rules_ascii(self) -> str:
+        headers = ("rules from", "scored on", "rules", "transfer", "satisfied")
+        rows = [
+            (
+                str(r["source"]),
+                str(r["target"]),
+                str(r["n_rules"]),
+                str(r["n_transferable"]),
+                f"{100.0 * float(r['mean_satisfaction']):.0f}%",
+            )
+            for r in self.rules_table
+        ]
+        lines = ["Cross-workload rule transfer (fastest-class rules):"]
+        lines += _format_table(headers, rows)
+        return "\n".join(lines)
+
+    def report(self) -> str:
+        return self.ascii_table()
+
+
+# ----------------------------------------------------------------------
+def _make_strategy(
+    name: str, space: DesignSpace, evaluator: Evaluator, seed: int
+) -> SearchStrategy:
+    if name == "random":
+        return RandomSearch(space, evaluator, seed=seed)
+    if name == "mcts":
+        return MctsSearch(space, evaluator, MctsConfig(seed=seed))
+    if name == "beam":
+        return BeamSearch(space, evaluator, seed=seed)
+    raise WorkloadError(f"unknown suite strategy {name!r}")
+
+
+class SuiteRunner:
+    """Runs every (workload × strategy) cell of a suite.
+
+    One evaluator is built per workload (so all strategies share its
+    memo), backed by an optional worker pool and one shared persistent
+    measurement cache; measurement determinism makes cell results
+    independent of ``workers`` and cache state.
+    """
+
+    def __init__(
+        self,
+        suite: Suite,
+        *,
+        machine: Optional[MachineConfig] = None,
+        workers: int = 0,
+        cache_path: Optional[str] = None,
+        seed: int = 0,
+    ) -> None:
+        self.suite = suite
+        self.machine = machine if machine is not None else perlmutter_like()
+        self.workers = workers
+        self.cache_path = cache_path
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    def run(self) -> SuiteReport:
+        suite = self.suite
+        cache = (
+            MeasurementCache(self.cache_path)
+            if self.cache_path is not None
+            else None
+        )
+        cells: List[SuiteCell] = []
+        try:
+            for spec in suite.specs:
+                program = build_workload(spec)
+                machine = self.machine.with_ranks(program.n_ranks)
+                space = DesignSpace(program, n_streams=suite.n_streams)
+                evaluator = build_evaluator(
+                    program,
+                    machine,
+                    suite.measurement,
+                    workers=self.workers,
+                    cache=cache,
+                )
+                try:
+                    for strat_name in suite.strategies:
+                        t0 = time.perf_counter()
+                        sims_before = evaluator.n_simulations
+                        strategy = _make_strategy(
+                            strat_name, space, evaluator, self.seed
+                        )
+                        result = strategy.run(suite.n_iterations)
+                        wall = time.perf_counter() - t0
+                        cells.append(
+                            _cell_from_result(
+                                spec,
+                                strat_name,
+                                space,
+                                result,
+                                evaluator.n_simulations - sims_before,
+                                wall,
+                            )
+                        )
+                finally:
+                    evaluator.close()
+        finally:
+            if cache is not None:
+                cache.close()
+
+        report = SuiteReport(
+            suite=suite.name,
+            machine=self.machine.name,
+            cells=cells,
+        )
+        if suite.cross_workload_rules:
+            from repro.workloads.generalization import cross_workload_table
+
+            report.rules_table = cross_workload_table(
+                suite,
+                machine=self.machine,
+                workers=self.workers,
+                cache_path=self.cache_path,
+                seed=self.seed,
+            )
+        return report
+
+
+def _cell_from_result(
+    spec: WorkloadSpec,
+    strategy: str,
+    space: DesignSpace,
+    result: SearchResult,
+    n_simulations: int,
+    wall: float,
+) -> SuiteCell:
+    times = result.times()
+    return SuiteCell(
+        workload=spec.label,
+        family=spec.family,
+        strategy=strategy,
+        n_ops=len(space.program_ops),
+        n_iterations=result.n_iterations,
+        n_unique=len(result.unique()),
+        n_simulations=n_simulations,
+        best_time=float(times.min()),
+        mean_time=float(times.mean()),
+        wall_s=wall,
+    )
+
+
+def run_suite(
+    name: str,
+    *,
+    machine: Optional[MachineConfig] = None,
+    workers: int = 0,
+    cache_path: Optional[str] = None,
+    seed: int = 0,
+) -> SuiteReport:
+    """Convenience: look up a built-in suite by name and run it."""
+    return SuiteRunner(
+        get_suite(name),
+        machine=machine,
+        workers=workers,
+        cache_path=cache_path,
+        seed=seed,
+    ).run()

@@ -1,0 +1,271 @@
+"""Synthetic DAG generator families.
+
+The paper extracts design rules from two communication patterns; these
+parameterized generators widen the scenario space so the rules (and the
+search strategies that find them) can be stress-tested on structures the
+paper never saw:
+
+* ``layered_random`` — layered random DAGs (the classic scheduling
+  benchmark shape): ``layers × width`` GPU kernels with random
+  inter-layer dependencies.
+* ``fork_join`` — repeated fork–join pipelines: each stage forks into
+  parallel GPU branch chains that a CPU join synchronizes (every join
+  forces the scheduler's ``cudaEventRecord``/``cudaEventSynchronize``
+  insertion).
+* ``tree_allreduce`` — a recursive-doubling allreduce: ``log2(ranks)``
+  rounds of pack / post / wait / combine with pairwise messages, the
+  communication-dominated regime.
+* ``wavefront`` — a 2-D wavefront sweep: a ``width × height`` tile grid
+  with right/down dependencies, all GPU, maximally sensitive to stream
+  assignment (every diagonal could run in parallel).
+
+Costs are drawn from a :mod:`repro.platform` preset: per-vertex compute
+is sized in units of the preset GPU's floating-point and memory rates so
+kernel durations land in the few-to-tens-of-microseconds regime the
+paper's programs occupy, and message sizes are sized against the preset
+network bandwidth.  All randomness derives from ``spec.seed`` (see the
+determinism contract in :mod:`repro.workloads.spec`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.dag.graph import Graph
+from repro.dag.program import CommPlan, Message, Program
+from repro.dag.vertex import Action, ActionKind, Vertex, Work, cpu_op, gpu_op
+from repro.errors import WorkloadError
+from repro.platform.machine import MachineConfig
+from repro.platform.presets import perlmutter_like
+from repro.workloads.spec import WorkloadSpec, workload
+
+#: Kernel duration range (seconds) synthetic compute is drawn from;
+#: matches the scale of the paper's SpMV/halo kernels on the preset.
+_KERNEL_S_LO = 2.0e-6
+_KERNEL_S_HI = 30.0e-6
+def _preset(name: str) -> MachineConfig:
+    """Resolve a platform preset by name (costs are sized against it)."""
+    if name == "perlmutter":
+        return perlmutter_like()
+    raise WorkloadError(f"unknown platform preset {name!r}")
+
+
+def _gpu_work(rng: np.random.Generator, machine: MachineConfig) -> Work:
+    """Random kernel work sized so its modeled duration falls in the
+    canonical range on ``machine``'s GPU.
+
+    Kernels are randomly compute- or memory-bound (the two regimes the
+    cost model distinguishes), with the dominant resource sized to the
+    drawn duration.
+    """
+    target_s = float(rng.uniform(_KERNEL_S_LO, _KERNEL_S_HI))
+    if rng.random() < 0.5:  # compute-bound
+        return Work(
+            flops=target_s * machine.gpu.flops_per_s,
+            bytes_read=0.25 * target_s * machine.gpu.mem_bw_bytes_per_s,
+        )
+    return Work(  # memory-bound
+        flops=0.25 * target_s * machine.gpu.flops_per_s,
+        bytes_read=target_s * machine.gpu.mem_bw_bytes_per_s,
+    )
+
+
+def _int_param(spec: WorkloadSpec, name: str, minimum: int) -> int:
+    raw = spec.param_dict[name]
+    value = int(raw)
+    if value != raw:  # reject silent truncation (e.g. layers=2.9)
+        raise WorkloadError(
+            f"{spec.family!r} parameter {name}={raw!r} must be an integer"
+        )
+    if value < minimum:
+        raise WorkloadError(
+            f"{spec.family!r} parameter {name}={value} must be >= {minimum}"
+        )
+    return value
+
+
+# ----------------------------------------------------------------------
+@workload(
+    "layered_random",
+    description=(
+        "Layered random DAG: layers x width GPU kernels, random "
+        "inter-layer dependencies with probability edge_p"
+    ),
+    defaults={"layers": 3, "width": 2, "edge_p": 0.5, "preset": "perlmutter"},
+)
+def build_layered_random(spec: WorkloadSpec) -> Program:
+    layers = _int_param(spec, "layers", 1)
+    width = _int_param(spec, "width", 1)
+    edge_p = float(spec.param_dict["edge_p"])
+    if not 0.0 <= edge_p <= 1.0:
+        raise WorkloadError(f"edge_p={edge_p} must be in [0, 1]")
+    machine = _preset(str(spec.param_dict["preset"]))
+    rng = np.random.default_rng(spec.seed)
+
+    grid: List[List[Vertex]] = []
+    vertices: List[Vertex] = []
+    edges: List[Tuple[str, str]] = []
+    for li in range(layers):
+        row = [
+            gpu_op(f"K{li}_{w}", work=_gpu_work(rng, machine))
+            for w in range(width)
+        ]
+        grid.append(row)
+        vertices += row
+    for li in range(1, layers):
+        for w, v in enumerate(grid[li]):
+            preds = [u for u in grid[li - 1] if rng.random() < edge_p]
+            if not preds:  # keep every vertex anchored to the layer above
+                preds = [grid[li - 1][int(rng.integers(width))]]
+            edges += [(u.name, v.name) for u in preds]
+
+    graph = Graph.from_edges(vertices, edges).with_start_end()
+    return Program(
+        graph=graph,
+        n_ranks=1,
+        name=f"layered_random(L={layers},W={width},p={edge_p:g},seed={spec.seed})",
+    )
+
+
+# ----------------------------------------------------------------------
+@workload(
+    "fork_join",
+    description=(
+        "Fork-join pipeline: stages of parallel GPU branch chains, each "
+        "joined by a CPU barrier op (forces CER/CES insertion)"
+    ),
+    defaults={"stages": 2, "branches": 2, "depth": 1, "preset": "perlmutter"},
+)
+def build_fork_join(spec: WorkloadSpec) -> Program:
+    stages = _int_param(spec, "stages", 1)
+    branches = _int_param(spec, "branches", 1)
+    depth = _int_param(spec, "depth", 1)
+    machine = _preset(str(spec.param_dict["preset"]))
+    rng = np.random.default_rng(spec.seed)
+
+    vertices: List[Vertex] = []
+    edges: List[Tuple[str, str]] = []
+    prev_join: Vertex | None = None
+    for s in range(stages):
+        stage_tails: List[Vertex] = []
+        for b in range(branches):
+            prev: Vertex | None = prev_join
+            for d in range(depth):
+                k = gpu_op(f"S{s}B{b}_{d}", work=_gpu_work(rng, machine))
+                vertices.append(k)
+                if prev is not None:
+                    edges.append((prev.name, k.name))
+                prev = k
+            stage_tails.append(prev)  # type: ignore[arg-type]
+        join = cpu_op(f"Join{s}", duration=machine.cpu.default_op_s)
+        vertices.append(join)
+        edges += [(t.name, join.name) for t in stage_tails]
+        prev_join = join
+
+    graph = Graph.from_edges(vertices, edges).with_start_end()
+    return Program(
+        graph=graph,
+        n_ranks=1,
+        name=(
+            f"fork_join(S={stages},B={branches},D={depth},seed={spec.seed})"
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+@workload(
+    "tree_allreduce",
+    description=(
+        "Recursive-doubling allreduce over 2**rounds ranks: per round, "
+        "pack/post/wait/combine with pairwise partner messages"
+    ),
+    defaults={"rounds": 1, "elems": 65536, "preset": "perlmutter"},
+)
+def build_tree_allreduce(spec: WorkloadSpec) -> Program:
+    rounds = _int_param(spec, "rounds", 1)
+    elems = _int_param(spec, "elems", 1)
+    machine = _preset(str(spec.param_dict["preset"]))
+    rng = np.random.default_rng(spec.seed)
+    n_ranks = 2**rounds
+    nbytes = 8.0 * elems
+
+    vertices: List[Vertex] = []
+    edges: List[Tuple[str, str]] = []
+    comm: Dict[str, CommPlan] = {}
+
+    local = gpu_op("Reduce_local", work=_gpu_work(rng, machine))
+    vertices.append(local)
+    prev = local
+    for r in range(rounds):
+        group = f"round{r}"
+        pack = gpu_op(f"Pack_{r}", work=_gpu_work(rng, machine))
+        ps = cpu_op(f"PostSends_{r}", action=Action(ActionKind.POST_SENDS, group))
+        pr = cpu_op(f"PostRecvs_{r}", action=Action(ActionKind.POST_RECVS, group))
+        ws = cpu_op(f"WaitSend_{r}", action=Action(ActionKind.WAIT_SENDS, group))
+        wr = cpu_op(f"WaitRecv_{r}", action=Action(ActionKind.WAIT_RECVS, group))
+        combine = gpu_op(f"Combine_{r}", work=_gpu_work(rng, machine))
+        vertices += [pack, ps, pr, ws, wr, combine]
+        edges += [
+            (prev.name, pack.name),
+            (pack.name, ps.name),
+            (ps.name, ws.name),
+            (pr.name, wr.name),
+            (wr.name, combine.name),
+            # posts-before-waits (SPMD deadlock exclusion, as in the apps)
+            (ps.name, wr.name),
+            (pr.name, ws.name),
+        ]
+        # Pairwise exchange: every rank swaps its partial with rank^2^r.
+        messages = tuple(
+            Message(src=i, dst=i ^ (1 << r), nbytes=nbytes, tag=r)
+            for i in range(n_ranks)
+        )
+        comm[group] = CommPlan(group=group, messages=messages)
+        prev = combine
+
+    graph = Graph.from_edges(vertices, edges).with_start_end()
+    return Program(
+        graph=graph,
+        n_ranks=n_ranks,
+        comm=comm,
+        name=f"tree_allreduce(P={n_ranks},elems={elems},seed={spec.seed})",
+    )
+
+
+# ----------------------------------------------------------------------
+@workload(
+    "wavefront",
+    description=(
+        "2-D wavefront sweep: width x height GPU tile grid with "
+        "right/down dependencies (anti-diagonals are parallel)"
+    ),
+    defaults={"width": 2, "height": 2, "preset": "perlmutter"},
+)
+def build_wavefront(spec: WorkloadSpec) -> Program:
+    width = _int_param(spec, "width", 1)
+    height = _int_param(spec, "height", 1)
+    machine = _preset(str(spec.param_dict["preset"]))
+    rng = np.random.default_rng(spec.seed)
+
+    tiles: Dict[Tuple[int, int], Vertex] = {}
+    vertices: List[Vertex] = []
+    edges: List[Tuple[str, str]] = []
+    for j in range(height):
+        for i in range(width):
+            t = gpu_op(f"T{i}_{j}", work=_gpu_work(rng, machine))
+            tiles[(i, j)] = t
+            vertices.append(t)
+    for (i, j), t in tiles.items():
+        if i + 1 < width:
+            edges.append((t.name, tiles[(i + 1, j)].name))
+        if j + 1 < height:
+            edges.append((t.name, tiles[(i, j + 1)].name))
+
+    graph = Graph.from_edges(vertices, edges).with_start_end()
+    return Program(
+        graph=graph,
+        n_ranks=1,
+        name=f"wavefront({width}x{height},seed={spec.seed})",
+    )

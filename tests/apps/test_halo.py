@@ -1,14 +1,12 @@
 """Tests for the 3-D halo-exchange application."""
 
-import numpy as np
 import pytest
 
 from repro.apps.halo import GridCase, build_halo_program, decompose
-from repro.apps.halo.grid import FACES
 from repro.platform import noiseless, perlmutter_like
 from repro.schedule import DesignSpace
-from repro.sim import Benchmarker, MeasurementConfig, ScheduleExecutor
 from repro.search import MctsSearch
+from repro.sim import Benchmarker, MeasurementConfig, ScheduleExecutor
 
 
 @pytest.fixture(scope="module")

@@ -1,10 +1,6 @@
 """Tests for the SpMV program DAG (structure, costs, numerics)."""
 
-import numpy as np
-import pytest
-
 from repro.apps.spmv import SpmvCase, build_spmv_program
-from repro.dag.vertex import OpKind
 from repro.platform.costs import CostModel
 
 

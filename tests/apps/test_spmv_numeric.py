@@ -1,7 +1,6 @@
 """End-to-end numeric verification: every schedule computes y = Ax."""
 
 import numpy as np
-import pytest
 
 from repro.sim import ScheduleExecutor
 

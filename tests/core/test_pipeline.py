@@ -1,6 +1,5 @@
 """Tests for the end-to-end pipeline orchestrator."""
 
-import numpy as np
 import pytest
 
 from repro.core.pipeline import DesignRulePipeline, PipelineConfig

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.dag.graph import Graph
-from repro.dag.vertex import START, END, cpu_op, gpu_op
+from repro.dag.vertex import END, START, cpu_op, gpu_op
 from repro.errors import CycleError, GraphError
 
 

@@ -1,5 +1,7 @@
 """Round-trip tests for program serialization."""
 
+from repro.dag.graph import Graph
+from repro.dag.program import CommPlan, Message, Program
 from repro.dag.serialize import (
     graph_from_dict,
     graph_to_dict,
@@ -8,8 +10,6 @@ from repro.dag.serialize import (
     vertex_from_dict,
     vertex_to_dict,
 )
-from repro.dag.graph import Graph
-from repro.dag.program import CommPlan, Message, Program
 from repro.dag.vertex import Action, ActionKind, Work, cpu_op, gpu_op
 
 

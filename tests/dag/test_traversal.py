@@ -1,9 +1,7 @@
 """Tests (incl. property-based) for topological traversal helpers."""
 
 import numpy as np
-import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro.dag.graph import Graph
 from repro.dag.traversal import (

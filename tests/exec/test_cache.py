@@ -2,11 +2,7 @@
 
 import dataclasses
 
-from repro.exec.cache import (
-    MeasurementCache,
-    context_fingerprint,
-    program_fingerprint,
-)
+from repro.exec.cache import MeasurementCache, context_fingerprint, program_fingerprint
 from repro.platform.noise import NoiseModel
 from repro.sim.executor import ScheduleExecutor
 from repro.sim.measure import Benchmarker, Measurement, MeasurementConfig

@@ -1,6 +1,5 @@
 """Integration tests: the full system on custom programs and paper scale."""
 
-import numpy as np
 import pytest
 
 from repro.core.pipeline import DesignRulePipeline, PipelineConfig

@@ -1,11 +1,10 @@
 """Tests for evaluation metrics."""
 
 import numpy as np
-import pytest
 
 from repro.ml.labeling import ClassInfo
 from repro.ml.metrics import confusion_matrix, range_accuracy, training_error
-from repro.ml.tree import DecisionTree, TreeConfig
+from repro.ml.tree import DecisionTree
 
 
 def fitted_tree():

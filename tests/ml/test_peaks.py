@@ -1,10 +1,8 @@
 """Tests for peak detection, cross-checked against scipy.signal."""
 
 import numpy as np
-import pytest
 import scipy.signal
-from hypothesis import given, settings
-from hypothesis import strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro.ml.peaks import find_peaks, peak_prominences, prominent_peaks
 

@@ -1,8 +1,7 @@
 """Property-based tests for the decision tree."""
 
 import numpy as np
-from hypothesis import given, settings
-from hypothesis import strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro.ml.metrics import training_error
 from repro.ml.tree import DecisionTree, TreeConfig

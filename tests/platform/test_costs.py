@@ -6,7 +6,7 @@ from repro.dag.graph import Graph
 from repro.dag.program import Program
 from repro.dag.vertex import OpKind, Vertex, Work, cpu_op, gpu_op
 from repro.platform.costs import CostModel
-from repro.platform.machine import GpuModel, MachineConfig
+from repro.platform.machine import MachineConfig
 
 
 def make_program(vertex):

@@ -2,13 +2,7 @@
 
 import pytest
 
-from repro.platform.machine import (
-    CpuModel,
-    GpuModel,
-    MachineConfig,
-    NetworkModel,
-    Protocol,
-)
+from repro.platform.machine import GpuModel, MachineConfig, NetworkModel, Protocol
 
 
 class TestNetworkModel:

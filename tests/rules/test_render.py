@@ -35,7 +35,7 @@ def test_render_cell_marks_extras():
         extra=(Rule(F2, True),),
     )
     lines = render_compare_cell(result)
-    assert any("(+)" in l and "b before c" in l for l in lines)
+    assert any("(+)" in line and "b before c" in line for line in lines)
 
 
 def test_render_cell_marks_insufficient():
@@ -46,7 +46,7 @@ def test_render_cell_marks_insufficient():
     )
     lines = render_compare_cell(result)
     assert "insufficient rules" in lines
-    assert any("missing" in l for l in lines)
+    assert any("missing" in line for line in lines)
 
 
 def test_render_table_columns_aligned():
@@ -58,7 +58,7 @@ def test_render_table_columns_aligned():
     out = render_ruleset_table({"50": col, "100": col}, title="demo")
     lines = out.splitlines()
     assert lines[0] == "demo"
-    widths = {len(l) for l in lines[1:]}
+    widths = {len(line) for line in lines[1:]}
     assert len(widths) == 1  # rectangular table
     assert "| 50" in out and "| 100" in out
 

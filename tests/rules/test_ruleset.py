@@ -1,7 +1,5 @@
 """Tests for Rule / RuleSet logic."""
 
-import pytest
-
 from repro.ml.features import OrderFeature, StreamFeature
 from repro.rules.ruleset import Rule, RuleSet
 

@@ -1,0 +1,137 @@
+"""Tests for cross-workload rule scoring (repro.rules.score)."""
+
+from repro.dag.vertex import cpu_op, gpu_op
+from repro.ml.features import OrderFeature, StreamFeature
+from repro.rules.ruleset import Rule, RuleSet
+from repro.rules.score import (
+    class_rules,
+    op_role,
+    rule_satisfied,
+    rule_transfers,
+    score_rules,
+    transfer_summary,
+)
+from repro.schedule.schedule import BoundOp, Schedule
+
+
+def _sched(*ops):
+    return Schedule(ops)
+
+
+def _gpu(name, stream):
+    return BoundOp(vertex=gpu_op(name), stream=stream)
+
+
+def _cpu(name):
+    return BoundOp(vertex=cpu_op(name))
+
+
+SCHED = _sched(
+    _gpu("Pack_x", 0),
+    _cpu("PostSends_x"),
+    _gpu("Unpack_x", 1),
+    _cpu("WaitRecv_x"),
+)
+
+
+class TestOpRole:
+    def test_plain_names_unchanged(self):
+        assert op_role("Pack") == "Pack"
+        assert op_role("yL") == "yL"
+
+    def test_axis_and_index_qualifiers_stripped(self):
+        assert op_role("Pack_x") == "Pack"
+        assert op_role("PostSends_0") == "PostSends"
+        assert op_role("T1_2") == "T1"
+
+    def test_sync_ops_normalized_recursively(self):
+        assert op_role("CER-after-Pack_x") == "CER-after-Pack"
+        assert op_role("CES-b4-PostSends_0") == "CES-b4-PostSends"
+        assert (
+            op_role("CES-b4-Join0-after-S0B0_0") == "CES-b4-Join0-after-S0B0"
+        )
+        assert op_role("CSWE-Boundary-waits-Unpack_x") == (
+            "CSWE-Boundary-waits-Unpack"
+        )
+
+
+class TestRuleSatisfied:
+    def test_exact_order_rule(self):
+        rule = Rule(OrderFeature("Pack_x", "PostSends_x"), True)
+        assert rule_satisfied(rule, SCHED) is True
+        assert rule_satisfied(rule.negated(), SCHED) is False
+
+    def test_exact_missing_op_is_none(self):
+        rule = Rule(OrderFeature("Pack_y", "PostSends_x"), True)
+        assert rule_satisfied(rule, SCHED) is None
+        assert not rule_transfers(rule, SCHED)
+
+    def test_role_order_rule_transfers(self):
+        # learned on SpMV (bare names), scored on the halo-style schedule
+        rule = Rule(OrderFeature("Pack", "PostSends"), True)
+        assert rule_satisfied(rule, SCHED) is None  # exact: no bare 'Pack'
+        assert rule_satisfied(rule, SCHED, by_role=True) is True
+
+    def test_role_stream_rule(self):
+        rule = Rule(StreamFeature("Pack", "Unpack"), True)
+        assert rule_satisfied(rule, SCHED, by_role=True) is False
+        assert rule_satisfied(rule.negated(), SCHED, by_role=True) is True
+
+    def test_role_universal_quantification(self):
+        two_axis = _sched(
+            _gpu("Pack_x", 0),
+            _gpu("Pack_y", 0),
+            _cpu("PostSends_x"),
+            _cpu("PostSends_y"),
+        )
+        rule = Rule(OrderFeature("Pack", "PostSends"), True)
+        assert rule_satisfied(rule, two_axis, by_role=True) is True
+        mixed = _sched(
+            _gpu("Pack_x", 0),
+            _cpu("PostSends_x"),
+            _gpu("Pack_y", 0),
+            _cpu("PostSends_y"),
+        )
+        # Pack_y launches after PostSends_x ⇒ not *every* pair ordered
+        assert rule_satisfied(rule, mixed, by_role=True) is False
+
+    def test_identical_roles_do_not_self_match(self):
+        rule = Rule(OrderFeature("Pack_x", "Pack_y"), True)
+        assert rule_satisfied(rule, SCHED, by_role=True) is None
+
+
+class TestScoring:
+    def test_score_rules_counts(self):
+        rules = [
+            Rule(OrderFeature("Pack", "PostSends"), True),
+            Rule(OrderFeature("nope", "PostSends"), True),
+        ]
+        scores = score_rules(rules, [SCHED, SCHED], by_role=True)
+        by_text = {s.rule.text: s for s in scores}
+        hit = by_text["Pack before PostSends"]
+        assert (hit.n_transferred, hit.n_satisfied) == (2, 2)
+        assert hit.satisfaction == 1.0
+        miss = by_text["nope before PostSends"]
+        assert (miss.n_transferred, miss.satisfaction) == (0, 0.0)
+
+    def test_transfer_summary(self):
+        rules = [
+            Rule(OrderFeature("Pack", "PostSends"), True),
+            Rule(OrderFeature("nope", "PostSends"), True),
+        ]
+        scores = score_rules(rules, [SCHED], by_role=True)
+        n_rules, n_transferable, sat = transfer_summary(scores)
+        assert (n_rules, n_transferable, sat) == (2, 1, 1.0)
+
+    def test_transfer_summary_empty(self):
+        assert transfer_summary([]) == (0, 0, 0.0)
+
+    def test_class_rules_dedup(self):
+        r1 = Rule(OrderFeature("a", "b"), True)
+        r2 = Rule(OrderFeature("b", "c"), True)
+        rs0 = RuleSet(rules=frozenset({r1, r2}), predicted_class=0)
+        rs0b = RuleSet(rules=frozenset({r1}), predicted_class=0, leaf_id=1)
+        rs1 = RuleSet(rules=frozenset({r2}), predicted_class=1)
+        rules = class_rules([rs0, rs0b, rs1], 0)
+        assert set(rules) == {r1, r2}
+        assert class_rules([rs0, rs1], 1) == [r2]

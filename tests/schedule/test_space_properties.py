@@ -2,12 +2,11 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro.dag.graph import Graph
 from repro.dag.program import Program
-from repro.dag.vertex import OpKind, cpu_op, gpu_op
+from repro.dag.vertex import cpu_op, gpu_op
 from repro.schedule.space import DesignSpace
 
 

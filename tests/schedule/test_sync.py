@@ -1,6 +1,5 @@
 """Tests for Table III synchronization-insertion analysis."""
 
-from repro.apps.spmv import SpmvCase, build_spmv_program
 from repro.dag.graph import Graph
 from repro.dag.vertex import cpu_op, gpu_op
 from repro.schedule.sync import (

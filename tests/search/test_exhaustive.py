@@ -1,7 +1,6 @@
 """Tests for exhaustive search and the SearchResult container."""
 
 import numpy as np
-import pytest
 
 from repro.search.base import SearchResult
 from repro.search.exhaustive import ExhaustiveSearch

@@ -2,12 +2,9 @@
 
 import math
 
-import numpy as np
 import pytest
 
-from repro.schedule.space import DesignSpace
 from repro.search.mcts import MctsConfig, MctsNode, MctsSearch
-from repro.sim.measure import Benchmarker, MeasurementConfig
 
 
 @pytest.fixture()

@@ -1,7 +1,5 @@
 """Tests for the random-sampling baseline."""
 
-import numpy as np
-
 from repro.search.random_search import RandomSearch
 
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import DeadlockError, SimulationError
-from repro.sim.engine import AllOf, AnyOf, Channel, Environment, Event, Timeout
+from repro.sim.engine import Channel, Environment
 
 
 class TestEventBasics:

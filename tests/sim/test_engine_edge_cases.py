@@ -1,8 +1,5 @@
 """Additional edge-case tests for the simulation kernel."""
 
-import pytest
-
-from repro.errors import SimulationError
 from repro.sim.engine import Environment
 
 

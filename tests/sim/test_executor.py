@@ -1,6 +1,5 @@
 """Tests for the schedule executor on hand-built miniature programs."""
 
-import numpy as np
 import pytest
 
 from repro.dag.graph import Graph

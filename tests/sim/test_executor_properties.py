@@ -1,11 +1,10 @@
 """Property-style invariants of the schedule executor."""
 
-import numpy as np
 import pytest
 
 from repro.dag.graph import Graph
 from repro.dag.program import Program
-from repro.dag.vertex import OpKind, cpu_op, gpu_op
+from repro.dag.vertex import gpu_op
 from repro.errors import ScheduleError
 from repro.schedule.schedule import BoundOp, Schedule
 from repro.sim import ScheduleExecutor
@@ -98,8 +97,6 @@ class TestWaitBeforePostGuard:
     def test_wait_without_post_rejected(self, spmv_instance, machine):
         """A schedule that waits on a comm group before posting it is a
         programming error the executor reports, not a silent no-op."""
-        from repro.dag.vertex import Action, ActionKind
-
         graph = spmv_instance.program.graph
         wait = graph.vertex("WaitRecv")
         post = graph.vertex("PostRecvs")

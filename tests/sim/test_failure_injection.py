@@ -8,9 +8,8 @@ the executor's action guards — actually fire when given garbage.
 import numpy as np
 import pytest
 
-from repro.dag.vertex import OpKind
 from repro.errors import HazardError, ScheduleError
-from repro.schedule.schedule import BoundOp, Schedule
+from repro.schedule.schedule import Schedule
 from repro.sim import ScheduleExecutor
 
 

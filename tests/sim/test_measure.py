@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.sim.measure import Benchmarker, Measurement, MeasurementConfig
 from repro.sim.executor import ScheduleExecutor
+from repro.sim.measure import Benchmarker, MeasurementConfig
 
 
 class TestConfigValidation:

@@ -6,7 +6,6 @@ from repro.dag.graph import Graph
 from repro.dag.program import Program
 from repro.dag.vertex import gpu_op
 from repro.platform.machine import MachineConfig
-from repro.schedule.schedule import BoundOp, Schedule
 from repro.schedule.space import DesignSpace
 from repro.sim import ScheduleExecutor
 from tests.sim.test_executor import quiet_machine

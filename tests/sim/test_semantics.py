@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import HazardError
-from repro.sim.semantics import HazardTracker, PayloadContext, RankContext
+from repro.sim.semantics import HazardTracker, PayloadContext
 
 
 class TestHazardTracker:

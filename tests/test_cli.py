@@ -72,6 +72,54 @@ def test_bad_experiment_rejected():
         main(["not-an-experiment"])
 
 
+def test_list_enumerates_experiments_workloads_suites(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for experiment in ("fig1", "table5", "multi-input", "all"):
+        assert experiment in out
+    for family in (
+        "spmv",
+        "halo3d",
+        "layered_random",
+        "fork_join",
+        "tree_allreduce",
+        "wavefront",
+    ):
+        assert family in out
+    for suite in ("smoke", "paper", "generalization"):
+        assert suite in out
+
+
+def test_suite_smoke_writes_json_report(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "smoke.json"
+    assert main(["suite", "smoke", "--json", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "Suite 'smoke'" in out
+    assert str(path) in out
+    data = json.loads(path.read_text())
+    workloads = {c["workload"] for c in data["cells"]}
+    strategies = {c["strategy"] for c in data["cells"]}
+    # >= 6 workloads (2 adapted apps + 4 synthetic families), one JSON
+    # row per (workload, strategy) cell
+    assert len(workloads) >= 6
+    assert len(data["cells"]) == len(workloads) * len(strategies)
+
+
+def test_suite_json_to_stdout(capsys):
+    assert main(["suite", "smoke", "--json", "-"]) == 0
+    out = capsys.readouterr().out
+    assert '"suite": "smoke"' in out
+
+
+def test_suite_unknown_name_raises():
+    from repro.errors import WorkloadError
+
+    with pytest.raises(WorkloadError, match="unknown suite"):
+        main(["suite", "not-a-suite"])
+
+
 def test_public_api_importable():
     import repro
 

@@ -1,0 +1,86 @@
+"""Adapter fidelity: registry-built apps match the direct builders.
+
+The adapters must be pure translations — a registry-built program is
+graph-isomorphic (here: identical, vertex names included) to the direct
+builder's output, down to the timing fingerprint the measurement cache
+keys on.
+"""
+
+import pytest
+
+from repro.apps.halo import GridCase, build_halo_program
+from repro.apps.spmv import SpmvCase, build_spmv_program
+from repro.errors import WorkloadError
+from repro.exec import program_fingerprint
+from repro.workloads import WorkloadSpec, build_workload
+
+
+def _graph_summary(program):
+    vertices = sorted(
+        (v.name, v.kind.value, v.action.kind.value if v.action else None)
+        for v in program.graph
+    )
+    edges = sorted((u.name, v.name) for u, v in program.graph.edges())
+    return vertices, edges
+
+
+class TestSpmvAdapter:
+    def test_identical_to_direct_builder(self):
+        direct = build_spmv_program(SpmvCase().scaled(0.025)).program
+        adapted = build_workload(WorkloadSpec("spmv", {"scale": 0.025}))
+        assert _graph_summary(adapted) == _graph_summary(direct)
+        assert program_fingerprint(adapted) == program_fingerprint(direct)
+
+    def test_bandwidth_fraction_forwarded(self):
+        adapted = build_workload(
+            WorkloadSpec("spmv", {"scale": 0.025, "bandwidth_frac": 0.125})
+        )
+        direct = build_spmv_program(
+            SpmvCase(bandwidth=150_000 * 0.125).scaled(0.025)
+        ).program
+        assert program_fingerprint(adapted) == program_fingerprint(direct)
+
+    def test_seed_forwarded_to_matrix(self):
+        a = build_workload(WorkloadSpec("spmv", {"scale": 0.025}, seed=0))
+        b = build_workload(WorkloadSpec("spmv", {"scale": 0.025}, seed=1))
+        # different matrix ⇒ different per-rank work ⇒ different fingerprint
+        assert program_fingerprint(a) != program_fingerprint(b)
+
+    def test_upscale_actually_scales(self):
+        up = build_workload(WorkloadSpec("spmv", {"scale": 2.0}))
+        base = build_workload(WorkloadSpec("spmv", {"scale": 1.0}))
+        assert program_fingerprint(up) != program_fingerprint(base)
+
+    def test_nonpositive_scale_rejected(self):
+        with pytest.raises(WorkloadError, match="must be positive"):
+            build_workload(WorkloadSpec("spmv", {"scale": 0.0}))
+
+
+class TestHaloAdapter:
+    PARAMS = {"nx": 32, "ny": 32, "nz": 32, "px": 2, "py": 2, "pz": 1}
+
+    def test_identical_to_direct_builder(self):
+        direct = build_halo_program(
+            GridCase(**self.PARAMS), axes=(0, 1)
+        )
+        adapted = build_workload(
+            WorkloadSpec("halo3d", {**self.PARAMS, "axes": "xy"})
+        )
+        assert _graph_summary(adapted) == _graph_summary(direct)
+        assert program_fingerprint(adapted) == program_fingerprint(direct)
+
+    def test_axes_subset(self):
+        adapted = build_workload(
+            WorkloadSpec("halo3d", {**self.PARAMS, "axes": "z"})
+        )
+        names = {v.name for v in adapted.graph}
+        assert "Pack_z" in names
+        assert "Pack_x" not in names
+        assert set(adapted.comm) == {"halo_z"}
+
+    @pytest.mark.parametrize("axes", ["xw", "", "ab"])
+    def test_invalid_axes_rejected(self, axes):
+        with pytest.raises(WorkloadError, match="subset of 'xyz'"):
+            build_workload(
+                WorkloadSpec("halo3d", {**self.PARAMS, "axes": axes})
+            )

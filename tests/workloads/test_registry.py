@@ -1,0 +1,112 @@
+"""Tests for the workload spec + registry layer."""
+
+import pytest
+
+from repro.dag.program import Program
+from repro.errors import WorkloadError
+from repro.workloads import (
+    WorkloadSpec,
+    build_workload,
+    get_family,
+    list_families,
+    workload,
+)
+from repro.workloads.spec import _REGISTRY
+
+
+EXPECTED_FAMILIES = {
+    "spmv",
+    "halo3d",
+    "layered_random",
+    "fork_join",
+    "tree_allreduce",
+    "wavefront",
+}
+
+
+class TestSpec:
+    def test_params_normalized_to_sorted_tuple(self):
+        a = WorkloadSpec("spmv", {"b": 1, "a": 2})
+        b = WorkloadSpec("spmv", {"a": 2, "b": 1})
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a.params == (("a", 2), ("b", 1))
+
+    def test_label_stable_and_parameterized(self):
+        s = WorkloadSpec("wavefront", {"width": 2}, seed=7)
+        assert s.label == "wavefront[width=2,seed=7]"
+        assert WorkloadSpec("wavefront").label == "wavefront[seed=0]"
+
+    def test_with_params_and_seed(self):
+        s = WorkloadSpec("wavefront", {"width": 2})
+        assert s.with_params(height=3).param_dict == {"width": 2, "height": 3}
+        assert s.with_seed(5).seed == 5
+        assert s.seed == 0  # original untouched
+
+    def test_dataclasses_replace_round_trips(self):
+        import dataclasses
+
+        s = WorkloadSpec("layered_random", {"layers": 3}, seed=0)
+        r = dataclasses.replace(s, seed=1)
+        assert r == s.with_seed(1)
+        assert r.param_dict == {"layers": 3}
+
+
+class TestRegistry:
+    def test_builtin_families_registered(self):
+        names = {f.name for f in list_families()}
+        assert EXPECTED_FAMILIES <= names
+
+    def test_families_sorted_and_described(self):
+        families = list_families()
+        assert [f.name for f in families] == sorted(f.name for f in families)
+        assert all(f.description for f in families)
+
+    def test_get_family_unknown_raises(self):
+        with pytest.raises(WorkloadError, match="unknown workload family"):
+            get_family("no-such-family")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(WorkloadError, match="already registered"):
+            workload("spmv")(lambda spec: None)
+
+    def test_default_spec_builds(self):
+        fam = get_family("wavefront")
+        program = build_workload(fam.default_spec())
+        assert isinstance(program, Program)
+
+    def test_reimport_does_not_reregister(self):
+        before = set(_REGISTRY)
+        import repro.workloads.adapters  # noqa: F401
+        import repro.workloads.synthetic  # noqa: F401
+
+        assert set(_REGISTRY) == before
+
+
+class TestBuild:
+    def test_build_every_family_default(self):
+        for fam in list_families():
+            spec = fam.default_spec()
+            if fam.name == "spmv":
+                spec = spec.with_params(scale=0.01)
+            if fam.name == "halo3d":
+                spec = spec.with_params(nx=16, ny=16, nz=16)
+            program = build_workload(spec)
+            assert isinstance(program, Program)
+            program.graph.validate()
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(WorkloadError, match="unknown parameters"):
+            build_workload(WorkloadSpec("wavefront", {"wdith": 2}))
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(WorkloadError, match="unknown workload family"):
+            build_workload(WorkloadSpec("nope"))
+
+    def test_invalid_parameter_value_rejected(self):
+        with pytest.raises(WorkloadError, match="must be >= 1"):
+            build_workload(WorkloadSpec("wavefront", {"width": 0}))
+
+    def test_non_integral_parameter_rejected(self):
+        with pytest.raises(WorkloadError, match="must be an integer"):
+            build_workload(WorkloadSpec("layered_random", {"layers": 2.9}))

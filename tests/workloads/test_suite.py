@@ -1,0 +1,127 @@
+"""Tests for the suite layer: definitions, runner, report, caching."""
+
+import json
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.platform.presets import perlmutter_like
+from repro.sim.measure import MeasurementConfig
+from repro.workloads import (
+    Suite,
+    SuiteRunner,
+    WorkloadSpec,
+    builtin_suites,
+    get_suite,
+    run_suite,
+)
+
+def _comparable(cell, *, drop=("wall_s",)):
+    """Cell dict minus fields that legitimately vary between runs."""
+    return {k: v for k, v in cell.to_dict().items() if k not in drop}
+
+
+TINY = Suite(
+    name="tiny",
+    description="two tiny workloads for tests",
+    specs=(
+        WorkloadSpec("wavefront", {"width": 2, "height": 2}),
+        WorkloadSpec("fork_join", {"stages": 1, "branches": 2, "depth": 1}),
+    ),
+    strategies=("random", "mcts"),
+    n_iterations=4,
+    measurement=MeasurementConfig(max_samples=1),
+)
+
+
+class TestDefinitions:
+    def test_builtin_suites_present(self):
+        assert {"smoke", "paper", "generalization"} <= set(builtin_suites())
+
+    def test_smoke_covers_all_six_families(self):
+        smoke = get_suite("smoke")
+        families = {s.family for s in smoke.specs}
+        assert families == {
+            "spmv",
+            "halo3d",
+            "layered_random",
+            "fork_join",
+            "tree_allreduce",
+            "wavefront",
+        }
+        assert len(smoke.specs) >= 6
+
+    def test_unknown_suite_rejected(self):
+        with pytest.raises(WorkloadError, match="unknown suite"):
+            get_suite("nope")
+
+
+class TestRunner:
+    def test_one_cell_per_workload_strategy_pair(self):
+        report = SuiteRunner(TINY).run()
+        assert len(report.cells) == len(TINY.specs) * len(TINY.strategies)
+        pairs = {(c.workload, c.strategy) for c in report.cells}
+        assert len(pairs) == len(report.cells)
+        for cell in report.cells:
+            assert cell.n_iterations == TINY.n_iterations
+            assert cell.best_time > 0
+            assert cell.best_time <= cell.mean_time
+            assert cell.n_simulations > 0
+
+    def test_json_report_round_trips(self):
+        report = SuiteRunner(TINY).run()
+        data = json.loads(report.to_json())
+        assert data["suite"] == "tiny"
+        assert len(data["cells"]) == len(report.cells)
+        row = data["cells"][0]
+        assert {"workload", "family", "strategy", "best_time_us"} <= set(row)
+
+    def test_ascii_table_lists_every_cell(self):
+        report = SuiteRunner(TINY).run()
+        table = report.ascii_table()
+        for cell in report.cells:
+            assert cell.workload in table
+        assert "best(us)" in table
+
+    def test_deterministic_across_runs(self):
+        a = SuiteRunner(TINY).run()
+        b = SuiteRunner(TINY).run()
+        assert [_comparable(c) for c in a.cells] == [
+            _comparable(c) for c in b.cells
+        ]
+
+    def test_workers_do_not_change_results(self):
+        serial = SuiteRunner(TINY).run()
+        parallel = SuiteRunner(TINY, workers=2).run()
+        assert [_comparable(c) for c in serial.cells] == [
+            _comparable(c) for c in parallel.cells
+        ]
+
+    def test_cache_hits_across_runs(self, tmp_path):
+        """Same suite, same cache file ⇒ second run re-simulates nothing
+        (workload fingerprints are bit-stable)."""
+        cache = str(tmp_path / "suite.sqlite")
+        first = SuiteRunner(TINY, cache_path=cache).run()
+        second = SuiteRunner(TINY, cache_path=cache).run()
+        assert sum(c.n_simulations for c in first.cells) > 0
+        assert sum(c.n_simulations for c in second.cells) == 0
+        drop = ("wall_s", "n_simulations")
+        assert [_comparable(c, drop=drop) for c in first.cells] == [
+            _comparable(c, drop=drop) for c in second.cells
+        ]
+
+    def test_save_json(self, tmp_path):
+        path = tmp_path / "report.json"
+        report = SuiteRunner(TINY).run()
+        report.save_json(str(path))
+        assert json.loads(path.read_text())["suite"] == "tiny"
+
+
+@pytest.mark.slow
+class TestSmokeSuite:
+    def test_smoke_runs_end_to_end(self):
+        report = run_suite("smoke", machine=perlmutter_like())
+        smoke = get_suite("smoke")
+        assert len(report.cells) == len(smoke.specs) * len(smoke.strategies)
+        # >= 6 workloads through the evaluator, one row per cell
+        assert len({c.workload for c in report.cells}) >= 6

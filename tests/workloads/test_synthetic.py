@@ -1,0 +1,154 @@
+"""Tests for the synthetic DAG generator families, including the
+bit-stable determinism contract the measurement cache depends on."""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.dag.vertex import OpKind
+from repro.exec import program_fingerprint
+from repro.schedule.space import DesignSpace
+from repro.workloads import WorkloadSpec, build_workload
+
+SPECS = [
+    WorkloadSpec("layered_random", {"layers": 3, "width": 2, "edge_p": 0.5}),
+    WorkloadSpec("fork_join", {"stages": 2, "branches": 2, "depth": 1}),
+    WorkloadSpec("tree_allreduce", {"rounds": 2, "elems": 1024}),
+    WorkloadSpec("wavefront", {"width": 2, "height": 3}),
+]
+
+
+def _structure(program):
+    """Comparable structural summary of a program."""
+    vertices = sorted(
+        (v.name, v.kind.value, v.duration, v.work) for v in program.graph
+    )
+    edges = sorted((u.name, v.name) for u, v in program.graph.edges())
+    comm = {
+        g: tuple(plan.messages) for g, plan in sorted(program.comm.items())
+    }
+    return (program.name, program.n_ranks, vertices, edges, comm)
+
+
+class TestValidity:
+    @pytest.mark.parametrize("spec", SPECS, ids=lambda s: s.family)
+    def test_emits_valid_program(self, spec):
+        program = build_workload(spec)
+        program.graph.validate()
+        assert program.schedulable_vertices()
+        # every program explores a non-trivial space on two streams
+        space = DesignSpace(program, n_streams=2)
+        assert space.count() > 1
+
+    @pytest.mark.parametrize("spec", SPECS, ids=lambda s: s.family)
+    def test_gpu_work_is_costed(self, spec):
+        program = build_workload(spec)
+        for v in program.graph.gpu_vertices():
+            assert v.work is not None
+            assert v.work.flops > 0 or v.work.bytes_moved > 0
+
+    def test_tree_allreduce_ranks_and_messages(self):
+        program = build_workload(
+            WorkloadSpec("tree_allreduce", {"rounds": 2, "elems": 64})
+        )
+        assert program.n_ranks == 4
+        assert set(program.comm) == {"round0", "round1"}
+        for r, plan in enumerate(program.comm.values()):
+            # every rank sends exactly one partial to its round partner
+            assert plan.n_messages == 4
+            for m in plan.messages:
+                assert m.dst == m.src ^ (1 << r)
+
+    def test_wavefront_dependency_structure(self):
+        program = build_workload(
+            WorkloadSpec("wavefront", {"width": 3, "height": 2})
+        )
+        g = program.graph
+        succ = {v.name for v in g.successors("T0_0")}
+        assert {"T1_0", "T0_1"} <= succ
+        # all tiles are GPU ops
+        assert all(
+            g.vertex(f"T{i}_{j}").kind is OpKind.GPU
+            for i in range(3)
+            for j in range(2)
+        )
+
+    def test_fork_join_join_is_cpu(self):
+        program = build_workload(
+            WorkloadSpec("fork_join", {"stages": 2, "branches": 3, "depth": 2})
+        )
+        g = program.graph
+        assert g.vertex("Join0").kind is OpKind.CPU
+        preds = {v.name for v in g.predecessors("Join0")}
+        assert preds == {"S0B0_1", "S0B1_1", "S0B2_1"}
+
+    def test_layered_random_edges_respect_layers(self):
+        program = build_workload(
+            WorkloadSpec("layered_random", {"layers": 4, "width": 3})
+        )
+        for u, v in program.graph.edges():
+            if u.kind is not OpKind.GPU or v.kind is not OpKind.GPU:
+                continue
+            lu = int(u.name[1:].split("_")[0])
+            lv = int(v.name[1:].split("_")[0])
+            assert lv == lu + 1
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("spec", SPECS, ids=lambda s: s.family)
+    def test_same_seed_identical_structure(self, spec):
+        a = build_workload(spec)
+        b = build_workload(spec)
+        assert _structure(a) == _structure(b)
+        assert program_fingerprint(a) == program_fingerprint(b)
+
+    def test_different_seed_changes_costs(self):
+        spec = WorkloadSpec("wavefront", {"width": 2, "height": 2})
+        a = build_workload(spec)
+        b = build_workload(spec.with_seed(1))
+        assert program_fingerprint(a) != program_fingerprint(b)
+
+    def test_different_seed_can_change_random_structure(self):
+        base = WorkloadSpec(
+            "layered_random", {"layers": 4, "width": 3, "edge_p": 0.5}
+        )
+        edge_sets = {
+            tuple(
+                sorted(
+                    (u.name, v.name)
+                    for u, v in build_workload(base.with_seed(s)).graph.edges()
+                )
+            )
+            for s in range(6)
+        }
+        assert len(edge_sets) > 1
+
+    @pytest.mark.parametrize("spec", SPECS, ids=lambda s: s.family)
+    def test_fingerprint_stable_across_processes(self, spec):
+        """Same spec in a fresh interpreter ⇒ bit-identical program
+        fingerprint, so MeasurementCache contexts hit across runs."""
+        code = (
+            "from repro.workloads import WorkloadSpec, build_workload\n"
+            "from repro.exec import program_fingerprint\n"
+            f"spec = WorkloadSpec({spec.family!r}, {spec.param_dict!r}, "
+            f"seed={spec.seed})\n"
+            "print(program_fingerprint(build_workload(spec)))\n"
+        )
+        import repro
+
+        env = dict(os.environ)
+        src_dir = str(Path(repro.__file__).resolve().parent.parent)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (src_dir, env.get("PYTHONPATH")) if p
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            check=True,
+            env=env,
+        )
+        assert out.stdout.strip() == program_fingerprint(build_workload(spec))
