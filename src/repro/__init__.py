@@ -58,6 +58,15 @@ from repro.rules import RuleSet, compare_rulesets, extract_rulesets
 from repro.schedule import BoundOp, DesignSpace, Schedule
 from repro.search import ExhaustiveSearch, MctsConfig, MctsSearch, RandomSearch
 from repro.sim import Benchmarker, Gantt, MeasurementConfig, ScheduleExecutor, SimResult
+from repro.transfer import (
+    OpSignature,
+    SignatureMatcher,
+    TransferMatrixResult,
+    program_signatures,
+    run_transfer_matrix,
+    score_transfer,
+    train_union,
+)
 from repro.version import __version__
 from repro.workloads import (
     Suite,
@@ -95,6 +104,7 @@ __all__ = [
     "ParallelEvaluator",
     "NoiseModel",
     "OpKind",
+    "OpSignature",
     "PipelineConfig",
     "PipelineResult",
     "Program",
@@ -103,11 +113,13 @@ __all__ = [
     "Schedule",
     "ScheduleExecutor",
     "SerialEvaluator",
+    "SignatureMatcher",
     "SimResult",
     "SpmvCase",
     "Suite",
     "SuiteReport",
     "SuiteRunner",
+    "TransferMatrixResult",
     "TreeConfig",
     "Vertex",
     "Work",
@@ -124,8 +136,12 @@ __all__ = [
     "list_families",
     "noiseless",
     "perlmutter_like",
+    "program_signatures",
     "range_accuracy",
     "run_suite",
+    "run_transfer_matrix",
+    "score_transfer",
     "search_tree_size",
     "spmv_paper_case",
+    "train_union",
 ]

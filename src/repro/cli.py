@@ -192,6 +192,45 @@ def _cmd_suite(args) -> str:
     return out
 
 
+def _cmd_transfer(args) -> str:
+    """Run the cross-program transfer-matrix experiment."""
+    import json
+
+    from repro.platform.presets import perlmutter_like
+    from repro.sim.measure import MeasurementConfig
+    from repro.transfer import run_transfer_matrix
+    from repro.workloads import get_suite
+
+    suite = get_suite(args.suite)
+    measurement = (
+        MeasurementConfig(max_samples=1) if args.smoke else suite.measurement
+    )
+    result = run_transfer_matrix(
+        suite.specs,
+        machine=perlmutter_like(noise_sigma=args.noise),
+        n_streams=suite.n_streams,
+        measurement=measurement,
+        workers=args.workers,
+        cache_path=args.cache,
+    )
+    out = result.report()
+    json_path = args.json or "repro-transfer.json"
+    if json_path == "-":
+        out += "\n" + json.dumps(result.to_dict(), indent=2, sort_keys=True)
+    else:
+        with open(json_path, "w", encoding="utf-8") as fh:
+            json.dump(result.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        out += f"\nJSON report written to {json_path}"
+    if args.report:
+        from repro.report import render_transfer_report
+
+        with open(args.report, "w", encoding="utf-8") as fh:
+            fh.write(render_transfer_report(result) + "\n")
+        out += f"\nMarkdown report written to {args.report}"
+    return out
+
+
 # ----------------------------------------------------------------------
 def _add_experiment_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
@@ -270,6 +309,46 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     _add_common_options(p)
+
+    p = sub.add_parser(
+        "transfer",
+        help=(
+            "cross-program transfer matrix: signature-matched rule "
+            "discrimination + leave-one-workload-out union tree"
+        ),
+    )
+    p.add_argument(
+        "--suite",
+        type=str,
+        default="generalization",
+        help=(
+            "suite whose workloads form the matrix (needs exhaustible "
+            "spaces; default: generalization)"
+        ),
+    )
+    p.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI-fast mode: single measurement sample per schedule",
+    )
+    p.add_argument(
+        "--json",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help=(
+            "where to write the JSON report "
+            "(default repro-transfer.json; '-' appends it to stdout)"
+        ),
+    )
+    p.add_argument(
+        "--report",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="also write a markdown report (repro.report) to PATH",
+    )
+    _add_common_options(p)
     return parser
 
 
@@ -283,6 +362,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(_cmd_list(args))
     elif args.command == "suite":
         print(_cmd_suite(args))
+    elif args.command == "transfer":
+        print(_cmd_transfer(args))
     else:
         print(_COMMANDS[args.command][0](args))
     return 0

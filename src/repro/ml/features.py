@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import combinations
-from typing import List, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -160,4 +160,147 @@ class FeatureExtractor:
                     mat[i, j] = 1 if pu < pv else 0
                 else:
                     mat[i, j] = 1 if streams[f.u] == streams[f.v] else 0
+        return mat
+
+
+#: Schedule op name -> canonical key; ``None``/absent ops do not
+#: participate in mapped features.
+KeyMapping = Mapping[str, Optional[str]]
+
+
+class MappedFeatureExtractor:
+    """Feature extraction over canonical op *keys* instead of raw names.
+
+    The base :class:`FeatureExtractor` identifies operations by name,
+    which confines a feature space to a single program.  This extractor
+    takes, alongside each schedule set, a name→key mapping (typically
+    structural signature keys from
+    :func:`repro.transfer.signature.program_signatures`) and builds the
+    pairwise features over keys shared by at least ``min_sets`` tagged
+    sets — one canonical feature space several programs project into.
+    Requiring two sets (the default) grounds every feature in transfer:
+    some *other* program can express it too; strict intersection across
+    all sets would leave nothing when even one comm-free workload joins
+    a union of communication patterns.
+
+    Several ops of one schedule may share a key; features quantify
+    universally, matching rule evaluation in :mod:`repro.rules.score`:
+    an ordering feature is 1 iff every ``u``-key op launches before every
+    ``v``-key op, and a stream feature is 1 iff all cross pairs share a
+    stream.  A feature whose keys a schedule lacks evaluates to 0 there —
+    a constraint about structure a program does not have is unsatisfied,
+    not an error — which also makes held-out-workload projection total.
+    """
+
+    def __init__(self) -> None:
+        self.keys: Tuple[str, ...] = ()
+        self.gpu_keys: Tuple[str, ...] = ()
+        self.features: List[Feature] = []
+        self._fitted = False
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _schedule_groups(
+        schedule: Schedule, mapping: KeyMapping
+    ) -> Tuple[Dict[str, List[int]], Dict[str, List[int]]]:
+        """(key -> launch positions, key -> GPU stream bindings)."""
+        order: Dict[str, List[int]] = {}
+        streams: Dict[str, List[int]] = {}
+        for i, op in enumerate(schedule.ops):
+            key = mapping.get(op.name)
+            if key is None:
+                continue
+            order.setdefault(key, []).append(i)
+            if op.kind is OpKind.GPU:
+                streams.setdefault(key, []).append(op.stream)  # type: ignore[arg-type]
+        return order, streams
+
+    def fit(
+        self,
+        tagged: Sequence[Tuple[Sequence[Schedule], KeyMapping]],
+        *,
+        min_sets: Optional[int] = None,
+    ) -> "MappedFeatureExtractor":
+        """Fix the key vocabulary and feature set from several schedule
+        sets, each with its own name→key mapping.
+
+        A key enters the vocabulary when it appears (in some schedule)
+        in at least ``min_sets`` sets — default ``min(2, len(tagged))``.
+        Constant columns over the concatenated sets are dropped.
+        """
+        if not tagged or not any(schedules for schedules, _ in tagged):
+            raise TrainingError("cannot fit mapped features on zero schedules")
+        if min_sets is None:
+            min_sets = min(2, len(tagged))
+        seen_in: Dict[str, int] = {}
+        gpu_seen_in: Dict[str, int] = {}
+        for schedules, mapping in tagged:
+            present: set = set()
+            gpu_present: set = set()
+            for s in schedules:
+                order, streams = self._schedule_groups(s, mapping)
+                present |= set(order)
+                gpu_present |= set(streams)
+            for key in present:
+                seen_in[key] = seen_in.get(key, 0) + 1
+            for key in gpu_present:
+                gpu_seen_in[key] = gpu_seen_in.get(key, 0) + 1
+        self.keys = tuple(
+            sorted(k for k, n in seen_in.items() if n >= min_sets)
+        )
+        self.gpu_keys = tuple(
+            sorted(k for k, n in gpu_seen_in.items() if n >= min_sets)
+        )
+        candidates: List[Feature] = [
+            OrderFeature(u, v) for u, v in combinations(self.keys, 2)
+        ]
+        candidates += [
+            StreamFeature(u, v) for u, v in combinations(self.gpu_keys, 2)
+        ]
+        blocks = [
+            self._raw_matrix(schedules, mapping, candidates)
+            for schedules, mapping in tagged
+            if schedules
+        ]
+        full = np.concatenate(blocks, axis=0)
+        keep = [
+            j
+            for j in range(full.shape[1])
+            if not np.all(full[:, j] == full[0, j])
+        ]
+        self.features = [candidates[j] for j in keep]
+        self._fitted = True
+        return self
+
+    def transform(
+        self, schedules: Sequence[Schedule], mapping: KeyMapping
+    ) -> FeatureMatrix:
+        if not self._fitted:
+            raise TrainingError("extractor is not fitted")
+        return FeatureMatrix(
+            matrix=self._raw_matrix(schedules, mapping, self.features),
+            features=self.features,
+        )
+
+    # ------------------------------------------------------------------
+    def _raw_matrix(
+        self,
+        schedules: Sequence[Schedule],
+        mapping: KeyMapping,
+        features: Sequence[Feature],
+    ) -> np.ndarray:
+        mat = np.zeros((len(schedules), len(features)), dtype=np.uint8)
+        for i, s in enumerate(schedules):
+            order, streams = self._schedule_groups(s, mapping)
+            for j, f in enumerate(features):
+                if isinstance(f, OrderFeature):
+                    us, vs = order.get(f.u), order.get(f.v)
+                    if us and vs:
+                        mat[i, j] = 1 if max(us) < min(vs) else 0
+                else:
+                    su, sv = streams.get(f.u), streams.get(f.v)
+                    if su and sv:
+                        mat[i, j] = (
+                            1 if all(a == b for a in su for b in sv) else 0
+                        )
         return mat

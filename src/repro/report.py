@@ -1,19 +1,24 @@
-"""Programmatic experiment report (markdown).
+"""Programmatic experiment reports (markdown).
 
 ``generate_report(wb)`` runs every paper experiment on a workbench and
 renders a single markdown document — the machine-generated counterpart of
 EXPERIMENTS.md, useful for regenerating results on a different platform
-configuration or problem scale.
+configuration or problem scale.  ``render_transfer_report(result)``
+renders a :class:`repro.transfer.TransferMatrixResult` the same way (the
+``repro transfer --report`` output).
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 from repro.experiments.figures import run_fig1, run_fig4, run_fig5, run_fig6
 from repro.experiments.tables import run_rule_tables, run_table5
 from repro.experiments.workbench import SpmvWorkbench
 from repro.platform.presets import describe
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.transfer.matrix import TransferMatrixResult
 
 
 def _section(title: str, body: str) -> str:
@@ -22,6 +27,15 @@ def _section(title: str, body: str) -> str:
 
 def _code(body: str) -> str:
     return f"```\n{body.rstrip()}\n```"
+
+
+def _md_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "| " + " | ".join("---" for _ in headers) + " |",
+    ]
+    lines += ["| " + " | ".join(r) + " |" for r in rows]
+    return "\n".join(lines)
 
 
 def generate_report(
@@ -75,4 +89,102 @@ def generate_report(
                 _code(rt.report(max_rulesets=3)),
             )
         )
+    return "\n".join(parts)
+
+
+# ----------------------------------------------------------------------
+def render_transfer_report(result: "TransferMatrixResult") -> str:
+    """Markdown report of a cross-program transfer-matrix experiment.
+
+    Sections: the discrimination grid (signature-matched fast/slow
+    satisfaction gaps), the per-target always-true controls (which must
+    score 0 — the metric's vacuity check), and the leave-one-workload-out
+    union-tree accuracy row.
+    """
+    parts: List[str] = [
+        "# Cross-program transfer report",
+        "",
+        f"Workloads: {len(result.workloads)}",
+        "",
+        "\n".join(f"- `{w}`" for w in result.workloads),
+        "",
+        _section(
+            "Discrimination matrix",
+            "Each source workload's fastest-class rules scored on every "
+            "other workload via structural signature matching.  "
+            "*disc* is the mean fast/slow satisfaction gap over "
+            "transferable rules (+1 = perfectly separates the target's "
+            "fast class, 0 = uninformative); *cover* is the mean "
+            "fraction of target schedules the rules were evaluable "
+            "on.\n\n"
+            + _md_table(
+                ("rules from", "scored on", "transfer", "disc", "cover", "best"),
+                [
+                    (
+                        f"`{c['source']}`",
+                        f"`{c['target']}`",
+                        f"{c['n_transferable']}/{c['n_rules']}",
+                        f"{float(c['mean_discrimination']):+.2f}",
+                        f"{100.0 * float(c['mean_coverage']):.0f}%",
+                        f"{float(c['best_discrimination']):+.2f}",
+                    )
+                    for c in result.rows()
+                ],
+            ),
+        ),
+        _section(
+            "Always-true controls",
+            "A vacuous rule (implied by the target's own dependence "
+            "edges, hence satisfied by every schedule) is injected per "
+            "target; under satisfaction scoring it would transfer "
+            "perfectly, under discrimination scoring it must score "
+            "0.\n\n"
+            + _md_table(
+                ("target", "control rule", "fast", "slow", "disc"),
+                [
+                    (
+                        f"`{c.target}`",
+                        f"`{c.rule}`",
+                        f"{100.0 * c.fast_satisfaction:.0f}%",
+                        f"{100.0 * c.slow_satisfaction:.0f}%",
+                        f"{c.discrimination:+.2f}",
+                    )
+                    for c in result.controls
+                ],
+            ),
+        ),
+    ]
+    if result.union_rows:
+        parts.append(
+            _section(
+                "Union-trained tree (leave-one-workload-out)",
+                "One tree trained on the union of all other workloads' "
+                "schedules in the signature-canonical feature space, "
+                "then asked to classify the held-out workload's "
+                "schedules fast/slow.\n\n"
+                + _md_table(
+                    (
+                        "held-out target",
+                        "train sources",
+                        "features",
+                        "leaves",
+                        "train acc",
+                        "held-out acc",
+                    ),
+                    [
+                        (
+                            f"`{u.target}`",
+                            str(len(u.trained_on)),
+                            str(u.n_features),
+                            str(u.n_leaves),
+                            f"{100.0 * u.train_accuracy:.0f}%",
+                            f"{100.0 * u.holdout_accuracy:.0f}%",
+                        )
+                        for u in result.union_rows
+                    ],
+                ),
+            )
+        )
+    if result.union_note:
+        parts.append(_section("Union training note", result.union_note))
     return "\n".join(parts)

@@ -23,13 +23,25 @@ This is the measurement behind the cross-workload generalization table
 (:mod:`repro.workloads.generalization`): a rule that separates fast from
 slow schedules on the workload it was learned on, *and* on workloads it
 never saw, is a genuine design rule rather than an artifact of one DAG.
+
+Signature matching
+------------------
+Role matching still presumes shared naming.  Every evaluation entry point
+also accepts a ``matcher`` — an object with ``rule_key(name)`` mapping a
+rule operand (a source-program op name) to a canonical group key and
+``op_key(name)`` doing the same for target-schedule ops, either returning
+``None`` for names that do not participate.  ``matcher`` overrides
+``by_role``; :class:`repro.transfer.signature.SignatureMatcher` uses it
+to match operations by *structural* signature (action kind, device,
+comm-group topology, dependence-chain position), so families with
+disjoint naming can still exchange rules.
 """
 
 from __future__ import annotations
 
 import re
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.dag.vertex import OpKind
 from repro.ml.features import OrderFeature, StreamFeature
@@ -66,27 +78,43 @@ def op_role(name: str) -> str:
     return _QUALIFIER.sub("", name)
 
 
+#: Maps an op name to its grouping key; ``None`` = does not participate.
+KeyFn = Callable[[str], Optional[str]]
+
+
+def _key_fns(by_role: bool, matcher) -> Tuple[KeyFn, KeyFn]:
+    """``(rule_key, op_key)`` for the requested matching mode."""
+    if matcher is not None:
+        return (matcher.rule_key, matcher.op_key)
+    if by_role:
+        return (op_role, op_role)
+    identity: KeyFn = lambda name: name  # noqa: E731
+    return (identity, identity)
+
+
 def _order_groups(
-    schedule: Schedule, by_role: bool
+    schedule: Schedule, op_key: KeyFn
 ) -> Dict[str, List[int]]:
-    """Op name (or role) -> launch positions."""
+    """Op key -> launch positions (ops keyed ``None`` are dropped)."""
     groups: Dict[str, List[int]] = {}
     for i, op in enumerate(schedule.ops):
-        key = op_role(op.name) if by_role else op.name
-        groups.setdefault(key, []).append(i)
+        key = op_key(op.name)
+        if key is not None:
+            groups.setdefault(key, []).append(i)
     return groups
 
 
 def _stream_groups(
-    schedule: Schedule, by_role: bool
+    schedule: Schedule, op_key: KeyFn
 ) -> Dict[str, List[int]]:
-    """GPU op name (or role) -> stream bindings."""
+    """GPU op key -> stream bindings (ops keyed ``None`` are dropped)."""
     groups: Dict[str, List[int]] = {}
     for op in schedule.ops:
         if op.kind is not OpKind.GPU:
             continue
-        key = op_role(op.name) if by_role else op.name
-        groups.setdefault(key, []).append(op.stream)  # type: ignore[arg-type]
+        key = op_key(op.name)
+        if key is not None:
+            groups.setdefault(key, []).append(op.stream)  # type: ignore[arg-type]
     return groups
 
 
@@ -94,7 +122,7 @@ def _eval_rule(
     rule: Rule,
     order_groups: Dict[str, List[int]],
     stream_groups: Dict[str, List[int]],
-    by_role: bool,
+    rule_key: KeyFn,
 ) -> Optional[bool]:
     f = rule.feature
     if isinstance(f, OrderFeature):
@@ -103,10 +131,12 @@ def _eval_rule(
         groups = stream_groups
     else:
         return None
-    key_u = op_role(f.u) if by_role else f.u
-    key_v = op_role(f.v) if by_role else f.v
+    key_u = rule_key(f.u)
+    key_v = rule_key(f.v)
+    if key_u is None or key_v is None or key_u == key_v:
+        return None
     us, vs = groups.get(key_u), groups.get(key_v)
-    if not us or not vs or key_u == key_v:
+    if not us or not vs:
         return None
     if isinstance(f, OrderFeature):
         if rule.value:
@@ -118,27 +148,37 @@ def _eval_rule(
 
 
 def rule_satisfied(
-    rule: Rule, schedule: Schedule, *, by_role: bool = False
+    rule: Rule,
+    schedule: Schedule,
+    *,
+    by_role: bool = False,
+    matcher=None,
 ) -> Optional[bool]:
     """Whether ``schedule`` follows ``rule``; ``None`` if the rule does
-    not transfer (an op/role the rule mentions is absent).
+    not transfer (an op/role/signature the rule mentions is absent, or
+    both of its operations collapse onto the same group).
 
-    With ``by_role=True`` several ops may match each side; the rule is
-    satisfied iff every cross pair satisfies the constraint.
+    With ``by_role=True`` (or a ``matcher``) several ops may match each
+    side; the rule is satisfied iff every cross pair satisfies the
+    constraint.
     """
+    rule_key, op_key = _key_fns(by_role, matcher)
     return _eval_rule(
         rule,
-        _order_groups(schedule, by_role),
-        _stream_groups(schedule, by_role),
-        by_role,
+        _order_groups(schedule, op_key),
+        _stream_groups(schedule, op_key),
+        rule_key,
     )
 
 
 def rule_transfers(
-    rule: Rule, schedule: Schedule, *, by_role: bool = False
+    rule: Rule, schedule: Schedule, *, by_role: bool = False, matcher=None
 ) -> bool:
     """True if the rule can be evaluated on ``schedule`` at all."""
-    return rule_satisfied(rule, schedule, by_role=by_role) is not None
+    return (
+        rule_satisfied(rule, schedule, by_role=by_role, matcher=matcher)
+        is not None
+    )
 
 
 @dataclass(frozen=True)
@@ -164,15 +204,19 @@ def score_rules(
     schedules: Sequence[Schedule],
     *,
     by_role: bool = False,
+    matcher=None,
 ) -> List[RuleScore]:
     """Evaluate every rule against every schedule.
 
     Deterministic order: rules sorted by text, so reports and JSON output
     are stable across runs and processes.  Per-schedule op groups are
-    computed once and shared by all rules.
+    computed once and shared by all rules.  An empty rule iterable or an
+    empty schedule sequence is well-defined (empty list / all-zero
+    scores), never an error.
     """
+    rule_key, op_key = _key_fns(by_role, matcher)
     grouped = [
-        (_order_groups(s, by_role), _stream_groups(s, by_role))
+        (_order_groups(s, op_key), _stream_groups(s, op_key))
         for s in schedules
     ]
     out: List[RuleScore] = []
@@ -180,7 +224,7 @@ def score_rules(
         n_t = 0
         n_s = 0
         for order_groups, stream_groups in grouped:
-            verdict = _eval_rule(rule, order_groups, stream_groups, by_role)
+            verdict = _eval_rule(rule, order_groups, stream_groups, rule_key)
             if verdict is None:
                 continue
             n_t += 1

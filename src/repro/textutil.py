@@ -1,0 +1,19 @@
+"""Tiny text-rendering helpers shared by ASCII report producers."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+
+def format_table(
+    headers: Tuple[str, ...], rows: Sequence[Tuple[str, ...]]
+) -> List[str]:
+    """Fixed-width rows: header, dashed separator, one line per row."""
+    widths = [
+        max(len(h), *(len(r[i]) for r in rows)) if rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    fmt = "  ".join(f"{{:<{w}}}" for w in widths)
+    lines = [fmt.format(*headers), fmt.format(*("-" * w for w in widths))]
+    lines += [fmt.format(*r) for r in rows]
+    return lines

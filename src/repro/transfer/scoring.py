@@ -1,0 +1,211 @@
+"""Discrimination-aware transfer scoring.
+
+The original cross-workload table scores a rule by its *satisfaction* on
+the target's fastest class alone — under which a vacuous rule ("start is
+launched first") transfers perfectly everywhere.  A design rule is only
+worth transferring if following it is associated with being *fast*, so
+each rule is scored on both sides of the target's labeling:
+
+* ``fast_satisfaction`` — fraction of the target's fast-class schedules
+  (among those the rule transfers to) that follow the rule;
+* ``slow_satisfaction`` — the same over the slow classes;
+* ``discrimination`` — the gap ``fast − slow``: +1 means the rule
+  perfectly separates fast from slow on the target, 0 means it is
+  uninformative there (always true, always false, or satisfied equally
+  often by both classes), negative means the target's fast schedules
+  systematically *violate* the source's guidance;
+* ``coverage`` — the fraction of all target schedules the rule could be
+  evaluated on at all; a rule that transfers to three schedules out of a
+  thousand is weak evidence however well it separates them.
+
+``weight = discrimination × coverage`` is the headline number reported in
+the transfer matrix: an always-true rule has discrimination 0 and hence
+weight 0, regardless of coverage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.rules.ruleset import Rule
+from repro.rules.score import _eval_rule, _key_fns, _order_groups, _stream_groups
+from repro.schedule.schedule import Schedule
+
+#: Per-schedule (order groups, stream groups) pair.
+_Groups = Tuple[Dict[str, List[int]], Dict[str, List[int]]]
+
+
+@dataclass(frozen=True)
+class DiscriminationScore:
+    """How one rule separates a target's fast and slow schedule classes."""
+
+    rule: Rule
+    #: Fast-class schedules the rule transfers to / satisfies.
+    n_fast_transferred: int
+    n_fast_satisfied: int
+    #: Slow-class schedules the rule transfers to / satisfies.
+    n_slow_transferred: int
+    n_slow_satisfied: int
+    #: Total target schedules offered (fast + slow), for coverage.
+    n_total: int
+
+    @property
+    def transfers(self) -> bool:
+        """The rule was evaluable on at least one fast and one slow
+        schedule — a discrimination gap needs both sides."""
+        return self.n_fast_transferred > 0 and self.n_slow_transferred > 0
+
+    @property
+    def fast_satisfaction(self) -> float:
+        if self.n_fast_transferred == 0:
+            return 0.0
+        return self.n_fast_satisfied / self.n_fast_transferred
+
+    @property
+    def slow_satisfaction(self) -> float:
+        if self.n_slow_transferred == 0:
+            return 0.0
+        return self.n_slow_satisfied / self.n_slow_transferred
+
+    @property
+    def discrimination(self) -> float:
+        """Fast/slow satisfaction gap in [-1, 1]; 0 when not transferable."""
+        if not self.transfers:
+            return 0.0
+        return self.fast_satisfaction - self.slow_satisfaction
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of all offered schedules the rule was evaluable on."""
+        if self.n_total == 0:
+            return 0.0
+        return (self.n_fast_transferred + self.n_slow_transferred) / self.n_total
+
+    @property
+    def weight(self) -> float:
+        """Coverage-weighted discrimination — the headline transfer score."""
+        return self.discrimination * self.coverage
+
+
+@dataclass(frozen=True)
+class GroupedClasses:
+    """Precomputed op groups of one target's fast/slow schedule classes.
+
+    Grouping a target's schedules depends only on the *target-side* key
+    function, so when many sources are scored against the same target
+    (the transfer matrix), compute this once per target via
+    :func:`group_classes` and score each source with
+    :func:`score_grouped`.
+    """
+
+    fast: Tuple[_Groups, ...]
+    slow: Tuple[_Groups, ...]
+    n_total: int
+
+
+def group_classes(
+    fast_schedules: Sequence[Schedule],
+    slow_schedules: Sequence[Schedule],
+    *,
+    by_role: bool = False,
+    matcher=None,
+) -> GroupedClasses:
+    """Group a target's labeled schedules by the matching mode's op key."""
+    _, op_key = _key_fns(by_role, matcher)
+    return GroupedClasses(
+        fast=tuple(
+            (_order_groups(s, op_key), _stream_groups(s, op_key))
+            for s in fast_schedules
+        ),
+        slow=tuple(
+            (_order_groups(s, op_key), _stream_groups(s, op_key))
+            for s in slow_schedules
+        ),
+        n_total=len(fast_schedules) + len(slow_schedules),
+    )
+
+
+def score_grouped(
+    rules: Iterable[Rule],
+    grouped: GroupedClasses,
+    *,
+    by_role: bool = False,
+    matcher=None,
+) -> List[DiscriminationScore]:
+    """Score rules against pre-grouped target classes.
+
+    Only the rule-side key function of the matching mode is consulted;
+    the op-side keys are already baked into ``grouped``.
+    """
+    rule_key, _ = _key_fns(by_role, matcher)
+    out: List[DiscriminationScore] = []
+    for rule in sorted(rules, key=lambda r: r.text):
+        counts = []
+        for side in (grouped.fast, grouped.slow):
+            n_t = 0
+            n_s = 0
+            for order_groups, stream_groups in side:
+                verdict = _eval_rule(
+                    rule, order_groups, stream_groups, rule_key
+                )
+                if verdict is None:
+                    continue
+                n_t += 1
+                if verdict:
+                    n_s += 1
+            counts.append((n_t, n_s))
+        (f_t, f_s), (s_t, s_s) = counts
+        out.append(
+            DiscriminationScore(
+                rule=rule,
+                n_fast_transferred=f_t,
+                n_fast_satisfied=f_s,
+                n_slow_transferred=s_t,
+                n_slow_satisfied=s_s,
+                n_total=grouped.n_total,
+            )
+        )
+    return out
+
+
+def score_transfer(
+    rules: Iterable[Rule],
+    fast_schedules: Sequence[Schedule],
+    slow_schedules: Sequence[Schedule],
+    *,
+    by_role: bool = False,
+    matcher=None,
+) -> List[DiscriminationScore]:
+    """Score every rule's fast/slow discrimination on a target workload.
+
+    ``fast_schedules`` / ``slow_schedules`` are the target's labeled
+    schedule classes (fastest class vs. everything else).  Matching
+    follows :mod:`repro.rules.score`: exact names by default, role
+    stripping with ``by_role=True``, or structural signatures via a
+    ``matcher``.  Deterministic: rules are scored in text order.  Empty
+    inputs are well-defined — no rules gives ``[]``, no schedules gives
+    all-zero scores with discrimination 0.
+    """
+    grouped = group_classes(
+        fast_schedules, slow_schedules, by_role=by_role, matcher=matcher
+    )
+    return score_grouped(rules, grouped, by_role=by_role, matcher=matcher)
+
+
+def discrimination_summary(
+    scores: Sequence[DiscriminationScore],
+) -> Tuple[int, int, float, float]:
+    """Aggregate ``(n_rules, n_transferable, mean_discrimination,
+    mean_coverage)``.
+
+    A rule is *transferable* when it was evaluable on both classes; the
+    means average over transferable rules only (0.0 when there are none,
+    never a division by zero).
+    """
+    transferable = [s for s in scores if s.transfers]
+    if not transferable:
+        return (len(scores), 0, 0.0, 0.0)
+    mean_disc = sum(s.discrimination for s in transferable) / len(transferable)
+    mean_cov = sum(s.coverage for s in transferable) / len(transferable)
+    return (len(scores), len(transferable), mean_disc, mean_cov)

@@ -1,0 +1,283 @@
+"""Structural operation signatures — a principled cross-program identity.
+
+Role matching (:func:`repro.rules.score.op_role`) equates operations by
+stripping positional qualifiers from their names (``Pack_x`` → ``Pack``),
+which only works when two generators happen to agree on naming.  A
+*signature* instead identifies an operation by what it structurally *is*:
+
+* the device it executes on (CPU / GPU),
+* the semantic action it performs (kernel, plain CPU op, or one of the
+  four MPI actions),
+* the topology and arity of the communication group the action operates
+  on (pairwise exchange, multi-neighbor exchange, fan-in/out, …), and
+* its position in the dependence chain — whether it feeds a
+  communication post, consumes a completed wait, and whether it sits at
+  the start (all predecessors are ``start``) or end (all successors are
+  ``end``) of the program.
+
+Two operations from unrelated programs with equal signatures occupy the
+same structural position, so a rule learned about one is meaningful for
+the other even when the families share no naming convention — SpMV's
+``Pack``, the halo exchange's ``Pack_x``, and the allreduce's ``Pack_0``
+all sign as a GPU kernel feeding a send post.
+
+Scheduling-inserted synchronization operations (``CER-after-…``,
+``CES-b4-…``, ``CSWE-…-waits-…``) receive *derived* signatures built
+from the signatures of the program operations they synchronize, so rules
+mentioning sync ops transfer structurally too.
+
+Determinism contract: signatures are pure functions of program structure;
+:func:`signature_fingerprint` is a SHA-256 of the canonical key, bit-stable
+across processes (the same guarantee
+:func:`repro.exec.cache.program_fingerprint` gives whole programs).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.dag.program import CommPlan, Program
+from repro.dag.vertex import ActionKind, OpKind, Vertex
+from repro.schedule.sync import build_sync_plan, cer_name, cswe_name
+
+#: Name of the artificial entry/exit vertices (paper §III-A).
+_START = "start"
+_END = "end"
+
+
+@dataclass(frozen=True)
+class OpSignature:
+    """Canonical structural identity of one schedulable operation.
+
+    Attributes
+    ----------
+    device:
+        ``"gpu"`` or ``"cpu"`` (sync ops carry ``"sync"``).
+    action:
+        ``"kernel"`` for GPU ops, ``"compute"`` for plain CPU ops, the
+        :class:`~repro.dag.vertex.ActionKind` value for MPI actions, and
+        ``"cer"`` / ``"ces"`` / ``"cswe"`` for derived sync signatures.
+    topology / arity:
+        Communication-group classification for MPI actions: topology is
+        one of ``"none"``, ``"pairwise"`` (symmetric, one partner per
+        rank), ``"exchange"`` (symmetric, several partners), ``"fan_in"``,
+        ``"fan_out"``, or ``"irregular"``; arity is the maximum number of
+        messages any single rank sends (or receives, for recv-side
+        actions) in the group.
+    feeds_post:
+        Some successor posts MPI operations — the op produces data that
+        is about to be communicated (a *packer*).
+    after_wait:
+        Some predecessor completes MPI receives — the op consumes freshly
+        communicated data (an *unpacker* / combiner).
+    source_like / sink_like:
+        Every predecessor is ``start`` / every successor is ``end``: the
+        op sits at the boundary of the dependence chain.
+    refs:
+        For derived sync signatures only: canonical keys of the base
+        operations' signatures.
+    """
+
+    device: str
+    action: str
+    topology: str = "none"
+    arity: int = 0
+    feeds_post: bool = False
+    after_wait: bool = False
+    source_like: bool = False
+    sink_like: bool = False
+    refs: Tuple[str, ...] = ()
+
+    @property
+    def key(self) -> str:
+        """Canonical, human-readable identity string.
+
+        Equal signatures ⇔ equal keys; the key doubles as the feature
+        "op name" in the signature-canonical union feature space, so it
+        is kept compact enough to appear in rendered rules.
+        """
+        if self.refs:
+            inner = "|".join(self.refs)
+            return f"{self.action.upper()}<{inner}>"
+        flags = [
+            name
+            for name, on in (
+                ("feeds_post", self.feeds_post),
+                ("after_wait", self.after_wait),
+                ("src", self.source_like),
+                ("sink", self.sink_like),
+            )
+            if on
+        ]
+        tag = "+".join(flags) if flags else "mid"
+        if self.topology == "none":
+            return f"{self.action}[{tag}]"
+        return f"{self.action}({self.topology}/{self.arity})[{tag}]"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.key
+
+
+def signature_fingerprint(sig: OpSignature) -> str:
+    """Process-stable SHA-256 of the signature's canonical key."""
+    return hashlib.sha256(sig.key.encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# communication-group classification
+# ----------------------------------------------------------------------
+def classify_topology(plan: CommPlan) -> Tuple[str, int, int]:
+    """``(topology, send_arity, recv_arity)`` of one communication group.
+
+    Topology is judged on the directed partner multigraph: *symmetric*
+    (every src→dst matched by dst→src) groups are ``"pairwise"`` when no
+    rank has more than one partner and ``"exchange"`` otherwise;
+    asymmetric groups are ``"fan_in"`` (several senders, one receiver),
+    ``"fan_out"`` (one sender, several receivers), or ``"irregular"``.
+    """
+    if not plan.messages:
+        return ("empty", 0, 0)
+    pairs = {(m.src, m.dst) for m in plan.messages}
+    sends: Dict[int, int] = {}
+    recvs: Dict[int, int] = {}
+    for m in plan.messages:
+        sends[m.src] = sends.get(m.src, 0) + 1
+        recvs[m.dst] = recvs.get(m.dst, 0) + 1
+    send_arity = max(sends.values())
+    recv_arity = max(recvs.values())
+    symmetric = all((d, s) in pairs for (s, d) in pairs)
+    if symmetric:
+        topology = "pairwise" if send_arity == 1 else "exchange"
+    elif len(sends) == 1:
+        topology = "fan_out"
+    elif len(recvs) == 1:
+        topology = "fan_in"
+    else:
+        topology = "irregular"
+    return (topology, send_arity, recv_arity)
+
+
+_POST_KINDS = (ActionKind.POST_SENDS, ActionKind.POST_RECVS)
+_WAIT_KINDS = (ActionKind.WAIT_SENDS, ActionKind.WAIT_RECVS)
+_RECV_SIDE = (ActionKind.POST_RECVS, ActionKind.WAIT_RECVS)
+
+
+def _action_of(v: Vertex) -> str:
+    if v.kind is OpKind.GPU:
+        return "kernel"
+    if v.action is None or v.action.kind is ActionKind.NOOP:
+        return "compute"
+    return v.action.kind.value
+
+
+def _vertex_signature(program: Program, v: Vertex) -> OpSignature:
+    graph = program.graph
+    preds = graph.predecessors(v)
+    succs = graph.successors(v)
+    topology, arity = "none", 0
+    if v.action is not None and v.action.kind is not ActionKind.NOOP:
+        topo, send_arity, recv_arity = classify_topology(
+            program.comm_plan(v.action.group)
+        )
+        topology = topo
+        arity = recv_arity if v.action.kind in _RECV_SIDE else send_arity
+    return OpSignature(
+        device="gpu" if v.kind is OpKind.GPU else "cpu",
+        action=_action_of(v),
+        topology=topology,
+        arity=arity,
+        feeds_post=any(
+            s.action is not None and s.action.kind in _POST_KINDS
+            for s in succs
+        ),
+        after_wait=any(
+            p.action is not None and p.action.kind in _WAIT_KINDS
+            for p in preds
+        ),
+        source_like=bool(preds) and all(p.name == _START for p in preds),
+        sink_like=bool(succs) and all(s.name == _END for s in succs),
+    )
+
+
+def program_signatures(program: Program) -> Dict[str, OpSignature]:
+    """Signature of every operation that can appear in a schedule.
+
+    Covers the program's schedulable vertices *and* every synchronization
+    operation the scheduler may insert (from the program's
+    :func:`~repro.schedule.sync.build_sync_plan`), with derived
+    signatures referencing the base ops' keys.  Deterministic: iteration
+    follows the graph's insertion order, and signatures depend only on
+    program structure.
+    """
+    sigs: Dict[str, OpSignature] = {}
+    for v in program.schedulable_vertices():
+        sigs[v.name] = _vertex_signature(program, v)
+
+    plan = build_sync_plan(program.graph)
+    for u in sorted(plan.cer_sources):
+        sigs[cer_name(u)] = OpSignature(
+            device="sync", action="cer", refs=(sigs[u].key,)
+        )
+    for (u, v), name in sorted(plan.ces_name_of.items()):
+        # The CES identity is the (GPU producer, CPU consumer) pair it
+        # synchronizes, regardless of whether naming needed the long
+        # disambiguated form in this particular program.
+        sigs[name] = OpSignature(
+            device="sync", action="ces", refs=(sigs[v].key, sigs[u].key)
+        )
+    for (u, v) in sorted(plan.gpu_gpu_edges):
+        sigs[cswe_name(u, v)] = OpSignature(
+            device="sync", action="cswe", refs=(sigs[v].key, sigs[u].key)
+        )
+        # A cross-stream wait is always paired with an event record on
+        # the producing stream; register it too (no-op if u also has a
+        # CPU successor and was already a cer_source).
+        sigs.setdefault(
+            cer_name(u),
+            OpSignature(device="sync", action="cer", refs=(sigs[u].key,)),
+        )
+    return sigs
+
+
+# ----------------------------------------------------------------------
+# rule matching by signature
+# ----------------------------------------------------------------------
+class SignatureMatcher:
+    """Match rule operands to schedule ops through structural signatures.
+
+    A rule extracted on the *source* program mentions source op names;
+    a *target* schedule contains target op names.  The matcher maps both
+    to signature keys, so :mod:`repro.rules.score` can group and compare
+    them: a rule transfers exactly when both of its operations have a
+    structural counterpart in the target.
+
+    Implements the matching interface ``rule_key`` / ``op_key`` that
+    :func:`repro.rules.score.rule_satisfied` accepts; names unknown to
+    the respective program (never generated by its sync plan either) map
+    to ``None`` and simply do not participate.
+    """
+
+    __slots__ = ("_source", "_target")
+
+    def __init__(
+        self,
+        source: Dict[str, OpSignature],
+        target: Dict[str, OpSignature],
+    ) -> None:
+        self._source = {n: s.key for n, s in source.items()}
+        self._target = {n: s.key for n, s in target.items()}
+
+    def rule_key(self, name: str) -> Optional[str]:
+        """Signature key of a rule operand (a source-program op name)."""
+        return self._source.get(name)
+
+    def op_key(self, name: str) -> Optional[str]:
+        """Signature key of a target-schedule op name."""
+        return self._target.get(name)
+
+
+def identity_matcher(signatures: Dict[str, OpSignature]) -> SignatureMatcher:
+    """Matcher scoring a program's rules on its own schedules."""
+    return SignatureMatcher(signatures, signatures)

@@ -18,7 +18,13 @@ scenario space:
   workload scored on every other (the cross-workload table).
 """
 
-from repro.workloads.generalization import CrossWorkloadResult, run_cross_workload
+from repro.workloads.generalization import (
+    CrossWorkloadResult,
+    WorkloadRules,
+    rules_for_specs,
+    run_cross_workload,
+    score_cross_workload,
+)
 from repro.workloads.spec import (
     WorkloadError,
     WorkloadFamily,
@@ -46,13 +52,16 @@ __all__ = [
     "SuiteRunner",
     "WorkloadError",
     "WorkloadFamily",
+    "WorkloadRules",
     "WorkloadSpec",
     "build_workload",
     "builtin_suites",
     "get_family",
     "get_suite",
     "list_families",
+    "rules_for_specs",
     "run_cross_workload",
     "run_suite",
+    "score_cross_workload",
     "workload",
 ]

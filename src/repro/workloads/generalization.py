@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.pipeline import DesignRulePipeline, PipelineConfig, PipelineResult
+from repro.dag.program import Program
 from repro.platform.machine import MachineConfig
 from repro.platform.presets import perlmutter_like
 from repro.rules.ruleset import Rule
@@ -45,6 +46,10 @@ class WorkloadRules:
     rules: List[Rule]
     #: Unique schedules labeled into the fastest class.
     fast_schedules: List[Schedule]
+    #: Unique schedules labeled into every slower class.
+    slow_schedules: List[Schedule]
+    #: The concrete program the schedules were explored on.
+    program: Program
 
 
 @dataclass
@@ -90,9 +95,11 @@ def pipeline_for_spec(
     measurement=None,
     workers: int = 0,
     cache_path: Optional[str] = None,
+    program: Optional[Program] = None,
 ) -> DesignRulePipeline:
     """Exhaustive design-rule pipeline for one workload spec."""
-    program = build_workload(spec)
+    if program is None:
+        program = build_workload(spec)
     kwargs = {} if measurement is None else {"measurement": measurement}
     return DesignRulePipeline(
         program,
@@ -117,7 +124,8 @@ def workload_rules(
     cache_path: Optional[str] = None,
 ) -> WorkloadRules:
     """Run the exhaustive pipeline on ``spec`` and reduce to rules +
-    fastest-class schedules."""
+    fast/slow labeled schedule classes."""
+    program = build_workload(spec)
     pipe = pipeline_for_spec(
         spec,
         machine,
@@ -125,23 +133,65 @@ def workload_rules(
         measurement=measurement,
         workers=workers,
         cache_path=cache_path,
+        program=program,
     )
     try:
         result = pipe.run()
     finally:
         pipe.close()
     schedules = result.search.schedules()
-    fast = [
-        s
-        for s, label in zip(schedules, result.labeling.labels)
-        if int(label) == FASTEST_CLASS
-    ]
+    fast: List[Schedule] = []
+    slow: List[Schedule] = []
+    for s, label in zip(schedules, result.labeling.labels):
+        (fast if int(label) == FASTEST_CLASS else slow).append(s)
     return WorkloadRules(
         spec=spec,
         result=result,
         rules=class_rules(result.rulesets, FASTEST_CLASS),
         fast_schedules=fast,
+        slow_schedules=slow,
+        program=program,
     )
+
+
+def score_cross_workload(
+    per_workload: Sequence[WorkloadRules],
+) -> CrossWorkloadResult:
+    """Pairwise role-matched satisfaction table over precomputed
+    per-workload pipeline outputs."""
+    matrix: Dict[Tuple[str, str], Tuple[int, int, float]] = {}
+    for src in per_workload:
+        for dst in per_workload:
+            if src.spec.label == dst.spec.label:
+                continue
+            scores = score_rules(src.rules, dst.fast_schedules, by_role=True)
+            matrix[(src.spec.label, dst.spec.label)] = transfer_summary(scores)
+    return CrossWorkloadResult(workloads=list(per_workload), matrix=matrix)
+
+
+def rules_for_specs(
+    specs: Sequence[WorkloadSpec],
+    *,
+    machine: Optional[MachineConfig] = None,
+    n_streams: int = 2,
+    measurement=None,
+    workers: int = 0,
+    cache_path: Optional[str] = None,
+) -> List[WorkloadRules]:
+    """Run the exhaustive pipeline on every spec (the shared front half of
+    the satisfaction table and the transfer matrix)."""
+    machine = machine if machine is not None else perlmutter_like()
+    return [
+        workload_rules(
+            spec,
+            machine,
+            n_streams=n_streams,
+            measurement=measurement,
+            workers=workers,
+            cache_path=cache_path,
+        )
+        for spec in specs
+    ]
 
 
 def run_cross_workload(
@@ -156,44 +206,12 @@ def run_cross_workload(
     """Score every workload's fastest-class rules on every other workload."""
     if len(specs) < 2:
         raise ValueError("need at least two workloads to generalize across")
-    machine = machine if machine is not None else perlmutter_like()
-    per_workload = [
-        workload_rules(
-            spec,
-            machine,
-            n_streams=n_streams,
-            measurement=measurement,
-            workers=workers,
-            cache_path=cache_path,
-        )
-        for spec in specs
-    ]
-    matrix: Dict[Tuple[str, str], Tuple[int, int, float]] = {}
-    for src in per_workload:
-        for dst in per_workload:
-            if src.spec.label == dst.spec.label:
-                continue
-            scores = score_rules(src.rules, dst.fast_schedules, by_role=True)
-            matrix[(src.spec.label, dst.spec.label)] = transfer_summary(scores)
-    return CrossWorkloadResult(workloads=per_workload, matrix=matrix)
-
-
-def cross_workload_table(
-    suite,
-    *,
-    machine: Optional[MachineConfig] = None,
-    workers: int = 0,
-    cache_path: Optional[str] = None,
-    seed: int = 0,
-) -> List[Dict[str, object]]:
-    """JSON-ready transfer rows for a suite (used by the suite runner)."""
-    del seed  # pipelines are exhaustive; the seed plays no role
-    result = run_cross_workload(
-        suite.specs,
+    per_workload = rules_for_specs(
+        specs,
         machine=machine,
-        n_streams=suite.n_streams,
-        measurement=suite.measurement,
+        n_streams=n_streams,
+        measurement=measurement,
         workers=workers,
         cache_path=cache_path,
     )
-    return result.rows()
+    return score_cross_workload(per_workload)

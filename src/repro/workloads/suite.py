@@ -40,6 +40,7 @@ from repro.search.beam import BeamSearch
 from repro.search.mcts import MctsConfig, MctsSearch
 from repro.search.random_search import RandomSearch
 from repro.sim.measure import MeasurementConfig
+from repro.textutil import format_table
 from repro.workloads.spec import WorkloadSpec, build_workload
 
 
@@ -73,6 +74,7 @@ def _smoke_specs() -> Tuple[WorkloadSpec, ...]:
         WorkloadSpec("fork_join", {"stages": 2, "branches": 2, "depth": 1}),
         WorkloadSpec("tree_allreduce", {"rounds": 1, "elems": 16384}),
         WorkloadSpec("wavefront", {"width": 2, "height": 2}),
+        WorkloadSpec("stencil_reduce", {"width": 2, "height": 2}),
     )
 
 
@@ -135,6 +137,8 @@ def builtin_suites() -> Dict[str, Suite]:
                 ),
                 WorkloadSpec("tree_allreduce", {"rounds": 1, "elems": 16384}),
                 WorkloadSpec("fork_join", {"stages": 1, "branches": 2, "depth": 1}),
+                WorkloadSpec("wavefront", {"width": 2, "height": 2}),
+                WorkloadSpec("stencil_reduce", {"width": 2, "height": 2}),
             ),
             strategies=("random", "mcts"),
             n_iterations=12,
@@ -152,19 +156,6 @@ def get_suite(name: str) -> Suite:
         raise WorkloadError(
             f"unknown suite {name!r}; available: {known}"
         ) from None
-
-
-# ----------------------------------------------------------------------
-def _format_table(headers: Tuple[str, ...], rows: List[Tuple[str, ...]]) -> List[str]:
-    """Fixed-width rows: header, dashed separator, one line per row."""
-    widths = [
-        max(len(h), *(len(r[i]) for r in rows)) if rows else len(h)
-        for i, h in enumerate(headers)
-    ]
-    fmt = "  ".join(f"{{:<{w}}}" for w in widths)
-    lines = [fmt.format(*headers), fmt.format(*("-" * w for w in widths))]
-    lines += [fmt.format(*r) for r in rows]
-    return lines
 
 
 @dataclass(frozen=True)
@@ -206,6 +197,12 @@ class SuiteReport:
     cells: List[SuiteCell]
     #: Cross-workload rule transfer rows (generalization suites only).
     rules_table: List[Dict[str, object]] = field(default_factory=list)
+    #: Signature-matched discrimination matrix rows (repro.transfer).
+    transfer_table: List[Dict[str, object]] = field(default_factory=list)
+    #: Leave-one-workload-out union-tree accuracy rows (repro.transfer).
+    union_table: List[Dict[str, object]] = field(default_factory=list)
+    #: Why union rows are missing / incomplete (empty when none skipped).
+    union_note: str = ""
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -213,6 +210,9 @@ class SuiteReport:
             "machine": self.machine,
             "cells": [c.to_dict() for c in self.cells],
             "rules_table": self.rules_table,
+            "transfer_table": self.transfer_table,
+            "union_table": self.union_table,
+            "union_note": self.union_note,
         }
 
     def to_json(self, indent: int = 2) -> str:
@@ -252,10 +252,18 @@ class SuiteReport:
             f"Suite {self.suite!r} on {self.machine} "
             f"({len(self.cells)} cells)"
         ]
-        lines += _format_table(headers, rows)
+        lines += format_table(headers, rows)
         if self.rules_table:
             lines.append("")
             lines.append(self._rules_ascii())
+        if self.transfer_table:
+            lines.append("")
+            lines.append(self._transfer_ascii())
+        if self.union_table:
+            lines.append("")
+            lines.append(self._union_ascii())
+        if self.union_note:
+            lines.append(self.union_note)
         return "\n".join(lines)
 
     def _rules_ascii(self) -> str:
@@ -271,7 +279,42 @@ class SuiteReport:
             for r in self.rules_table
         ]
         lines = ["Cross-workload rule transfer (fastest-class rules):"]
-        lines += _format_table(headers, rows)
+        lines += format_table(headers, rows)
+        return "\n".join(lines)
+
+    def _transfer_ascii(self) -> str:
+        headers = ("rules from", "scored on", "transfer", "disc", "cover")
+        rows = [
+            (
+                str(r["source"]),
+                str(r["target"]),
+                f"{r['n_transferable']}/{r['n_rules']}",
+                f"{float(r['mean_discrimination']):+.2f}",
+                f"{100.0 * float(r['mean_coverage']):.0f}%",
+            )
+            for r in self.transfer_table
+        ]
+        lines = [
+            "Signature-matched transfer (discrimination = fast/slow "
+            "satisfaction gap):"
+        ]
+        lines += format_table(headers, rows)
+        return "\n".join(lines)
+
+    def _union_ascii(self) -> str:
+        headers = ("held-out target", "feat", "leaves", "train acc", "held-out acc")
+        rows = [
+            (
+                str(r["target"]),
+                str(r["n_features"]),
+                str(r["n_leaves"]),
+                f"{100.0 * float(r['train_accuracy']):.0f}%",
+                f"{100.0 * float(r['holdout_accuracy']):.0f}%",
+            )
+            for r in self.union_table
+        ]
+        lines = ["Union-trained tree, leave-one-workload-out accuracy:"]
+        lines += format_table(headers, rows)
         return "\n".join(lines)
 
     def report(self) -> str:
@@ -367,15 +410,26 @@ class SuiteRunner:
             cells=cells,
         )
         if suite.cross_workload_rules:
-            from repro.workloads.generalization import cross_workload_table
+            from repro.transfer.matrix import transfer_matrix_from
+            from repro.workloads.generalization import (
+                rules_for_specs,
+                score_cross_workload,
+            )
 
-            report.rules_table = cross_workload_table(
-                suite,
+            # One exhaustive pipeline per workload feeds both tables.
+            per_workload = rules_for_specs(
+                suite.specs,
                 machine=self.machine,
+                n_streams=suite.n_streams,
+                measurement=suite.measurement,
                 workers=self.workers,
                 cache_path=self.cache_path,
-                seed=self.seed,
             )
+            report.rules_table = score_cross_workload(per_workload).rows()
+            matrix = transfer_matrix_from(per_workload)
+            report.transfer_table = matrix.rows()
+            report.union_table = [u.to_dict() for u in matrix.union_rows]
+            report.union_note = matrix.union_note
         return report
 
 

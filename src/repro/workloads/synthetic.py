@@ -18,6 +18,12 @@ paper never saw:
 * ``wavefront`` — a 2-D wavefront sweep: a ``width × height`` tile grid
   with right/down dependencies, all GPU, maximally sensitive to stream
   assignment (every diagonal could run in parallel).
+* ``stencil_reduce`` — a 2-D wavefront sweep feeding a pairwise tree
+  reduction of the tile results (the stencil+reduction pattern of e.g.
+  a residual-norm check after a sweep): the wavefront's diagonal
+  parallelism funnels into a log-depth combine tree, so good schedules
+  must trade stream spread in the sweep against serialization in the
+  reduction.
 
 Costs are drawn from a :mod:`repro.platform` preset: per-vertex compute
 is sized in units of the preset GPU's floating-point and memory rates so
@@ -268,4 +274,57 @@ def build_wavefront(spec: WorkloadSpec) -> Program:
         graph=graph,
         n_ranks=1,
         name=f"wavefront({width}x{height},seed={spec.seed})",
+    )
+
+
+# ----------------------------------------------------------------------
+@workload(
+    "stencil_reduce",
+    description=(
+        "2-D wavefront sweep feeding a pairwise tree reduction of the "
+        "tile results (stencil + reduction, an explicit ROADMAP item)"
+    ),
+    defaults={"width": 3, "height": 2, "preset": "perlmutter"},
+)
+def build_stencil_reduce(spec: WorkloadSpec) -> Program:
+    width = _int_param(spec, "width", 1)
+    height = _int_param(spec, "height", 1)
+    machine = _preset(str(spec.param_dict["preset"]))
+    rng = np.random.default_rng(spec.seed)
+
+    vertices: List[Vertex] = []
+    edges: List[Tuple[str, str]] = []
+    tiles: Dict[Tuple[int, int], Vertex] = {}
+    for j in range(height):
+        for i in range(width):
+            t = gpu_op(f"T{i}_{j}", work=_gpu_work(rng, machine))
+            tiles[(i, j)] = t
+            vertices.append(t)
+    for (i, j), t in tiles.items():
+        if i + 1 < width:
+            edges.append((t.name, tiles[(i + 1, j)].name))
+        if j + 1 < height:
+            edges.append((t.name, tiles[(i, j + 1)].name))
+
+    # Pairwise tree reduction over the row-major tile results; an odd
+    # element is promoted to the next level unchanged.
+    level: List[Vertex] = [tiles[(i, j)] for j in range(height) for i in range(width)]
+    depth = 0
+    while len(level) > 1:
+        nxt: List[Vertex] = []
+        for k in range(0, len(level) - 1, 2):
+            r = gpu_op(f"R{depth}_{k // 2}", work=_gpu_work(rng, machine))
+            vertices.append(r)
+            edges += [(level[k].name, r.name), (level[k + 1].name, r.name)]
+            nxt.append(r)
+        if len(level) % 2:
+            nxt.append(level[-1])
+        level = nxt
+        depth += 1
+
+    graph = Graph.from_edges(vertices, edges).with_start_end()
+    return Program(
+        graph=graph,
+        n_ranks=1,
+        name=f"stencil_reduce({width}x{height},seed={spec.seed})",
     )

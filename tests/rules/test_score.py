@@ -135,3 +135,72 @@ class TestScoring:
         rules = class_rules([rs0, rs0b, rs1], 0)
         assert set(rules) == {r1, r2}
         assert class_rules([rs0, rs1], 1) == [r2]
+
+
+class TestDegenerateCases:
+    """Empty rulesets, empty schedule sets, and zero-match roles must
+    yield well-defined results — never a division by zero, never a rule
+    silently counted as passing."""
+
+    def test_empty_ruleset_scores_empty(self):
+        assert score_rules([], [SCHED]) == []
+        assert transfer_summary(score_rules([], [SCHED])) == (0, 0, 0.0)
+
+    def test_empty_schedule_set_is_all_zero(self):
+        rule = Rule(OrderFeature("Pack_x", "PostSends_x"), True)
+        [score] = score_rules([rule], [])
+        assert (score.n_transferred, score.n_satisfied) == (0, 0)
+        assert score.satisfaction == 0.0  # no division by zero
+
+    def test_zero_match_role_does_not_pass(self):
+        rule = Rule(OrderFeature("nope", "PostSends"), True)
+        assert rule_satisfied(rule, SCHED, by_role=True) is None
+        [score] = score_rules([rule], [SCHED], by_role=True)
+        assert score.n_transferred == 0
+        assert score.n_satisfied == 0
+        assert score.satisfaction == 0.0
+
+    def test_roles_collapsing_to_same_key_do_not_pass(self):
+        # Pack_x vs Pack_y both strip to 'Pack': universally quantified
+        # over one group the constraint is meaningless, so it must be
+        # "does not transfer", not "satisfied".
+        rule = Rule(OrderFeature("Pack_x", "Pack_y"), True)
+        [score] = score_rules([rule], [SCHED], by_role=True)
+        assert score.n_transferred == 0
+
+    def test_summary_with_no_transferable_rules(self):
+        rules = [Rule(OrderFeature("nope", "PostSends"), True)]
+        scores = score_rules(rules, [SCHED], by_role=True)
+        assert transfer_summary(scores) == (1, 0, 0.0)
+
+
+class TestMatcherMode:
+    """A matcher (rule_key/op_key) overrides exact and role matching."""
+
+    class _Upper:
+        def rule_key(self, name):
+            return name.upper()
+
+        def op_key(self, name):
+            return name.upper()
+
+    def test_matcher_groups_by_key(self):
+        rule = Rule(OrderFeature("pack_x", "postsends_x"), True)
+        assert rule_satisfied(rule, SCHED) is None  # exact: no lowercase op
+        assert rule_satisfied(rule, SCHED, matcher=self._Upper()) is True
+
+    def test_matcher_none_key_drops_op(self):
+        class OnlyPack:
+            def rule_key(self, name):
+                return name if name.startswith("Pack") else None
+
+            def op_key(self, name):
+                return name if name.startswith("Pack") else None
+
+        rule = Rule(OrderFeature("Pack_x", "PostSends_x"), True)
+        assert rule_satisfied(rule, SCHED, matcher=OnlyPack()) is None
+
+    def test_score_rules_accepts_matcher(self):
+        rule = Rule(OrderFeature("pack_x", "unpack_x"), True)
+        [score] = score_rules([rule], [SCHED], matcher=self._Upper())
+        assert (score.n_transferred, score.n_satisfied) == (1, 1)

@@ -84,6 +84,7 @@ def test_list_enumerates_experiments_workloads_suites(capsys):
         "fork_join",
         "tree_allreduce",
         "wavefront",
+        "stencil_reduce",
     ):
         assert family in out
     for suite in ("smoke", "paper", "generalization"):
@@ -118,6 +119,58 @@ def test_suite_unknown_name_raises():
 
     with pytest.raises(WorkloadError, match="unknown suite"):
         main(["suite", "not-a-suite"])
+
+
+@pytest.mark.slow
+def test_transfer_smoke_writes_reports(tmp_path, capsys):
+    """The acceptance path: `repro transfer` over the >= 5-workload
+    generalization suite with per-target zero-discrimination controls
+    and union-tree held-out accuracy."""
+    import json
+
+    json_path = tmp_path / "transfer.json"
+    md_path = tmp_path / "transfer.md"
+    assert (
+        main(
+            [
+                "transfer",
+                "--smoke",
+                "--json",
+                str(json_path),
+                "--report",
+                str(md_path),
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "transfer matrix" in out
+    assert "Injected always-true controls" in out
+
+    data = json.loads(json_path.read_text())
+    assert len(data["workloads"]) >= 5
+    assert len(data["matrix"]) == len(data["workloads"]) * (
+        len(data["workloads"]) - 1
+    )
+    # every target's injected always-true rule scores 0 discrimination
+    assert {c["target"] for c in data["controls"]} == set(data["workloads"])
+    for control in data["controls"]:
+        assert control["discrimination"] == 0.0
+    # union tree reports held-out-workload accuracy per target
+    assert {u["target"] for u in data["union"]} == set(data["workloads"])
+    for row in data["union"]:
+        assert 0.0 <= row["holdout_accuracy"] <= 1.0
+
+    md = md_path.read_text()
+    assert "# Cross-program transfer report" in md
+    assert "Union-trained tree" in md
+
+
+def test_transfer_unknown_suite_raises():
+    from repro.errors import WorkloadError
+
+    with pytest.raises(WorkloadError, match="unknown suite"):
+        main(["transfer", "--suite", "not-a-suite"])
 
 
 def test_public_api_importable():

@@ -1,0 +1,213 @@
+"""Tests for structural op signatures (repro.transfer.signature)."""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.dag.program import CommPlan, Message
+from repro.transfer.signature import (
+    OpSignature,
+    SignatureMatcher,
+    classify_topology,
+    identity_matcher,
+    program_signatures,
+    signature_fingerprint,
+)
+from repro.workloads import WorkloadSpec, build_workload
+
+SPMV = WorkloadSpec("spmv", {"scale": 0.025})
+HALO = WorkloadSpec(
+    "halo3d",
+    {"nx": 32, "ny": 32, "nz": 32, "px": 2, "py": 2, "pz": 1, "axes": "x"},
+)
+ALLREDUCE = WorkloadSpec("tree_allreduce", {"rounds": 1, "elems": 16384})
+WAVEFRONT = WorkloadSpec("wavefront", {"width": 2, "height": 2})
+STENCIL = WorkloadSpec("stencil_reduce", {"width": 2, "height": 2})
+FORK_JOIN = WorkloadSpec("fork_join", {"stages": 1, "branches": 2, "depth": 1})
+
+ALL_SPECS = [SPMV, HALO, ALLREDUCE, WAVEFRONT, STENCIL, FORK_JOIN]
+
+
+@pytest.fixture(scope="module")
+def sigs():
+    return {
+        spec.family: program_signatures(build_workload(spec))
+        for spec in ALL_SPECS
+    }
+
+
+class TestTopology:
+    def test_pairwise(self):
+        plan = CommPlan(
+            group="g",
+            messages=(
+                Message(src=0, dst=1, nbytes=8.0),
+                Message(src=1, dst=0, nbytes=8.0),
+            ),
+        )
+        assert classify_topology(plan) == ("pairwise", 1, 1)
+
+    def test_exchange(self):
+        msgs = []
+        for i in range(3):
+            for j in range(3):
+                if i != j:
+                    msgs.append(Message(src=i, dst=j, nbytes=8.0))
+        plan = CommPlan(group="g", messages=tuple(msgs))
+        assert classify_topology(plan) == ("exchange", 2, 2)
+
+    def test_fan_in_and_out(self):
+        fan_in = CommPlan(
+            group="g",
+            messages=tuple(
+                Message(src=i, dst=0, nbytes=8.0) for i in (1, 2, 3)
+            ),
+        )
+        assert classify_topology(fan_in)[0] == "fan_in"
+        fan_out = CommPlan(
+            group="g",
+            messages=tuple(
+                Message(src=0, dst=i, nbytes=8.0) for i in (1, 2, 3)
+            ),
+        )
+        assert classify_topology(fan_out)[0] == "fan_out"
+
+    def test_empty(self):
+        assert classify_topology(CommPlan(group="g")) == ("empty", 0, 0)
+
+
+class TestStructuralIdentity:
+    """Identical structural ops across unrelated families sign equally
+    (the identity cross-program transfer matches on)."""
+
+    def test_packers_match_spmv_halo(self, sigs):
+        # GPU kernels feeding a send post at the head of the chain.
+        assert sigs["spmv"]["Pack"] == sigs["halo3d"]["Pack_x"]
+
+    def test_unpackers_match_across_three_programs(self, sigs):
+        # GPU kernels consuming a completed receive at the chain's end.
+        assert sigs["spmv"]["yR"] == sigs["tree_allreduce"]["Combine_0"]
+
+    def test_post_wait_actions_match_halo_allreduce(self, sigs):
+        # Pairwise comm groups: same action, topology, arity, position.
+        for a, b in (
+            ("PostSends_x", "PostSends_0"),
+            ("PostRecvs_x", "PostRecvs_0"),
+            ("WaitSend_x", "WaitSend_0"),
+            ("WaitRecv_x", "WaitRecv_0"),
+        ):
+            assert sigs["halo3d"][a] == sigs["tree_allreduce"][b]
+
+    def test_independent_kernels_match(self, sigs):
+        # Kernels touching neither start-adjacent comm nor waits: SpMV's
+        # local multiply and the halo's interior stencil.
+        assert sigs["spmv"]["yL"] == sigs["halo3d"]["Interior"]
+
+    def test_wavefront_and_stencil_tiles_match(self, sigs):
+        assert sigs["wavefront"]["T0_0"] == sigs["stencil_reduce"]["T0_0"]
+        assert sigs["wavefront"]["T1_0"] == sigs["stencil_reduce"]["T1_0"]
+
+    def test_device_distinguishes(self, sigs):
+        # A CPU join is never identified with a GPU kernel.
+        assert sigs["fork_join"]["Join0"] != sigs["wavefront"]["T1_1"]
+
+    def test_topology_distinguishes(self, sigs):
+        # SpMV's band halo (2 neighbors) vs the pairwise halo exchange.
+        assert sigs["spmv"]["PostSends"] != sigs["halo3d"]["PostSends_x"]
+
+
+class TestSyncDerivation:
+    def test_cer_references_base_kernel(self, sigs):
+        cer = sigs["spmv"]["CER-after-Pack"]
+        assert cer.device == "sync"
+        assert cer.action == "cer"
+        assert cer.refs == (sigs["spmv"]["Pack"].key,)
+
+    def test_sync_signatures_transfer_with_their_bases(self, sigs):
+        # Pack signs equally in spmv and halo3d, so the inserted records
+        # and syncs around it do too.
+        assert (
+            sigs["spmv"]["CER-after-Pack"].key
+            == sigs["halo3d"]["CER-after-Pack_x"].key
+        )
+
+    def test_cswe_covered(self, sigs):
+        assert any(s.action == "cswe" for s in sigs["halo3d"].values())
+
+
+class TestStability:
+    """Signature keys are deterministic and bit-stable across processes —
+    the same guarantee WorkloadSpec program fingerprints carry."""
+
+    def test_fingerprint_is_sha256_of_key(self):
+        sig = OpSignature(device="gpu", action="kernel")
+        assert len(signature_fingerprint(sig)) == 64
+        assert signature_fingerprint(sig) == signature_fingerprint(
+            OpSignature(device="gpu", action="kernel")
+        )
+
+    def test_rebuild_is_identical(self, sigs):
+        for spec in ALL_SPECS:
+            again = program_signatures(build_workload(spec))
+            assert {n: s.key for n, s in again.items()} == {
+                n: s.key for n, s in sigs[spec.family].items()
+            }
+
+    @pytest.mark.parametrize(
+        "spec", [SPMV, HALO, ALLREDUCE, STENCIL], ids=lambda s: s.family
+    )
+    def test_keys_stable_across_processes(self, spec):
+        code = (
+            "import hashlib\n"
+            "from repro.workloads import WorkloadSpec, build_workload\n"
+            "from repro.transfer.signature import (\n"
+            "    program_signatures, signature_fingerprint)\n"
+            f"spec = WorkloadSpec({spec.family!r}, {spec.param_dict!r}, "
+            f"seed={spec.seed})\n"
+            "sigs = program_signatures(build_workload(spec))\n"
+            "blob = ';'.join(\n"
+            "    f'{n}={signature_fingerprint(s)}'\n"
+            "    for n, s in sorted(sigs.items()))\n"
+            "print(hashlib.sha256(blob.encode()).hexdigest())\n"
+        )
+        import hashlib
+
+        import repro
+
+        env = dict(os.environ)
+        src_dir = str(Path(repro.__file__).resolve().parent.parent)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (src_dir, env.get("PYTHONPATH")) if p
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            check=True,
+            env=env,
+        )
+        sigs = program_signatures(build_workload(spec))
+        blob = ";".join(
+            f"{n}={signature_fingerprint(s)}" for n, s in sorted(sigs.items())
+        )
+        assert out.stdout.strip() == hashlib.sha256(blob.encode()).hexdigest()
+
+
+class TestMatcher:
+    def test_maps_both_sides(self, sigs):
+        m = SignatureMatcher(sigs["spmv"], sigs["halo3d"])
+        assert m.rule_key("Pack") == sigs["spmv"]["Pack"].key
+        assert m.op_key("Pack_x") == sigs["halo3d"]["Pack_x"].key
+        assert m.rule_key("Pack") == m.op_key("Pack_x")
+
+    def test_unknown_names_do_not_participate(self, sigs):
+        m = SignatureMatcher(sigs["spmv"], sigs["halo3d"])
+        assert m.rule_key("nope") is None
+        assert m.op_key("Pack") is None  # a spmv name, not a halo one
+
+    def test_identity_matcher(self, sigs):
+        m = identity_matcher(sigs["spmv"])
+        assert m.rule_key("yL") == m.op_key("yL")

@@ -1,0 +1,185 @@
+"""Tests for union-feature training (repro.transfer.union +
+repro.ml.features.MappedFeatureExtractor)."""
+
+import numpy as np
+import pytest
+
+from repro.dag.vertex import cpu_op, gpu_op
+from repro.errors import TrainingError
+from repro.ml.features import MappedFeatureExtractor, OrderFeature, StreamFeature
+from repro.schedule.schedule import BoundOp, Schedule
+from repro.transfer.signature import OpSignature
+from repro.transfer.union import UnionWorkload, binary_labels, train_union
+
+
+def _gpu(name, stream):
+    return BoundOp(vertex=gpu_op(name), stream=stream)
+
+
+def _cpu(name):
+    return BoundOp(vertex=cpu_op(name))
+
+
+#: Two "programs" with disjoint naming but identical structure: a packer
+#: kernel (key K), a post op (key P), and a worker kernel (key W).
+MAP_A = {"PackA": "K", "PostA": "P", "WorkA": "W"}
+MAP_B = {"PackB": "K", "PostB": "P", "WorkB": "W"}
+
+
+def _sched_a(order, streams):
+    names = {"K": "PackA", "P": "PostA", "W": "WorkA"}
+    ops = []
+    for key in order:
+        name = names[key]
+        if key == "P":
+            ops.append(_cpu(name))
+        else:
+            ops.append(_gpu(name, streams[key]))
+    return Schedule(ops)
+
+
+def _sched_b(order, streams):
+    names = {"K": "PackB", "P": "PostB", "W": "WorkB"}
+    ops = []
+    for key in order:
+        name = names[key]
+        if key == "P":
+            ops.append(_cpu(name))
+        else:
+            ops.append(_gpu(name, streams[key]))
+    return Schedule(ops)
+
+
+class TestMappedExtractor:
+    def test_features_over_shared_keys(self):
+        a = [_sched_a("KPW", {"K": 0, "W": 0}), _sched_a("WKP", {"K": 0, "W": 1})]
+        b = [_sched_b("KPW", {"K": 0, "W": 1}), _sched_b("PWK", {"K": 1, "W": 0})]
+        ex = MappedFeatureExtractor().fit([(a, MAP_A), (b, MAP_B)])
+        assert set(ex.keys) == {"K", "P", "W"}
+        assert set(ex.gpu_keys) == {"K", "W"}
+        names = {f.name for f in ex.features}
+        # Features refer to keys, not program-specific op names.
+        assert all("Pack" not in n for n in names)
+
+    def test_projection_is_structural(self):
+        # The same structural schedule in both programs featurizes equally.
+        a = [_sched_a("KPW", {"K": 0, "W": 1}), _sched_a("WKP", {"K": 0, "W": 0})]
+        b = [_sched_b("KPW", {"K": 0, "W": 1}), _sched_b("WKP", {"K": 0, "W": 0})]
+        ex = MappedFeatureExtractor().fit([(a, MAP_A), (b, MAP_B)])
+        ma = ex.transform(a, MAP_A).matrix
+        mb = ex.transform(b, MAP_B).matrix
+        assert np.array_equal(ma, mb)
+
+    def test_universal_quantification_over_groups(self):
+        # Two ops share key K; "K before W" needs *both* before W.
+        mapping = {"k1": "K", "k2": "K", "w": "W", "x": "X"}
+        both_first = Schedule([_gpu("k1", 0), _gpu("k2", 0), _gpu("w", 0), _gpu("x", 0)])
+        interleaved = Schedule([_gpu("k1", 0), _gpu("w", 0), _gpu("k2", 0), _gpu("x", 0)])
+        ex = MappedFeatureExtractor().fit(
+            [([both_first, interleaved], mapping)]
+        )
+        f = OrderFeature("K", "W")
+        col = ex.transform([both_first, interleaved], mapping).column(f)
+        assert col.tolist() == [1, 0]
+
+    def test_missing_key_defaults_to_zero(self):
+        a = [_sched_a("KPW", {"K": 0, "W": 0}), _sched_a("WKP", {"K": 0, "W": 1})]
+        b = [_sched_b("KPW", {"K": 0, "W": 1}), _sched_b("PWK", {"K": 1, "W": 0})]
+        ex = MappedFeatureExtractor().fit([(a, MAP_A), (b, MAP_B)])
+        foreign = Schedule([_gpu("Other", 0)])
+        m = ex.transform([foreign], {"Other": "K"}).matrix
+        assert m.sum() == 0  # nothing evaluable: all defaults
+
+    def test_min_sets_filters_private_keys(self):
+        a = [_sched_a("KPW", {"K": 0, "W": 0}), _sched_a("WKP", {"K": 0, "W": 1})]
+        only_b = [Schedule([_gpu("PackB", 0), _gpu("Priv", 1)])]
+        mapping_b = {"PackB": "K", "Priv": "PRIVATE"}
+        ex = MappedFeatureExtractor().fit([(a, MAP_A), (only_b, mapping_b)])
+        assert "PRIVATE" not in ex.keys  # appears in one set only
+
+    def test_zero_schedules_rejected(self):
+        with pytest.raises(TrainingError, match="zero schedules"):
+            MappedFeatureExtractor().fit([([], MAP_A)])
+
+    def test_transform_requires_fit(self):
+        with pytest.raises(TrainingError, match="not fitted"):
+            MappedFeatureExtractor().transform([], MAP_A)
+
+
+class TestBinaryLabels:
+    def test_fastest_class_is_fast(self):
+        labels = binary_labels([0, 1, 2, 0, 3])
+        assert labels.tolist() == [0, 1, 1, 0, 1]
+
+
+def _signatures(mapping):
+    return {
+        name: OpSignature(device="gpu", action=key)
+        for name, key in mapping.items()
+    }
+
+
+def _union_workload(label, schedules, labels, mapping):
+    return UnionWorkload(
+        label=label,
+        schedules=schedules,
+        labels=np.asarray(labels),
+        signatures=_signatures(mapping),
+    )
+
+
+class TestTrainUnion:
+    """Schedules are fast iff K launches before W — learnable from the
+    union of two differently-named programs, transferable to a third."""
+
+    def _workloads(self):
+        a_fast = [_sched_a("KPW", {"K": 0, "W": 0}), _sched_a("KWP", {"K": 0, "W": 1})]
+        a_slow = [_sched_a("WKP", {"K": 0, "W": 0}), _sched_a("PWK", {"K": 1, "W": 0})]
+        b_fast = [_sched_b("KPW", {"K": 0, "W": 1}), _sched_b("KWP", {"K": 0, "W": 0})]
+        b_slow = [_sched_b("WPK", {"K": 0, "W": 0}), _sched_b("PWK", {"K": 1, "W": 1})]
+        wa = _union_workload("A", a_fast + a_slow, [0, 0, 1, 1], MAP_A)
+        wb = _union_workload("B", b_fast + b_slow, [0, 0, 1, 1], MAP_B)
+        map_c = {"PackC": "K", "PostC": "P", "WorkC": "W"}
+        c_scheds = [
+            Schedule([_gpu("PackC", 0), _cpu("PostC"), _gpu("WorkC", 1)]),
+            Schedule([_gpu("WorkC", 0), _cpu("PostC"), _gpu("PackC", 0)]),
+        ]
+        wc = _union_workload("C", c_scheds, [0, 1], map_c)
+        return [wa, wb, wc]
+
+    def test_holdout_generalizes(self):
+        result = train_union(self._workloads(), holdout="C")
+        assert result.trained_on == ("A", "B")
+        assert result.holdout == "C"
+        assert result.train_accuracy == 1.0
+        assert result.holdout_accuracy == 1.0
+
+    def test_train_on_all(self):
+        result = train_union(self._workloads())
+        assert result.holdout is None
+        assert result.holdout_accuracy is None
+        assert set(result.per_workload_accuracy) == {"A", "B", "C"}
+
+    def test_unknown_holdout_rejected(self):
+        with pytest.raises(TrainingError, match="not in the union"):
+            train_union(self._workloads(), holdout="nope")
+
+    def test_needs_two_training_workloads(self):
+        with pytest.raises(TrainingError, match="at least two"):
+            train_union(self._workloads()[:2], holdout="A")
+
+    def test_no_shared_features_rejected(self):
+        w1 = _union_workload(
+            "X",
+            [Schedule([_gpu("a", 0)]), Schedule([_gpu("a", 1)])],
+            [0, 1],
+            {"a": "KA"},
+        )
+        w2 = _union_workload(
+            "Y",
+            [Schedule([_gpu("b", 0)]), Schedule([_gpu("b", 1)])],
+            [0, 1],
+            {"b": "KB"},
+        )
+        with pytest.raises(TrainingError, match="no shared"):
+            train_union([w1, w2])

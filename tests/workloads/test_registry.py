@@ -21,6 +21,7 @@ EXPECTED_FAMILIES = {
     "fork_join",
     "tree_allreduce",
     "wavefront",
+    "stencil_reduce",
 }
 
 

@@ -33,12 +33,26 @@ TINY = Suite(
     measurement=MeasurementConfig(max_samples=1),
 )
 
+TINY_RULES = Suite(
+    name="tiny-rules",
+    description="three tiny exhaustible workloads with cross-workload rules",
+    specs=(
+        WorkloadSpec("wavefront", {"width": 2, "height": 2}),
+        WorkloadSpec("stencil_reduce", {"width": 2, "height": 2}),
+        WorkloadSpec("fork_join", {"stages": 1, "branches": 2, "depth": 1}),
+    ),
+    strategies=("random",),
+    n_iterations=4,
+    measurement=MeasurementConfig(max_samples=1),
+    cross_workload_rules=True,
+)
+
 
 class TestDefinitions:
     def test_builtin_suites_present(self):
         assert {"smoke", "paper", "generalization"} <= set(builtin_suites())
 
-    def test_smoke_covers_all_six_families(self):
+    def test_smoke_covers_all_seven_families(self):
         smoke = get_suite("smoke")
         families = {s.family for s in smoke.specs}
         assert families == {
@@ -48,8 +62,9 @@ class TestDefinitions:
             "fork_join",
             "tree_allreduce",
             "wavefront",
+            "stencil_reduce",
         }
-        assert len(smoke.specs) >= 6
+        assert len(smoke.specs) >= 7
 
     def test_unknown_suite_rejected(self):
         with pytest.raises(WorkloadError, match="unknown suite"):
@@ -115,6 +130,39 @@ class TestRunner:
         report = SuiteRunner(TINY).run()
         report.save_json(str(path))
         assert json.loads(path.read_text())["suite"] == "tiny"
+
+
+class TestCrossWorkloadTables:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return SuiteRunner(TINY_RULES).run()
+
+    def test_rules_and_transfer_tables_populated(self, report):
+        n = len(TINY_RULES.specs)
+        assert len(report.rules_table) == n * (n - 1)
+        assert len(report.transfer_table) == n * (n - 1)
+        for row in report.transfer_table:
+            assert {
+                "source",
+                "target",
+                "n_rules",
+                "n_transferable",
+                "mean_discrimination",
+                "mean_coverage",
+            } <= set(row)
+
+    def test_union_table_rows(self, report):
+        # Three workloads: leave-one-out union rows (minus any skipped
+        # for lacking shared features) land in the report.
+        for row in report.union_table:
+            assert 0.0 <= float(row["holdout_accuracy"]) <= 1.0
+
+    def test_tables_render_and_serialize(self, report):
+        text = report.ascii_table()
+        assert "Signature-matched transfer" in text
+        data = json.loads(report.to_json())
+        assert "transfer_table" in data
+        assert "union_table" in data
 
 
 @pytest.mark.slow

@@ -18,6 +18,7 @@ SPECS = [
     WorkloadSpec("fork_join", {"stages": 2, "branches": 2, "depth": 1}),
     WorkloadSpec("tree_allreduce", {"rounds": 2, "elems": 1024}),
     WorkloadSpec("wavefront", {"width": 2, "height": 3}),
+    WorkloadSpec("stencil_reduce", {"width": 3, "height": 2}),
 ]
 
 
