@@ -23,7 +23,12 @@ Quick start::
 
 from repro.apps.halo import GridCase, build_halo_program
 from repro.apps.spmv import SpmvCase, build_spmv_program, spmv_paper_case
-from repro.core import DesignRulePipeline, PipelineConfig, PipelineResult
+from repro.core import (
+    DesignRulePipeline,
+    PipelineConfig,
+    PipelineResult,
+    StreamingPipelineResult,
+)
 from repro.dag import (
     Action,
     ActionKind,
@@ -47,6 +52,14 @@ from repro.ml import (
     range_accuracy,
     search_tree_size,
 )
+from repro.orchestrate import (
+    ExecutionPlan,
+    PlanRun,
+    WorkloadTask,
+    execute_plan,
+    plan_rules,
+    plan_suite,
+)
 from repro.platform import (
     CostModel,
     MachineConfig,
@@ -55,7 +68,13 @@ from repro.platform import (
     perlmutter_like,
 )
 from repro.rules import RuleSet, compare_rulesets, extract_rulesets
-from repro.schedule import BoundOp, DesignSpace, Schedule
+from repro.schedule import (
+    BoundOp,
+    DesignSpace,
+    EnumerationCursor,
+    Schedule,
+    ScheduleBlock,
+)
 from repro.search import ExhaustiveSearch, MctsConfig, MctsSearch, RandomSearch
 from repro.sim import Benchmarker, Gantt, MeasurementConfig, ScheduleExecutor, SimResult
 from repro.transfer import (
@@ -88,7 +107,9 @@ __all__ = [
     "DecisionTree",
     "DesignRulePipeline",
     "DesignSpace",
+    "EnumerationCursor",
     "Evaluator",
+    "ExecutionPlan",
     "ExhaustiveSearch",
     "FeatureExtractor",
     "Gantt",
@@ -107,15 +128,18 @@ __all__ = [
     "OpSignature",
     "PipelineConfig",
     "PipelineResult",
+    "PlanRun",
     "Program",
     "RandomSearch",
     "RuleSet",
     "Schedule",
+    "ScheduleBlock",
     "ScheduleExecutor",
     "SerialEvaluator",
     "SignatureMatcher",
     "SimResult",
     "SpmvCase",
+    "StreamingPipelineResult",
     "Suite",
     "SuiteReport",
     "SuiteRunner",
@@ -124,18 +148,22 @@ __all__ = [
     "Vertex",
     "Work",
     "WorkloadSpec",
+    "WorkloadTask",
     "__version__",
     "build_halo_program",
     "build_spmv_program",
     "build_workload",
     "compare_rulesets",
     "cpu_op",
+    "execute_plan",
     "extract_rulesets",
     "gpu_op",
     "label_by_performance",
     "list_families",
     "noiseless",
     "perlmutter_like",
+    "plan_rules",
+    "plan_suite",
     "program_signatures",
     "range_accuracy",
     "run_suite",

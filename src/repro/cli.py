@@ -11,6 +11,7 @@ Examples::
     repro rules                     # Tables VI-VIII
     repro all                       # every paper experiment
     repro suite smoke --workers 2   # cross-workload suite, parallel eval
+    repro suite paper --shard-workers 4   # whole workloads in parallel
 """
 
 from __future__ import annotations
@@ -181,6 +182,8 @@ def _cmd_suite(args) -> str:
         workers=args.workers,
         cache_path=args.cache,
         seed=args.seed,
+        shard_workers=args.shard_workers,
+        block_size=args.block_size,
     )
     json_path = args.json or f"repro-suite-{args.name}.json"
     out = report.ascii_table()
@@ -212,6 +215,8 @@ def _cmd_transfer(args) -> str:
         measurement=measurement,
         workers=args.workers,
         cache_path=args.cache,
+        shard_workers=args.shard_workers,
+        block_size=args.block_size,
     )
     out = result.report()
     json_path = args.json or "repro-transfer.json"
@@ -270,6 +275,35 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_sharding_options(parser: argparse.ArgumentParser) -> None:
+    """Workload-level scaling knobs (repro.orchestrate)."""
+    parser.add_argument(
+        "--shard-workers",
+        dest="shard_workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "processes sharding whole workloads across the run "
+            "(0/1 = in-process; composes with --workers, which "
+            "parallelizes within each workload)"
+        ),
+    )
+    parser.add_argument(
+        "--block-size",
+        dest="block_size",
+        type=int,
+        default=None,
+        metavar="B",
+        help=(
+            "schedules per enumeration/evaluation block in the exhaustive "
+            "rule pipelines (these runs keep labeled schedules for transfer "
+            "scoring; fully bounded residency is the "
+            "DesignRulePipeline.run_streaming API)"
+        ),
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -309,6 +343,7 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     _add_common_options(p)
+    _add_sharding_options(p)
 
     p = sub.add_parser(
         "transfer",
@@ -349,6 +384,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write a markdown report (repro.report) to PATH",
     )
     _add_common_options(p)
+    _add_sharding_options(p)
     return parser
 
 

@@ -4,6 +4,16 @@ DAG → (MCTS | random | exhaustive) exploration → class labels → feature
 vectors → decision tree → design rules.
 """
 
-from repro.core.pipeline import DesignRulePipeline, PipelineConfig, PipelineResult
+from repro.core.pipeline import (
+    DesignRulePipeline,
+    PipelineConfig,
+    PipelineResult,
+    StreamingPipelineResult,
+)
 
-__all__ = ["DesignRulePipeline", "PipelineConfig", "PipelineResult"]
+__all__ = [
+    "DesignRulePipeline",
+    "PipelineConfig",
+    "PipelineResult",
+    "StreamingPipelineResult",
+]

@@ -34,6 +34,7 @@ import enum
 import hashlib
 import json
 import sqlite3
+import time
 from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 from repro.dag.program import Program
@@ -132,13 +133,41 @@ class MeasurementCache:
     """On-disk (SQLite) store of schedule measurements.
 
     ``path`` may be ``":memory:"`` for an ephemeral cache (useful in
-    tests).  The cache is safe to share between sequential runs; writes
-    are committed per batch.
+    tests).  Writes are committed per batch.
+
+    Concurrency
+    -----------
+    One cache file may be shared by many *processes* (workload shards,
+    parallel evaluators): file-backed connections enable SQLite's WAL
+    journal (readers never block the writer) and a generous busy
+    timeout, and batch writes retry on ``database is locked`` with
+    exponential backoff, so concurrent shard writers serialize instead
+    of failing.  Entries are idempotent — every writer computing the
+    same (context, schedule) key writes the bit-identical measurement —
+    so last-writer-wins is harmless.  A single connection object is
+    still owned by one process: share the *path*, not the instance.
     """
+
+    #: Wait this long (ms) for a competing writer before raising.
+    _BUSY_TIMEOUT_MS = 30_000
+    #: put_many retries on a locked database, with exponential backoff.
+    _WRITE_RETRIES = 5
+    _RETRY_BASE_DELAY_S = 0.05
 
     def __init__(self, path: str) -> None:
         self.path = str(path)
-        self._conn = sqlite3.connect(self.path)
+        self._conn = sqlite3.connect(
+            self.path, timeout=self._BUSY_TIMEOUT_MS / 1000.0
+        )
+        self._conn.execute(f"PRAGMA busy_timeout = {self._BUSY_TIMEOUT_MS}")
+        if self.path != ":memory:":
+            # WAL needs a real file; some filesystems refuse it — the
+            # returned mode tells us, and rollback journaling still works.
+            (mode,) = self._conn.execute("PRAGMA journal_mode = WAL").fetchone()
+            self.journal_mode = str(mode).lower()
+            self._conn.execute("PRAGMA synchronous = NORMAL")
+        else:
+            self.journal_mode = "memory"
         self._conn.execute(_SCHEMA)
         self._conn.commit()
 
@@ -189,22 +218,35 @@ class MeasurementCache:
     def put_many(
         self, context: str, entries: Iterable[Tuple[str, Measurement]]
     ) -> None:
-        self._conn.executemany(
-            "INSERT OR REPLACE INTO measurements "
-            "(context, schedule, time, n_samples, per_rank) "
-            "VALUES (?, ?, ?, ?, ?)",
-            [
-                (
-                    context,
-                    fp,
-                    m.time,
-                    m.n_samples,
-                    json.dumps(list(m.per_rank_time)),
+        rows = [
+            (
+                context,
+                fp,
+                m.time,
+                m.n_samples,
+                json.dumps(list(m.per_rank_time)),
+            )
+            for fp, m in entries
+        ]
+        for attempt in range(self._WRITE_RETRIES + 1):
+            try:
+                self._conn.executemany(
+                    "INSERT OR REPLACE INTO measurements "
+                    "(context, schedule, time, n_samples, per_rank) "
+                    "VALUES (?, ?, ?, ?, ?)",
+                    rows,
                 )
-                for fp, m in entries
-            ],
-        )
-        self._conn.commit()
+                self._conn.commit()
+                return
+            except sqlite3.OperationalError as exc:
+                # Roll back even on the terminal raise: a partially
+                # applied batch left in an open transaction would shadow
+                # this connection's subsequent reads and later commits.
+                self._conn.rollback()
+                locked = "locked" in str(exc) or "busy" in str(exc)
+                if not locked or attempt == self._WRITE_RETRIES:
+                    raise
+                time.sleep(self._RETRY_BASE_DELAY_S * (2**attempt))
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:

@@ -11,6 +11,7 @@ from repro.ml.features import (
     FeatureMatrix,
     OrderFeature,
     StreamFeature,
+    StreamingFeatureFit,
 )
 from repro.ml.hyperparam import HyperparamTrace, search_tree_size
 from repro.ml.labeling import (
@@ -33,6 +34,7 @@ __all__ = [
     "LabelingConfig",
     "OrderFeature",
     "StreamFeature",
+    "StreamingFeatureFit",
     "TreeConfig",
     "TreeNode",
     "find_peaks",

@@ -95,34 +95,43 @@ class FeatureExtractor:
         self._fitted = False
 
     # ------------------------------------------------------------------
-    def fit(self, schedules: Sequence[Schedule]) -> "FeatureExtractor":
-        if not schedules:
-            raise TrainingError("cannot fit features on zero schedules")
-        common = set(schedules[0].op_names())
-        for s in schedules[1:]:
-            common &= set(s.op_names())
-        # Stable order: first schedule's sequence order.
-        self.ops = tuple(
-            n for n in schedules[0].op_names() if n in common
-        )
-        gpu = [
+    def _set_vocabulary(
+        self, template: Schedule, common: frozenset
+    ) -> List[Feature]:
+        """Fix op order (the template schedule's launch sequence restricted
+        to ``common``) and return the pairwise candidate features."""
+        self.ops = tuple(n for n in template.op_names() if n in common)
+        self.gpu_ops = tuple(
             op.name
-            for op in schedules[0].ops
+            for op in template.ops
             if op.kind is OpKind.GPU and op.name in common
-        ]
-        self.gpu_ops = tuple(gpu)
+        )
         candidates: List[Feature] = [
             OrderFeature(u, v) for u, v in combinations(self.ops, 2)
         ]
         candidates += [
             StreamFeature(u, v) for u, v in combinations(self.gpu_ops, 2)
         ]
-        full = self._raw_matrix(schedules, candidates)
-        keep = [
+        return candidates
+
+    @staticmethod
+    def _varying_columns(full: np.ndarray) -> List[int]:
+        """Indices of non-constant columns (the paper drops the rest)."""
+        return [
             j
             for j in range(full.shape[1])
             if not np.all(full[:, j] == full[0, j])
         ]
+
+    def fit(self, schedules: Sequence[Schedule]) -> "FeatureExtractor":
+        if not schedules:
+            raise TrainingError("cannot fit features on zero schedules")
+        common = set(schedules[0].op_names())
+        for s in schedules[1:]:
+            common &= set(s.op_names())
+        candidates = self._set_vocabulary(schedules[0], frozenset(common))
+        full = self._raw_matrix(schedules, candidates)
+        keep = self._varying_columns(full)
         self.features = [candidates[j] for j in keep]
         self._fitted = True
         return self
@@ -161,6 +170,70 @@ class FeatureExtractor:
                 else:
                     mat[i, j] = 1 if streams[f.u] == streams[f.v] else 0
         return mat
+
+
+class StreamingFeatureFit:
+    """Incremental :class:`FeatureExtractor` fit over schedule blocks.
+
+    ``fit_transform`` needs every schedule at once — twice over (once to
+    intersect the op vocabulary, once for the matrix) — which defeats
+    streaming enumeration.  This accumulator takes the common-op
+    vocabulary up front (for an exhaustive walk it is exactly
+    :meth:`repro.schedule.space.DesignSpace.all_op_names`: program ops
+    plus the always-inserted CER/CES sync ops), consumes blocks one at a
+    time, and keeps only the growing candidate *matrix* (uint8 rows) —
+    never the schedules.  ``finish`` drops constant columns and returns a
+    fitted extractor plus the matrix, bit-identical to
+    ``FeatureExtractor().fit_transform(all_schedules)`` whenever
+    ``common_ops`` matches the schedules' true common-op set.
+    """
+
+    def __init__(self, common_ops: Sequence[str]) -> None:
+        self._common = frozenset(common_ops)
+        if not self._common:
+            raise TrainingError("cannot fit features on an empty vocabulary")
+        self._extractor = FeatureExtractor()
+        self._candidates: Optional[List[Feature]] = None
+        self._rows: List[np.ndarray] = []
+        self.n_schedules = 0
+
+    def add_block(self, schedules: Sequence[Schedule]) -> None:
+        """Featurize one block of schedules against the candidate set.
+
+        The first block's first schedule fixes the op order (its launch
+        sequence, restricted to the common vocabulary) exactly as
+        :meth:`FeatureExtractor.fit` does with the first schedule of a
+        fully materialized set.
+        """
+        if not schedules:
+            return
+        if self._candidates is None:
+            self._candidates = self._fix_vocabulary(schedules[0])
+        self._rows.append(
+            self._extractor._raw_matrix(schedules, self._candidates)
+        )
+        self.n_schedules += len(schedules)
+
+    def finish(self) -> Tuple[FeatureExtractor, FeatureMatrix]:
+        """Drop constant columns and seal the extractor."""
+        if self._candidates is None or not self.n_schedules:
+            raise TrainingError("cannot fit features on zero schedules")
+        full = np.concatenate(self._rows, axis=0)
+        keep = FeatureExtractor._varying_columns(full)
+        self._extractor.features = [self._candidates[j] for j in keep]
+        self._extractor._fitted = True
+        return self._extractor, FeatureMatrix(
+            matrix=full[:, keep], features=list(self._extractor.features)
+        )
+
+    # ------------------------------------------------------------------
+    def _fix_vocabulary(self, template: Schedule) -> List[Feature]:
+        missing = self._common - set(template.op_names())
+        if missing:
+            raise TrainingError(
+                f"template schedule lacks common ops: {sorted(missing)}"
+            )
+        return self._extractor._set_vocabulary(template, self._common)
 
 
 #: Schedule op name -> canonical key; ``None``/absent ops do not

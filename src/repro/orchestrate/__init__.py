@@ -1,0 +1,59 @@
+"""repro.orchestrate — workload-level sharding for suites and transfer.
+
+PR 1 parallelized *within* a (workload × strategy) cell; this subsystem
+parallelizes *across* cells.  A suite or transfer run is compiled into an
+:class:`ExecutionPlan` — a DAG of :class:`WorkloadTask` units, each one
+whole workload's pipeline (build → search/enumerate → label →
+extract-rules) — and :func:`execute_plan` runs the tasks in-process or
+across a ``ProcessPoolExecutor`` of whole-workload shards.
+
+Guarantees:
+
+* **Determinism.**  Each task's output is a pure function of the task
+  value (workload builds are seed-deterministic; measurements are pure
+  in (schedule, context)), so sharded results are bit-identical to a
+  serial sweep, modulo wall-clock timing fields.
+* **Ordering.**  Results come back sorted by ``task.index`` regardless
+  of completion order.
+* **Shared cache.**  All shards may point at one persistent
+  :class:`~repro.exec.MeasurementCache`; connections are per-process and
+  SQLite WAL + busy-timeout make concurrent writers safe.
+
+:class:`~repro.workloads.suite.SuiteRunner`,
+:func:`~repro.workloads.generalization.rules_for_specs`, and
+:func:`~repro.transfer.matrix.run_transfer_matrix` are all built on
+plans; the CLI exposes the knobs as ``repro suite/transfer
+--shard-workers N --block-size B``.
+"""
+
+from repro.orchestrate.plan import (
+    TASK_SUITE_CELLS,
+    TASK_WORKLOAD_RULES,
+    ExecutionPlan,
+    WorkloadTask,
+    plan_rules,
+    plan_suite,
+)
+from repro.orchestrate.runner import (
+    PlanRun,
+    TaskResult,
+    execute_plan,
+    execute_task,
+    make_strategy,
+    restore_rules_payload,
+)
+
+__all__ = [
+    "TASK_SUITE_CELLS",
+    "TASK_WORKLOAD_RULES",
+    "ExecutionPlan",
+    "PlanRun",
+    "TaskResult",
+    "WorkloadTask",
+    "execute_plan",
+    "execute_task",
+    "make_strategy",
+    "plan_rules",
+    "plan_suite",
+    "restore_rules_payload",
+]

@@ -1,0 +1,330 @@
+"""Plan execution: workload tasks across a process pool, or in-process.
+
+The runner executes an :class:`~repro.orchestrate.plan.ExecutionPlan`
+either serially (``shard_workers <= 1``) or across a
+``ProcessPoolExecutor`` of whole-workload shards.  Both paths run the
+exact same per-task code — :func:`execute_task` — and a task's output is
+a pure function of the task value, so the sharded run is bit-identical
+to the serial one (per-task wall-clock aside).  Results always come back
+ordered by ``task.index`` regardless of completion order.
+
+Sharding composes with PR 1's within-cell parallelism: ``task.workers``
+still controls each task's *inner* evaluator pool, so ``--shard-workers
+2 --workers 4`` is two concurrent workloads, each measuring schedules
+four at a time.  All shards may share one persistent
+:class:`~repro.exec.MeasurementCache` path; every process opens its own
+connection and SQLite's WAL mode serializes the writes.
+
+Task payloads must pickle.  Programs may not (payload closures), so
+``workload-rules`` payloads travel without their program and
+:func:`restore_rules_payload` rebuilds it in the parent from the spec —
+bit-identical by the workload determinism contract.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import WorkloadError
+from repro.exec import MeasurementCache, build_evaluator
+from repro.orchestrate.plan import (
+    TASK_SUITE_CELLS,
+    TASK_WORKLOAD_RULES,
+    ExecutionPlan,
+    WorkloadTask,
+)
+from repro.platform.machine import MachineConfig
+from repro.schedule.space import DesignSpace
+from repro.search.base import SearchStrategy
+from repro.search.beam import BeamSearch
+from repro.search.mcts import MctsConfig, MctsSearch
+from repro.search.random_search import RandomSearch
+from repro.workloads.spec import build_workload
+
+
+@dataclass
+class TaskResult:
+    """One task's payload plus its execution footprint."""
+
+    index: int
+    label: str
+    kind: str
+    payload: object
+    #: Total task wall time and the per-stage breakdown
+    #: (build → search/enumerate → label → extract-rules).
+    wall_s: float
+    stages: Tuple[Tuple[str, float], ...] = ()
+    #: PID of the executing process (parent PID for in-process runs).
+    pid: int = 0
+
+    def timing_dict(self) -> Dict[str, object]:
+        return {
+            "label": self.label,
+            "kind": self.kind,
+            "wall_s": self.wall_s,
+            "stages": {name: wall for name, wall in self.stages},
+        }
+
+
+@dataclass
+class PlanRun:
+    """Everything one plan execution produced, in task-index order."""
+
+    results: List[TaskResult]
+    shard_workers: int
+    wall_s: float
+    start_method: Optional[str] = None
+
+    def of_kind(self, kind: str) -> List[TaskResult]:
+        return [r for r in self.results if r.kind == kind]
+
+    def timing(self) -> Dict[str, object]:
+        """JSON-ready timing summary (the report's ``timing`` field)."""
+        return {
+            "shard_workers": self.shard_workers,
+            "n_tasks": len(self.results),
+            "wall_s": self.wall_s,
+            "tasks": [r.timing_dict() for r in self.results],
+        }
+
+
+# ----------------------------------------------------------------------
+def make_strategy(
+    name: str, space: DesignSpace, evaluator, seed: int
+) -> SearchStrategy:
+    """Suite strategy registry (random / mcts / beam)."""
+    if name == "random":
+        return RandomSearch(space, evaluator, seed=seed)
+    if name == "mcts":
+        return MctsSearch(space, evaluator, MctsConfig(seed=seed))
+    if name == "beam":
+        return BeamSearch(space, evaluator, seed=seed)
+    raise WorkloadError(f"unknown suite strategy {name!r}")
+
+
+def _run_suite_cells(
+    machine: MachineConfig, task: WorkloadTask
+) -> Tuple[object, List[Tuple[str, float]]]:
+    """All of one workload's (strategy → SuiteCell) rows.
+
+    Mirrors the historical serial SuiteRunner loop exactly: one evaluator
+    per workload shared by every strategy (so the memo carries across
+    strategies), per-strategy wall time measured around ``run``.
+    """
+    from repro.workloads.suite import _cell_from_result
+
+    stages: List[Tuple[str, float]] = []
+    t0 = time.perf_counter()
+    program = build_workload(task.spec)
+    space = DesignSpace(program, n_streams=task.n_streams)
+    stages.append(("build", time.perf_counter() - t0))
+    cache = (
+        MeasurementCache(task.cache_path)
+        if task.cache_path is not None
+        else None
+    )
+    cells = []
+    try:
+        evaluator = build_evaluator(
+            program,
+            machine.with_ranks(program.n_ranks),
+            task.measurement,
+            workers=task.workers,
+            cache=cache,
+        )
+        try:
+            for strat_name in task.strategies:
+                t0 = time.perf_counter()
+                sims_before = evaluator.n_simulations
+                strategy = make_strategy(
+                    strat_name, space, evaluator, task.seed
+                )
+                result = strategy.run(task.n_iterations)
+                wall = time.perf_counter() - t0
+                stages.append((f"search:{strat_name}", wall))
+                cells.append(
+                    _cell_from_result(
+                        task.spec,
+                        strat_name,
+                        space,
+                        result,
+                        evaluator.n_simulations - sims_before,
+                        wall,
+                    )
+                )
+        finally:
+            evaluator.close()
+    finally:
+        if cache is not None:
+            cache.close()
+    return cells, stages
+
+
+def _run_workload_rules(
+    machine: MachineConfig, task: WorkloadTask
+) -> Tuple[object, List[Tuple[str, float]]]:
+    """One workload's exhaustive design-rule pipeline, reduced to a
+    (program-free, picklable) :class:`WorkloadRules` payload."""
+    from repro.workloads.generalization import (
+        pipeline_for_spec,
+        reduce_workload_rules,
+    )
+
+    stages: List[Tuple[str, float]] = []
+    t0 = time.perf_counter()
+    program = build_workload(task.spec)
+    stages.append(("build", time.perf_counter() - t0))
+    pipe = pipeline_for_spec(
+        task.spec,
+        machine,
+        n_streams=task.n_streams,
+        measurement=task.measurement,
+        workers=task.workers,
+        cache_path=task.cache_path,
+        program=program,
+        block_size=task.block_size,
+    )
+    try:
+        t0 = time.perf_counter()
+        search = pipe.explore()
+        stages.append(("enumerate", time.perf_counter() - t0))
+        t0 = time.perf_counter()
+        result = pipe.run(search)
+        stages.append(("label+train", time.perf_counter() - t0))
+    finally:
+        pipe.close()
+    t0 = time.perf_counter()
+    rules = reduce_workload_rules(task.spec, program, result)
+    stages.append(("extract-rules", time.perf_counter() - t0))
+    return rules, stages
+
+
+_EXECUTORS = {
+    TASK_SUITE_CELLS: _run_suite_cells,
+    TASK_WORKLOAD_RULES: _run_workload_rules,
+}
+
+
+def execute_task(machine: MachineConfig, task: WorkloadTask) -> TaskResult:
+    """Run one task to completion in the current process."""
+    t0 = time.perf_counter()
+    payload, stages = _EXECUTORS[task.kind](machine, task)
+    return TaskResult(
+        index=task.index,
+        label=task.label,
+        kind=task.kind,
+        payload=payload,
+        wall_s=time.perf_counter() - t0,
+        stages=tuple(stages),
+        pid=os.getpid(),
+    )
+
+
+def _execute_task_shipped(
+    machine: MachineConfig, task: WorkloadTask
+) -> TaskResult:
+    """Worker-side entry: run the task, then make the result picklable.
+
+    Programs may close over non-picklable payloads, so a result crossing
+    a process boundary travels without its program;
+    :func:`restore_rules_payload` rebuilds it in the parent from the
+    spec — bit-identical by the workload determinism contract.  The
+    in-process path skips the round trip entirely.
+    """
+    result = execute_task(machine, task)
+    payload = result.payload
+    if getattr(payload, "program", None) is not None:
+        result = dataclasses.replace(
+            result, payload=dataclasses.replace(payload, program=None)
+        )
+    return result
+
+
+def restore_rules_payload(result: TaskResult) -> object:
+    """Reattach the (rebuilt) program to a ``workload-rules`` payload."""
+    payload = result.payload
+    if getattr(payload, "program", True) is None:
+        payload = dataclasses.replace(
+            payload, program=build_workload(payload.spec)
+        )
+    return payload
+
+
+# ----------------------------------------------------------------------
+def execute_plan(
+    plan: ExecutionPlan,
+    *,
+    shard_workers: int = 0,
+    start_method: Optional[str] = None,
+) -> PlanRun:
+    """Run every task of ``plan``; sharded when ``shard_workers > 1``.
+
+    Dependency edges (``task.depends_on``) gate submission: a task is
+    submitted only once its prerequisites completed.  Results are
+    returned in task-index order either way.
+    """
+    t0 = time.perf_counter()
+    if shard_workers > 1 and len(plan.tasks) > 1:
+        results, method = _execute_sharded(plan, shard_workers, start_method)
+    else:
+        shard_workers = 0
+        method = None
+        results = [execute_task(plan.machine, task) for task in plan.tasks]
+    results.sort(key=lambda r: r.index)
+    return PlanRun(
+        results=results,
+        shard_workers=shard_workers,
+        wall_s=time.perf_counter() - t0,
+        start_method=method,
+    )
+
+
+def _execute_sharded(
+    plan: ExecutionPlan,
+    shard_workers: int,
+    start_method: Optional[str],
+) -> Tuple[List[TaskResult], str]:
+    if start_method is None:
+        methods = multiprocessing.get_all_start_methods()
+        start_method = "fork" if "fork" in methods else methods[0]
+    n_workers = min(shard_workers, len(plan.tasks))
+    pending = {t.index: t for t in plan.tasks}
+    done: set = set()
+    results: List[TaskResult] = []
+    with ProcessPoolExecutor(
+        max_workers=n_workers,
+        mp_context=multiprocessing.get_context(start_method),
+    ) as pool:
+        in_flight: Dict[object, int] = {}
+
+        def submit_ready() -> None:
+            for index in sorted(pending):
+                task = pending[index]
+                if all(dep in done for dep in task.depends_on):
+                    future = pool.submit(
+                        _execute_task_shipped, plan.machine, task
+                    )
+                    in_flight[future] = index
+                    del pending[index]
+
+        submit_ready()
+        while in_flight:
+            completed, _ = wait(
+                list(in_flight), return_when=FIRST_COMPLETED
+            )
+            for future in completed:
+                index = in_flight.pop(future)
+                results.append(future.result())  # re-raises task errors
+                done.add(index)
+            submit_ready()
+    if pending:  # pragma: no cover - guarded by ExecutionPlan validation
+        raise WorkloadError(
+            f"plan deadlocked with tasks {sorted(pending)} unsubmitted"
+        )
+    return results, start_method

@@ -118,7 +118,15 @@ def render_transfer_report(result: "TransferMatrixResult") -> str:
             "fraction of target schedules the rules were evaluable "
             "on.\n\n"
             + _md_table(
-                ("rules from", "scored on", "transfer", "disc", "cover", "best"),
+                (
+                    "rules from",
+                    "scored on",
+                    "transfer",
+                    "disc",
+                    "cover",
+                    "best",
+                    "advice",
+                ),
                 [
                     (
                         f"`{c['source']}`",
@@ -127,6 +135,7 @@ def render_transfer_report(result: "TransferMatrixResult") -> str:
                         f"{float(c['mean_discrimination']):+.2f}",
                         f"{100.0 * float(c['mean_coverage']):.0f}%",
                         f"{float(c['best_discrimination']):+.2f}",
+                        "**avoid**" if c["do_not_transfer"] else "",
                     )
                     for c in result.rows()
                 ],
@@ -182,6 +191,24 @@ def render_transfer_report(result: "TransferMatrixResult") -> str:
                         )
                         for u in result.union_rows
                     ],
+                ),
+            )
+        )
+    advisories = result.advisories()
+    if advisories:
+        parts.append(
+            _section(
+                "Do-not-transfer advisories",
+                "Cells whose transferred rules *anti*-predict the "
+                "target's fast class (strongly negative mean "
+                "discrimination): following these sources' guidance on "
+                "these targets is worse than not transferring at "
+                "all.\n\n"
+                + "\n".join(
+                    f"- `{c.source}` → `{c.target}`: "
+                    f"{c.mean_discrimination:+.2f} over "
+                    f"{c.n_transferable} transferred rules"
+                    for c in advisories
                 ),
             )
         )

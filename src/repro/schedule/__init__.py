@@ -8,14 +8,21 @@ both exhaustive enumeration and MCTS consume.
 """
 
 from repro.schedule.schedule import BoundOp, Schedule
-from repro.schedule.space import DecisionState, DesignSpace
+from repro.schedule.space import (
+    DecisionState,
+    DesignSpace,
+    EnumerationCursor,
+    ScheduleBlock,
+)
 from repro.schedule.sync import SyncPlan, build_sync_plan, cer_name, ces_name
 
 __all__ = [
     "BoundOp",
     "DecisionState",
     "DesignSpace",
+    "EnumerationCursor",
     "Schedule",
+    "ScheduleBlock",
     "SyncPlan",
     "build_sync_plan",
     "cer_name",

@@ -22,8 +22,8 @@ almost always a single op; atomic sync groups make it longer.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterator, List, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -172,6 +172,48 @@ class DecisionState:
         return tuple(actions)
 
 
+@dataclass(frozen=True)
+class EnumerationCursor:
+    """Resumable position in a design space's enumeration order.
+
+    ``path`` is the action-index path (one index per decision level) of
+    the *last schedule already produced*; the empty path means nothing
+    has been produced yet.  A cursor is a pure value — a tuple of small
+    integers — so it is trivially picklable and can be shipped to another
+    process, which resumes enumeration at exactly the next schedule.
+    ``exhausted`` marks the cursor returned with the final block; resuming
+    from it yields nothing.
+    """
+
+    path: Tuple[int, ...] = ()
+    exhausted: bool = False
+
+    @property
+    def at_start(self) -> bool:
+        return not self.path and not self.exhausted
+
+
+@dataclass
+class ScheduleBlock:
+    """One chunk of streaming enumeration.
+
+    ``cursor`` is the resume point *after* this block: feeding it back to
+    :meth:`DesignSpace.iter_blocks` continues with the next schedule, so
+    enumeration can be checkpointed, interleaved with evaluation, or
+    split across processes without ever materializing the space.
+    """
+
+    index: int
+    schedules: List[Schedule] = field(default_factory=list)
+    cursor: EnumerationCursor = EnumerationCursor()
+
+    def __len__(self) -> int:
+        return len(self.schedules)
+
+    def __iter__(self) -> Iterator[Schedule]:
+        return iter(self.schedules)
+
+
 class DesignSpace:
     """All valid schedules of a program on ``n_streams`` streams."""
 
@@ -200,15 +242,95 @@ class DesignSpace:
 
     def enumerate_schedules(self) -> Iterator[Schedule]:
         """Yield every schedule in the space (DFS; deterministic order)."""
+        return (schedule for _, schedule in self._stream())
 
-        def rec(state: DecisionState) -> Iterator[Schedule]:
-            if state.is_complete():
-                yield state.schedule()
-                return
-            for action in state.available_actions():
-                yield from rec(state.apply(action))
+    def _stream(
+        self, after: Tuple[int, ...] = ()
+    ) -> Iterator[Tuple[Tuple[int, ...], Schedule]]:
+        """Depth-first enumeration as ``(action-index path, schedule)``
+        pairs, optionally resuming strictly after the leaf at ``after``.
 
-        yield from rec(self.initial_state())
+        The explicit stack replaces the natural recursion so the walk can
+        be suspended at any leaf and resumed from its path alone —
+        decision states are rebuilt on resume, never serialized.  The
+        leaf order is identical to the recursive formulation: first child
+        first, complete states are leaves (no further expansion).
+        """
+        stack: List[Tuple[DecisionState, Tuple[Action, ...], int]] = []
+        state: Optional[DecisionState] = self.initial_state()
+        for depth, idx in enumerate(after):
+            actions = state.available_actions()
+            if not 0 <= idx < len(actions):
+                raise ScheduleError(
+                    f"cursor index {idx} at depth {depth} does not address "
+                    f"this design space ({len(actions)} actions available)"
+                )
+            stack.append((state, actions, idx))
+            state = state.apply(actions[idx])
+        if after:
+            if not state.is_complete():
+                raise ScheduleError(
+                    "cursor path does not end at a complete schedule"
+                )
+            state = None  # resume with the backtrack step past this leaf
+        while True:
+            if state is None:
+                # Backtrack to the deepest level with an untried action.
+                while stack:
+                    prev, actions, i = stack.pop()
+                    if i + 1 < len(actions):
+                        stack.append((prev, actions, i + 1))
+                        state = prev.apply(actions[i + 1])
+                        break
+                else:
+                    return
+            elif state.is_complete():
+                yield tuple(i for _, _, i in stack), state.schedule()
+                state = None
+            else:
+                actions = state.available_actions()
+                if not actions:  # dead branch: contributes no schedules
+                    state = None
+                else:
+                    stack.append((state, actions, 0))
+                    state = state.apply(actions[0])
+
+    def iter_blocks(
+        self,
+        block_size: int,
+        cursor: Optional[EnumerationCursor] = None,
+    ) -> Iterator[ScheduleBlock]:
+        """Stream the space in blocks of at most ``block_size`` schedules.
+
+        Concatenating every block's schedules reproduces
+        :meth:`enumerate_schedules` exactly (same order, same count), but
+        peak schedule residency is one block plus a single look-ahead
+        schedule — never the space.  Each block carries the
+        :class:`EnumerationCursor` to resume after it; the final block's
+        cursor is marked ``exhausted``.  Pass ``cursor`` to continue a
+        previous run (possibly in another process: enumeration order is a
+        pure function of the program and ``n_streams``).
+        """
+        if block_size < 1:
+            raise ScheduleError("block_size must be >= 1")
+        if cursor is not None and cursor.exhausted:
+            return
+        after = cursor.path if cursor is not None else ()
+        stream = self._stream(after)
+        index = 0
+        pending = next(stream, None)
+        while pending is not None:
+            block = ScheduleBlock(index=index)
+            last_path = after
+            while pending is not None and len(block.schedules) < block_size:
+                last_path, schedule = pending
+                block.schedules.append(schedule)
+                pending = next(stream, None)
+            block.cursor = EnumerationCursor(
+                path=last_path, exhausted=pending is None
+            )
+            yield block
+            index += 1
 
     def count(self) -> int:
         """Number of schedules, via memoized DP over decision states.

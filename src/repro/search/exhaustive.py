@@ -5,16 +5,16 @@ and Figures 1/4/5/6) come from benchmarking every possible traversal; this
 strategy reproduces that.  ``n_iterations`` is ignored beyond capping the
 number of schedules benchmarked (useful for tests).
 
-Enumeration is submitted to the evaluator in frontier blocks of
-``batch_size`` schedules, so a parallel evaluator keeps all workers busy
-while results remain in enumeration order.
+Enumeration streams through :meth:`repro.schedule.space.DesignSpace.iter_blocks`
+in blocks of ``batch_size`` schedules, so a parallel evaluator keeps all
+workers busy, results remain in enumeration order, and peak schedule
+residency is one block — never the space.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional
 
-from repro.schedule.schedule import Schedule
 from repro.search.base import SearchResult, SearchStrategy
 
 
@@ -29,26 +29,19 @@ class ExhaustiveSearch(SearchStrategy):
             raise ValueError("batch_size must be >= 1")
         self.batch_size = batch_size
 
-    def _flush(self, batch: List[Schedule], result: SearchResult) -> None:
-        for schedule, m in zip(
-            batch, self.evaluator.evaluate_batch(batch)
-        ):
-            result.add(schedule, m.time)
-            result.n_iterations += 1
-        batch.clear()
-
     def run(self, n_iterations: Optional[int] = None) -> SearchResult:
         result = SearchResult(strategy=self.name)
-        batch: List[Schedule] = []
-        n_taken = 0
-        for schedule in self.space.enumerate_schedules():
-            if n_iterations is not None and n_taken >= n_iterations:
+        for block in self.space.iter_blocks(self.batch_size):
+            schedules = block.schedules
+            if n_iterations is not None:
+                schedules = schedules[: n_iterations - result.n_iterations]
+            for schedule, m in zip(
+                schedules, self.evaluator.evaluate_batch(schedules)
+            ):
+                result.add(schedule, m.time)
+                result.n_iterations += 1
+            # Stop before enumerating a block past the cap.
+            if n_iterations is not None and result.n_iterations >= n_iterations:
                 break
-            batch.append(schedule)
-            n_taken += 1
-            if len(batch) >= self.batch_size:
-                self._flush(batch, result)
-        if batch:
-            self._flush(batch, result)
         result.n_simulations = self.evaluator.n_simulations
         return result

@@ -24,6 +24,7 @@ design knowledge across *different programs*:
 """
 
 from repro.transfer.matrix import (
+    DO_NOT_TRANSFER_THRESHOLD,
     TransferCell,
     TransferMatrixResult,
     UnionRow,
@@ -47,6 +48,7 @@ from repro.transfer.signature import (
 from repro.transfer.union import UnionTrainingResult, train_union
 
 __all__ = [
+    "DO_NOT_TRANSFER_THRESHOLD",
     "DiscriminationScore",
     "GroupedClasses",
     "OpSignature",

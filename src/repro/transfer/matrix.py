@@ -52,12 +52,18 @@ from repro.transfer.union import (
     binary_labels,
     train_union,
 )
-from repro.workloads.generalization import WorkloadRules, rules_for_specs
+from repro.workloads.generalization import WorkloadRules, run_rules_plan
 from repro.workloads.spec import WorkloadSpec
 
 #: Minimum number of workloads for leave-one-out union training (the
 #: training side itself needs at least two).
 MIN_UNION_WORKLOADS = 3
+
+#: Mean discrimination at or below which a (source → target) cell earns
+#: a "do-not-transfer" advisory: the target's *fast* schedules
+#: systematically violate the source's guidance, so transferring those
+#: rules is actively misleading — worse than not transferring at all.
+DO_NOT_TRANSFER_THRESHOLD = -0.10
 
 
 @dataclass(frozen=True)
@@ -74,6 +80,16 @@ class TransferCell:
     best_rule: str
     best_discrimination: float
 
+    @property
+    def do_not_transfer(self) -> bool:
+        """Advisory: rules transferred, and on average they *anti*-predict
+        the target's fast class (mean discrimination at or below
+        :data:`DO_NOT_TRANSFER_THRESHOLD`)."""
+        return (
+            self.n_transferable > 0
+            and self.mean_discrimination <= DO_NOT_TRANSFER_THRESHOLD
+        )
+
     def to_dict(self) -> Dict[str, object]:
         return {
             "source": self.source,
@@ -84,6 +100,7 @@ class TransferCell:
             "mean_coverage": self.mean_coverage,
             "best_rule": self.best_rule,
             "best_discrimination": self.best_discrimination,
+            "do_not_transfer": self.do_not_transfer,
         }
 
 
@@ -143,11 +160,22 @@ class TransferMatrixResult:
     scores: Dict[Tuple[str, str], List[DiscriminationScore]] = field(
         default_factory=dict, repr=False
     )
+    #: Execution-plan timing (shard count, per-task wall/stages); empty
+    #: when the matrix was built from precomputed pipeline outputs.
+    timing: Dict[str, object] = field(default_factory=dict)
 
     def rows(self) -> List[Dict[str, object]]:
         """JSON-ready discrimination rows, sorted (source, target)."""
         return [
             self.cells[key].to_dict() for key in sorted(self.cells)
+        ]
+
+    def advisories(self) -> List[TransferCell]:
+        """Strongly negative cells: do *not* move rules along these edges."""
+        return [
+            self.cells[key]
+            for key in sorted(self.cells)
+            if self.cells[key].do_not_transfer
         ]
 
     def to_dict(self) -> Dict[str, object]:
@@ -157,6 +185,12 @@ class TransferMatrixResult:
             "controls": [c.to_dict() for c in self.controls],
             "union": [u.to_dict() for u in self.union_rows],
             "union_note": self.union_note,
+            "advisories": [
+                {"source": c.source, "target": c.target,
+                 "mean_discrimination": c.mean_discrimination}
+                for c in self.advisories()
+            ],
+            "timing": self.timing,
         }
 
     # ------------------------------------------------------------------
@@ -174,14 +208,30 @@ class TransferMatrixResult:
                 f"{float(c['mean_discrimination']):+.2f}",
                 f"{100.0 * float(c['mean_coverage']):.0f}%",
                 f"{float(c['best_discrimination']):+.2f}",
+                "avoid" if c["do_not_transfer"] else "",
             )
             for c in self.rows()
         ]
         lines += format_table(
-            ("rules from", "scored on", "transfer", "disc", "cover", "best"),
+            ("rules from", "scored on", "transfer", "disc", "cover", "best",
+             "advice"),
             rows,
         )
         lines.append("")
+        advisories = self.advisories()
+        if advisories:
+            lines.append(
+                "Do-not-transfer advisories (mean discrimination <= "
+                f"{DO_NOT_TRANSFER_THRESHOLD:+.2f}: the target's fast "
+                "schedules violate these sources' rules):"
+            )
+            for c in advisories:
+                lines.append(
+                    f"  {c.source} -> {c.target}: "
+                    f"{c.mean_discrimination:+.2f} over "
+                    f"{c.n_transferable} transferred rules"
+                )
+            lines.append("")
         lines.append(
             "Injected always-true controls (discrimination must be 0):"
         )
@@ -421,16 +471,28 @@ def run_transfer_matrix(
     measurement=None,
     workers: int = 0,
     cache_path: Optional[str] = None,
+    shard_workers: int = 0,
+    block_size: Optional[int] = None,
 ) -> TransferMatrixResult:
-    """End-to-end: exhaustive pipelines on every spec, then the matrix."""
+    """End-to-end: exhaustive pipelines on every spec, then the matrix.
+
+    The per-workload pipelines are an orchestrate plan: with
+    ``shard_workers > 1`` whole workloads run concurrently, and the
+    result carries the plan's per-task timing — everything else is
+    bit-identical to the serial run.
+    """
     if len(specs) < 2:
         raise ValueError("need at least two workloads for a transfer matrix")
-    per_workload = rules_for_specs(
+    per_workload, plan_run = run_rules_plan(
         specs,
         machine=machine,
         n_streams=n_streams,
         measurement=measurement,
         workers=workers,
         cache_path=cache_path,
+        shard_workers=shard_workers,
+        block_size=block_size,
     )
-    return transfer_matrix_from(per_workload)
+    result = transfer_matrix_from(per_workload)
+    result.timing = plan_run.timing()
+    return result

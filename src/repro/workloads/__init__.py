@@ -21,8 +21,10 @@ scenario space:
 from repro.workloads.generalization import (
     CrossWorkloadResult,
     WorkloadRules,
+    reduce_workload_rules,
     rules_for_specs,
     run_cross_workload,
+    run_rules_plan,
     score_cross_workload,
 )
 from repro.workloads.spec import (
@@ -59,8 +61,10 @@ __all__ = [
     "get_family",
     "get_suite",
     "list_families",
+    "reduce_workload_rules",
     "rules_for_specs",
     "run_cross_workload",
+    "run_rules_plan",
     "run_suite",
     "score_cross_workload",
     "workload",

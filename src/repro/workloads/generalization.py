@@ -96,11 +96,20 @@ def pipeline_for_spec(
     workers: int = 0,
     cache_path: Optional[str] = None,
     program: Optional[Program] = None,
+    block_size: Optional[int] = None,
 ) -> DesignRulePipeline:
-    """Exhaustive design-rule pipeline for one workload spec."""
+    """Exhaustive design-rule pipeline for one workload spec.
+
+    ``block_size`` bounds how many schedules are enumerated and staged
+    per evaluation batch (see
+    :meth:`~repro.schedule.space.DesignSpace.iter_blocks`).
+    """
     if program is None:
         program = build_workload(spec)
     kwargs = {} if measurement is None else {"measurement": measurement}
+    if block_size is not None:
+        kwargs["batch_size"] = block_size
+        kwargs["block_size"] = block_size
     return DesignRulePipeline(
         program,
         machine.with_ranks(program.n_ranks),
@@ -114,31 +123,13 @@ def pipeline_for_spec(
     )
 
 
-def workload_rules(
+def reduce_workload_rules(
     spec: WorkloadSpec,
-    machine: MachineConfig,
-    *,
-    n_streams: int = 2,
-    measurement=None,
-    workers: int = 0,
-    cache_path: Optional[str] = None,
+    program: Program,
+    result: PipelineResult,
 ) -> WorkloadRules:
-    """Run the exhaustive pipeline on ``spec`` and reduce to rules +
-    fast/slow labeled schedule classes."""
-    program = build_workload(spec)
-    pipe = pipeline_for_spec(
-        spec,
-        machine,
-        n_streams=n_streams,
-        measurement=measurement,
-        workers=workers,
-        cache_path=cache_path,
-        program=program,
-    )
-    try:
-        result = pipe.run()
-    finally:
-        pipe.close()
+    """Reduce a finished pipeline run to what transfer needs: the
+    fastest-class rules plus the fast/slow labeled schedule classes."""
     schedules = result.search.schedules()
     fast: List[Schedule] = []
     slow: List[Schedule] = []
@@ -152,6 +143,36 @@ def workload_rules(
         slow_schedules=slow,
         program=program,
     )
+
+
+def workload_rules(
+    spec: WorkloadSpec,
+    machine: MachineConfig,
+    *,
+    n_streams: int = 2,
+    measurement=None,
+    workers: int = 0,
+    cache_path: Optional[str] = None,
+    block_size: Optional[int] = None,
+) -> WorkloadRules:
+    """Run the exhaustive pipeline on ``spec`` and reduce to rules +
+    fast/slow labeled schedule classes."""
+    program = build_workload(spec)
+    pipe = pipeline_for_spec(
+        spec,
+        machine,
+        n_streams=n_streams,
+        measurement=measurement,
+        workers=workers,
+        cache_path=cache_path,
+        program=program,
+        block_size=block_size,
+    )
+    try:
+        result = pipe.run()
+    finally:
+        pipe.close()
+    return reduce_workload_rules(spec, program, result)
 
 
 def score_cross_workload(
@@ -169,6 +190,45 @@ def score_cross_workload(
     return CrossWorkloadResult(workloads=list(per_workload), matrix=matrix)
 
 
+def run_rules_plan(
+    specs: Sequence[WorkloadSpec],
+    *,
+    machine: Optional[MachineConfig] = None,
+    n_streams: int = 2,
+    measurement=None,
+    workers: int = 0,
+    cache_path: Optional[str] = None,
+    shard_workers: int = 0,
+    block_size: Optional[int] = None,
+):
+    """Per-workload exhaustive pipelines as an orchestrate plan.
+
+    Returns ``(per_workload, plan_run)`` — the :class:`WorkloadRules`
+    list in spec order plus the :class:`~repro.orchestrate.PlanRun`
+    carrying per-task wall/stage timing.  ``shard_workers > 1`` shards
+    whole workloads across processes; results are bit-identical to the
+    serial sweep either way.
+    """
+    from repro.orchestrate import (
+        execute_plan,
+        plan_rules,
+        restore_rules_payload,
+    )
+
+    machine = machine if machine is not None else perlmutter_like()
+    plan = plan_rules(
+        specs,
+        machine=machine,
+        n_streams=n_streams,
+        measurement=measurement,
+        workers=workers,
+        cache_path=cache_path,
+        block_size=block_size,
+    )
+    run = execute_plan(plan, shard_workers=shard_workers)
+    return [restore_rules_payload(r) for r in run.results], run
+
+
 def rules_for_specs(
     specs: Sequence[WorkloadSpec],
     *,
@@ -177,21 +237,22 @@ def rules_for_specs(
     measurement=None,
     workers: int = 0,
     cache_path: Optional[str] = None,
+    shard_workers: int = 0,
+    block_size: Optional[int] = None,
 ) -> List[WorkloadRules]:
     """Run the exhaustive pipeline on every spec (the shared front half of
     the satisfaction table and the transfer matrix)."""
-    machine = machine if machine is not None else perlmutter_like()
-    return [
-        workload_rules(
-            spec,
-            machine,
-            n_streams=n_streams,
-            measurement=measurement,
-            workers=workers,
-            cache_path=cache_path,
-        )
-        for spec in specs
-    ]
+    per_workload, _ = run_rules_plan(
+        specs,
+        machine=machine,
+        n_streams=n_streams,
+        measurement=measurement,
+        workers=workers,
+        cache_path=cache_path,
+        shard_workers=shard_workers,
+        block_size=block_size,
+    )
+    return per_workload
 
 
 def run_cross_workload(
@@ -202,6 +263,8 @@ def run_cross_workload(
     measurement=None,
     workers: int = 0,
     cache_path: Optional[str] = None,
+    shard_workers: int = 0,
+    block_size: Optional[int] = None,
 ) -> CrossWorkloadResult:
     """Score every workload's fastest-class rules on every other workload."""
     if len(specs) < 2:
@@ -213,5 +276,7 @@ def run_cross_workload(
         measurement=measurement,
         workers=workers,
         cache_path=cache_path,
+        shard_workers=shard_workers,
+        block_size=block_size,
     )
     return score_cross_workload(per_workload)

@@ -26,22 +26,17 @@ Built-in suites
 from __future__ import annotations
 
 import json
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import WorkloadError
-from repro.exec import Evaluator, MeasurementCache, build_evaluator
 from repro.platform.machine import MachineConfig
 from repro.platform.presets import perlmutter_like
 from repro.schedule.space import DesignSpace
-from repro.search.base import SearchResult, SearchStrategy
-from repro.search.beam import BeamSearch
-from repro.search.mcts import MctsConfig, MctsSearch
-from repro.search.random_search import RandomSearch
+from repro.search.base import SearchResult
 from repro.sim.measure import MeasurementConfig
 from repro.textutil import format_table
-from repro.workloads.spec import WorkloadSpec, build_workload
+from repro.workloads.spec import WorkloadSpec
 
 
 @dataclass(frozen=True)
@@ -203,6 +198,11 @@ class SuiteReport:
     union_table: List[Dict[str, object]] = field(default_factory=list)
     #: Why union rows are missing / incomplete (empty when none skipped).
     union_note: str = ""
+    #: Execution-plan timing: shard count, total wall, per-task wall and
+    #: per-stage breakdown (:meth:`repro.orchestrate.PlanRun.timing`).
+    #: Wall-clock only — every other field is identical for any shard or
+    #: worker count.
+    timing: Dict[str, object] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -213,6 +213,7 @@ class SuiteReport:
             "transfer_table": self.transfer_table,
             "union_table": self.union_table,
             "union_note": self.union_note,
+            "timing": self.timing,
         }
 
     def to_json(self, indent: int = 2) -> str:
@@ -264,6 +265,13 @@ class SuiteReport:
             lines.append(self._union_ascii())
         if self.union_note:
             lines.append(self.union_note)
+        if self.timing:
+            shards = int(self.timing.get("shard_workers", 0) or 0)
+            lines.append(
+                f"Executed {self.timing.get('n_tasks', 0)} workload tasks "
+                + (f"across {shards} shards" if shards > 1 else "in-process")
+                + f" in {float(self.timing.get('wall_s', 0.0)):.2f}s"
+            )
         return "\n".join(lines)
 
     def _rules_ascii(self) -> str:
@@ -322,25 +330,20 @@ class SuiteReport:
 
 
 # ----------------------------------------------------------------------
-def _make_strategy(
-    name: str, space: DesignSpace, evaluator: Evaluator, seed: int
-) -> SearchStrategy:
-    if name == "random":
-        return RandomSearch(space, evaluator, seed=seed)
-    if name == "mcts":
-        return MctsSearch(space, evaluator, MctsConfig(seed=seed))
-    if name == "beam":
-        return BeamSearch(space, evaluator, seed=seed)
-    raise WorkloadError(f"unknown suite strategy {name!r}")
-
-
 class SuiteRunner:
     """Runs every (workload × strategy) cell of a suite.
 
-    One evaluator is built per workload (so all strategies share its
-    memo), backed by an optional worker pool and one shared persistent
-    measurement cache; measurement determinism makes cell results
-    independent of ``workers`` and cache state.
+    The run is compiled into a :class:`repro.orchestrate.ExecutionPlan` —
+    one task per workload (plus one exhaustive rule-pipeline task per
+    workload for cross-workload suites) — and executed in-process or,
+    with ``shard_workers > 1``, across a pool of whole-workload shards.
+    Within each task one evaluator is shared by all strategies (so they
+    share its memo), optionally backed by ``workers`` inner evaluation
+    processes and a shared persistent measurement cache.  Measurement
+    determinism makes every report field except ``timing`` (and, when a
+    cache is shared — concurrent tasks cross-seed it — the incidental
+    ``n_simulations`` counters) independent of ``shard_workers``,
+    ``workers``, and cache state.
     """
 
     def __init__(
@@ -351,80 +354,58 @@ class SuiteRunner:
         workers: int = 0,
         cache_path: Optional[str] = None,
         seed: int = 0,
+        shard_workers: int = 0,
+        block_size: Optional[int] = None,
     ) -> None:
         self.suite = suite
         self.machine = machine if machine is not None else perlmutter_like()
         self.workers = workers
         self.cache_path = cache_path
         self.seed = seed
+        self.shard_workers = shard_workers
+        self.block_size = block_size
 
     # ------------------------------------------------------------------
     def run(self) -> SuiteReport:
-        suite = self.suite
-        cache = (
-            MeasurementCache(self.cache_path)
-            if self.cache_path is not None
-            else None
+        from repro.orchestrate import (
+            TASK_SUITE_CELLS,
+            TASK_WORKLOAD_RULES,
+            execute_plan,
+            plan_suite,
+            restore_rules_payload,
         )
-        cells: List[SuiteCell] = []
-        try:
-            for spec in suite.specs:
-                program = build_workload(spec)
-                machine = self.machine.with_ranks(program.n_ranks)
-                space = DesignSpace(program, n_streams=suite.n_streams)
-                evaluator = build_evaluator(
-                    program,
-                    machine,
-                    suite.measurement,
-                    workers=self.workers,
-                    cache=cache,
-                )
-                try:
-                    for strat_name in suite.strategies:
-                        t0 = time.perf_counter()
-                        sims_before = evaluator.n_simulations
-                        strategy = _make_strategy(
-                            strat_name, space, evaluator, self.seed
-                        )
-                        result = strategy.run(suite.n_iterations)
-                        wall = time.perf_counter() - t0
-                        cells.append(
-                            _cell_from_result(
-                                spec,
-                                strat_name,
-                                space,
-                                result,
-                                evaluator.n_simulations - sims_before,
-                                wall,
-                            )
-                        )
-                finally:
-                    evaluator.close()
-        finally:
-            if cache is not None:
-                cache.close()
 
+        suite = self.suite
+        plan = plan_suite(
+            suite,
+            machine=self.machine,
+            workers=self.workers,
+            cache_path=self.cache_path,
+            seed=self.seed,
+            block_size=self.block_size,
+        )
+        run = execute_plan(plan, shard_workers=self.shard_workers)
+        cells: List[SuiteCell] = [
+            cell
+            for task in run.of_kind(TASK_SUITE_CELLS)
+            for cell in task.payload
+        ]
         report = SuiteReport(
             suite=suite.name,
             machine=self.machine.name,
             cells=cells,
+            timing=run.timing(),
         )
         if suite.cross_workload_rules:
             from repro.transfer.matrix import transfer_matrix_from
-            from repro.workloads.generalization import (
-                rules_for_specs,
-                score_cross_workload,
-            )
+            from repro.workloads.generalization import score_cross_workload
 
-            # One exhaustive pipeline per workload feeds both tables.
-            per_workload = rules_for_specs(
-                suite.specs,
-                machine=self.machine,
-                n_streams=suite.n_streams,
-                measurement=suite.measurement,
-                workers=self.workers,
-                cache_path=self.cache_path,
-            )
+            # The plan already ran one exhaustive pipeline task per
+            # workload; both tables reduce over those shared outputs.
+            per_workload = [
+                restore_rules_payload(task)
+                for task in run.of_kind(TASK_WORKLOAD_RULES)
+            ]
             report.rules_table = score_cross_workload(per_workload).rows()
             matrix = transfer_matrix_from(per_workload)
             report.transfer_table = matrix.rows()
@@ -463,6 +444,8 @@ def run_suite(
     workers: int = 0,
     cache_path: Optional[str] = None,
     seed: int = 0,
+    shard_workers: int = 0,
+    block_size: Optional[int] = None,
 ) -> SuiteReport:
     """Convenience: look up a built-in suite by name and run it."""
     return SuiteRunner(
@@ -471,4 +454,6 @@ def run_suite(
         workers=workers,
         cache_path=cache_path,
         seed=seed,
+        shard_workers=shard_workers,
+        block_size=block_size,
     ).run()

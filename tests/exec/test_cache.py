@@ -150,3 +150,61 @@ class TestBenchmarkerMemoKeying:
         assert bench.cached(s) == m
         assert bench.measure(s) == m  # no simulation happened
         assert bench.n_simulations == 0
+
+
+def _contend_writer(path, context, writer_id, n_rounds, n_per_round):
+    """Hammer one shared cache file with batch writes from this process."""
+    cache = MeasurementCache(path)
+    try:
+        for r in range(n_rounds):
+            entries = [
+                (
+                    f"w{writer_id}-r{r}-{i}",
+                    Measurement(
+                        time=float(writer_id + 1),
+                        n_samples=1,
+                        per_rank_time=(float(writer_id + 1),),
+                    ),
+                )
+                for i in range(n_per_round)
+            ]
+            cache.put_many(context, entries)
+            # Interleave reads with the other writers' commits.
+            cache.get_many(context, [fp for fp, _ in entries])
+    finally:
+        cache.close()
+    return writer_id
+
+
+class TestConcurrentWriters:
+    """Regression test for shard-concurrent cache access: multiple
+    processes writing one cache file must neither raise ``database is
+    locked`` nor lose entries (WAL + busy timeout + write retry)."""
+
+    def test_wal_enabled_for_file_backed_cache(self, tmp_path):
+        with MeasurementCache(str(tmp_path / "wal.sqlite")) as cache:
+            # Some filesystems refuse WAL; everywhere CI runs it works.
+            assert cache.journal_mode == "wal"
+
+    def test_memory_cache_skips_wal(self):
+        with MeasurementCache(":memory:") as cache:
+            assert cache.journal_mode == "memory"
+
+    def test_concurrent_shard_writers(self, tmp_path):
+        from concurrent.futures import ProcessPoolExecutor
+
+        path = str(tmp_path / "contended.sqlite")
+        n_writers, n_rounds, n_per_round = 4, 5, 40
+        with ProcessPoolExecutor(max_workers=n_writers) as pool:
+            futures = [
+                pool.submit(_contend_writer, path, "ctx", w, n_rounds, n_per_round)
+                for w in range(n_writers)
+            ]
+            done = [f.result() for f in futures]
+        assert sorted(done) == list(range(n_writers))
+        with MeasurementCache(path) as cache:
+            assert len(cache) == n_writers * n_rounds * n_per_round
+            # Spot-check values landed intact per writer.
+            for w in range(n_writers):
+                m = cache.get("ctx", f"w{w}-r0-0")
+                assert m is not None and m.time == float(w + 1)

@@ -1,0 +1,197 @@
+"""repro.orchestrate: plan construction, execution, shard determinism."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.orchestrate import (
+    TASK_SUITE_CELLS,
+    TASK_WORKLOAD_RULES,
+    ExecutionPlan,
+    WorkloadTask,
+    execute_plan,
+    plan_rules,
+    plan_suite,
+    restore_rules_payload,
+)
+from repro.platform.presets import perlmutter_like
+from repro.sim.measure import MeasurementConfig
+from repro.workloads import Suite, WorkloadSpec
+
+MEASUREMENT = MeasurementConfig(max_samples=1)
+
+SPECS = (
+    WorkloadSpec("wavefront", {"width": 2, "height": 2}),
+    WorkloadSpec("fork_join", {"stages": 1, "branches": 2, "depth": 1}),
+)
+
+TINY = Suite(
+    name="tiny",
+    description="two tiny workloads",
+    specs=SPECS,
+    strategies=("random", "mcts"),
+    n_iterations=4,
+    measurement=MEASUREMENT,
+)
+
+TINY_RULES = Suite(
+    name="tiny-rules",
+    description="tiny with cross-workload rules",
+    specs=SPECS,
+    strategies=("random",),
+    n_iterations=4,
+    measurement=MEASUREMENT,
+    cross_workload_rules=True,
+)
+
+
+def _machine():
+    return perlmutter_like()
+
+
+class TestPlans:
+    def test_plan_suite_one_task_per_workload(self):
+        plan = plan_suite(TINY, machine=_machine())
+        assert len(plan) == len(TINY.specs)
+        assert all(t.kind == TASK_SUITE_CELLS for t in plan.tasks)
+        assert [t.index for t in plan.tasks] == [0, 1]
+        assert [t.spec for t in plan.tasks] == list(TINY.specs)
+        assert all(t.strategies == TINY.strategies for t in plan.tasks)
+
+    def test_cross_workload_suite_adds_rules_tasks(self):
+        plan = plan_suite(TINY_RULES, machine=_machine())
+        assert len(plan.tasks_of_kind(TASK_SUITE_CELLS)) == 2
+        assert len(plan.tasks_of_kind(TASK_WORKLOAD_RULES)) == 2
+
+    def test_plan_rules(self):
+        plan = plan_rules(
+            SPECS, machine=_machine(), measurement=MEASUREMENT
+        )
+        assert [t.kind for t in plan.tasks] == [TASK_WORKLOAD_RULES] * 2
+
+    def test_unknown_task_kind_rejected(self):
+        with pytest.raises(WorkloadError, match="unknown task kind"):
+            WorkloadTask(index=0, kind="nope", spec=SPECS[0])
+
+    def test_suite_task_needs_strategies(self):
+        with pytest.raises(WorkloadError, match="strategy"):
+            WorkloadTask(index=0, kind=TASK_SUITE_CELLS, spec=SPECS[0])
+
+    def test_misindexed_plan_rejected(self):
+        task = WorkloadTask(
+            index=1, kind=TASK_WORKLOAD_RULES, spec=SPECS[0]
+        )
+        with pytest.raises(WorkloadError, match="indexed contiguously"):
+            ExecutionPlan(machine=_machine(), tasks=(task,))
+
+    def test_forward_dependency_rejected(self):
+        tasks = (
+            WorkloadTask(
+                index=0,
+                kind=TASK_WORKLOAD_RULES,
+                spec=SPECS[0],
+                depends_on=(1,),
+            ),
+            WorkloadTask(index=1, kind=TASK_WORKLOAD_RULES, spec=SPECS[1]),
+        )
+        with pytest.raises(WorkloadError, match="topologically"):
+            ExecutionPlan(machine=_machine(), tasks=tasks)
+
+
+def _comparable_cells(run):
+    return [
+        {k: v for k, v in cell.to_dict().items() if k != "wall_s"}
+        for result in run.of_kind(TASK_SUITE_CELLS)
+        for cell in result.payload
+    ]
+
+
+class TestExecution:
+    def test_serial_execution_ordered_and_timed(self):
+        plan = plan_suite(TINY, machine=_machine())
+        run = execute_plan(plan)
+        assert [r.index for r in run.results] == [0, 1]
+        assert run.shard_workers == 0
+        timing = run.timing()
+        assert timing["n_tasks"] == 2
+        for row in timing["tasks"]:
+            assert row["wall_s"] > 0
+            assert "build" in row["stages"]
+            assert "search:random" in row["stages"]
+
+    def test_sharded_bit_identical_to_serial(self):
+        plan = plan_suite(TINY, machine=_machine())
+        serial = execute_plan(plan)
+        sharded = execute_plan(plan, shard_workers=2)
+        assert sharded.shard_workers == 2
+        assert _comparable_cells(serial) == _comparable_cells(sharded)
+
+    def test_rules_plan_sharded_matches_serial(self):
+        plan = plan_rules(
+            SPECS, machine=_machine(), measurement=MEASUREMENT
+        )
+        serial = execute_plan(plan)
+        sharded = execute_plan(plan, shard_workers=2)
+        for a, b in zip(serial.results, sharded.results):
+            wa = restore_rules_payload(a)
+            wb = restore_rules_payload(b)
+            assert wa.spec == wb.spec
+            assert [r.text for r in wa.rules] == [r.text for r in wb.rules]
+            assert [s.fingerprint() for s in wa.fast_schedules] == [
+                s.fingerprint() for s in wb.fast_schedules
+            ]
+            assert wa.program is not None and wb.program is not None
+            # the rules task records the pipeline's stage DAG
+            stages = dict(b.stages)
+            assert {"build", "enumerate", "label+train", "extract-rules"} <= set(
+                stages
+            )
+
+    def test_dependencies_gate_submission(self):
+        """A dependent task still runs (after its prerequisite) and
+        results stay index-ordered."""
+        tasks = (
+            WorkloadTask(
+                index=0,
+                kind=TASK_WORKLOAD_RULES,
+                spec=SPECS[0],
+                measurement=MEASUREMENT,
+            ),
+            WorkloadTask(
+                index=1,
+                kind=TASK_WORKLOAD_RULES,
+                spec=SPECS[1],
+                measurement=MEASUREMENT,
+                depends_on=(0,),
+            ),
+        )
+        plan = ExecutionPlan(machine=_machine(), tasks=tasks)
+        run = execute_plan(plan, shard_workers=2)
+        assert [r.index for r in run.results] == [0, 1]
+
+    def test_shared_cache_across_shards(self, tmp_path):
+        """Two shards writing one cache file; a rerun re-simulates
+        nothing and reports identical measurements."""
+        cache = str(tmp_path / "shared.sqlite")
+        suite = Suite(
+            name="tiny",
+            description="cached",
+            specs=SPECS,
+            strategies=("random",),
+            n_iterations=4,
+            measurement=MEASUREMENT,
+        )
+        plan = plan_suite(suite, machine=_machine(), cache_path=cache)
+        first = execute_plan(plan, shard_workers=2)
+        second = execute_plan(plan, shard_workers=2)
+        cells_first = _comparable_cells(first)
+        cells_second = _comparable_cells(second)
+        assert sum(c["n_simulations"] for c in cells_first) > 0
+        assert sum(c["n_simulations"] for c in cells_second) == 0
+        drop = ("n_simulations",)
+        assert [
+            {k: v for k, v in c.items() if k not in drop}
+            for c in cells_first
+        ] == [
+            {k: v for k, v in c.items() if k not in drop}
+            for c in cells_second
+        ]

@@ -112,6 +112,12 @@ class TestUnionRows:
         assert "at least" in small.union_note
 
 
+def _no_timing(result):
+    d = result.to_dict()
+    d.pop("timing")
+    return d
+
+
 class TestDeterminism:
     def test_matrix_is_deterministic(self, per_workload, matrix):
         again = transfer_matrix_from(per_workload)
@@ -119,7 +125,53 @@ class TestDeterminism:
 
     def test_end_to_end_matches_precomputed(self, matrix):
         direct = run_transfer_matrix(SPECS, measurement=MEASUREMENT)
-        assert direct.to_dict() == matrix.to_dict()
+        assert _no_timing(direct) == _no_timing(matrix)
+
+    def test_sharded_matches_serial_modulo_timing(self, matrix):
+        sharded = run_transfer_matrix(
+            SPECS, measurement=MEASUREMENT, shard_workers=2
+        )
+        assert sharded.timing["shard_workers"] == 2
+        assert _no_timing(sharded) == _no_timing(matrix)
+
+
+class TestAdvisories:
+    def test_stencil_to_wavefront_flagged(self, matrix):
+        """The ROADMAP's observed negative-transfer cell earns the
+        do-not-transfer advisory; the advisory surfaces in rows, dict,
+        and the rendered report."""
+        advisories = matrix.advisories()
+        pairs = {(c.source, c.target) for c in advisories}
+        stencil = next(w for w in matrix.workloads if "stencil" in w)
+        wave = next(w for w in matrix.workloads if w.startswith("wavefront"))
+        assert (stencil, wave) in pairs
+        for cell in advisories:
+            assert cell.do_not_transfer
+            assert cell.n_transferable > 0
+            assert cell.mean_discrimination <= -0.10
+        rows = matrix.rows()
+        flagged = {
+            (r["source"], r["target"]) for r in rows if r["do_not_transfer"]
+        }
+        assert flagged == pairs
+        assert {
+            (a["source"], a["target"])
+            for a in matrix.to_dict()["advisories"]
+        } == pairs
+        text = matrix.report()
+        assert "Do-not-transfer advisories" in text
+        assert "avoid" in text
+        # ...and in the markdown renderer (all three surfaces agree).
+        from repro.report import render_transfer_report
+
+        md = render_transfer_report(matrix)
+        assert "Do-not-transfer advisories" in md
+        assert "**avoid**" in md
+
+    def test_positive_and_untransferable_cells_not_flagged(self, matrix):
+        for cell in matrix.cells.values():
+            if cell.n_transferable == 0 or cell.mean_discrimination >= 0:
+                assert not cell.do_not_transfer
 
 
 class TestSuiteIntegration:

@@ -21,6 +21,17 @@ def _comparable(cell, *, drop=("wall_s",)):
     return {k: v for k, v in cell.to_dict().items() if k not in drop}
 
 
+def _report_comparable(report):
+    """Report dict minus wall-clock timing (identical for any sharding)."""
+    data = report.to_dict()
+    data.pop("timing")
+    data["cells"] = [
+        {k: v for k, v in cell.items() if k != "wall_s"}
+        for cell in data["cells"]
+    ]
+    return data
+
+
 TINY = Suite(
     name="tiny",
     description="two tiny workloads for tests",
@@ -112,6 +123,25 @@ class TestRunner:
             _comparable(c) for c in parallel.cells
         ]
 
+    def test_shard_workers_do_not_change_results(self):
+        """Workload-level sharding: the whole report (not just cells) is
+        bit-identical to serial, excluding wall-clock timing."""
+        serial = SuiteRunner(TINY).run()
+        sharded = SuiteRunner(TINY, shard_workers=2).run()
+        assert _report_comparable(serial) == _report_comparable(sharded)
+        assert sharded.timing["shard_workers"] == 2
+        assert serial.timing["shard_workers"] == 0
+
+    def test_timing_records_per_task_stages(self):
+        report = SuiteRunner(TINY).run()
+        timing = report.timing
+        assert timing["n_tasks"] == len(TINY.specs)
+        for row in timing["tasks"]:
+            assert row["kind"] == "suite-cells"
+            assert "build" in row["stages"]
+            for strat in TINY.strategies:
+                assert f"search:{strat}" in row["stages"]
+
     def test_cache_hits_across_runs(self, tmp_path):
         """Same suite, same cache file ⇒ second run re-simulates nothing
         (workload fingerprints are bit-stable)."""
@@ -163,6 +193,14 @@ class TestCrossWorkloadTables:
         data = json.loads(report.to_json())
         assert "transfer_table" in data
         assert "union_table" in data
+
+    def test_sharded_cross_workload_report_identical(self, report):
+        """Sharding covers the rule pipelines too: every table of the
+        generalization-style report matches the serial run."""
+        sharded = SuiteRunner(TINY_RULES, shard_workers=2).run()
+        assert _report_comparable(sharded) == _report_comparable(report)
+        kinds = {t["kind"] for t in sharded.timing["tasks"]}
+        assert kinds == {"suite-cells", "workload-rules"}
 
 
 @pytest.mark.slow
