@@ -1,0 +1,130 @@
+"""Rule-guided vs unguided search benchmarks (repro.advisor).
+
+Measures the PR's headline claim — speedup at equal best cost — on the
+generalization set's largest space (halo3d, 1600 schedules):
+
+* unguided vs guided **exhaustive** sweep wall time; the guided sweep
+  must land within 1% of the unguided best while simulating at most half
+  the schedules (the pruned fraction is recorded in ``extra_info``);
+* unguided vs guided **beam** search at a fixed benchmark budget, where
+  the guide orders expansion instead of pruning.
+
+The artifact store is trained once per session (exhaustive rule
+pipelines over seven small workloads) outside the timed region, exactly
+as a real deployment amortizes training across many guided searches.
+"""
+
+import pytest
+
+from repro.advisor import ArtifactStore, ScheduleGuide, publish_artifacts
+from repro.platform import noiseless, perlmutter_like
+from repro.schedule.space import DesignSpace
+from repro.search.beam import BeamSearch
+from repro.search.exhaustive import ExhaustiveSearch
+from repro.sim.executor import ScheduleExecutor
+from repro.sim.measure import Benchmarker, MeasurementConfig
+from repro.workloads import WorkloadSpec, build_workload
+from repro.workloads.generalization import rules_for_specs
+
+TRAIN_SPECS = [
+    WorkloadSpec("spmv", {"scale": 0.025}),
+    WorkloadSpec(
+        "halo3d",
+        {"nx": 32, "ny": 32, "nz": 32, "px": 2, "py": 2, "pz": 1, "axes": "x"},
+    ),
+    WorkloadSpec("layered_random", {"layers": 3, "width": 2, "edge_p": 0.5}),
+    WorkloadSpec("tree_allreduce", {"rounds": 1, "elems": 16384}),
+    WorkloadSpec("fork_join", {"stages": 1, "branches": 2, "depth": 1}),
+    WorkloadSpec("wavefront", {"width": 2, "height": 2}),
+    WorkloadSpec("stencil_reduce", {"width": 2, "height": 2}),
+]
+
+TARGET = TRAIN_SPECS[1]  # the largest space (1600 schedules)
+MEASUREMENT = MeasurementConfig(max_samples=1)
+
+
+@pytest.fixture(scope="session")
+def guided_setup(tmp_path_factory):
+    """(program, space, guide, unguided-best) — training outside timing."""
+    per = rules_for_specs(TRAIN_SPECS, measurement=MEASUREMENT)
+    store = ArtifactStore(str(tmp_path_factory.mktemp("bench-store")))
+    publish_artifacts(store, per, machine="perlmutter-like")
+    program = build_workload(TARGET)
+    space = DesignSpace(program, n_streams=2)
+    guide = ScheduleGuide.from_store(store, program)
+    unguided_best = (
+        ExhaustiveSearch(space, _benchmarker(program)).run().best().time
+    )
+    return program, space, guide, unguided_best
+
+
+def _benchmarker(program):
+    machine = noiseless(perlmutter_like()).with_ranks(program.n_ranks)
+    return Benchmarker(ScheduleExecutor(program, machine), MEASUREMENT)
+
+
+def test_bench_exhaustive_unguided(benchmark, guided_setup):
+    program, space, _, unguided_best = guided_setup
+
+    def run():
+        return ExhaustiveSearch(space, _benchmarker(program)).run()
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert result.n_iterations == space.count()
+    assert result.best().time == unguided_best
+
+
+def test_bench_exhaustive_guided(benchmark, guided_setup):
+    program, space, guide, unguided_best = guided_setup
+
+    def run():
+        return ExhaustiveSearch(
+            space, _benchmarker(program), guide=guide
+        ).run()
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    # Equal best cost at <= half the evaluations: the speedup is real,
+    # not bought with a worse schedule.
+    assert result.best().time <= 1.01 * unguided_best
+    assert result.n_iterations <= 0.5 * space.count()
+    benchmark.extra_info["n_evaluated"] = result.n_iterations
+    benchmark.extra_info["n_pruned"] = result.n_pruned
+
+
+def test_bench_beam_unguided(benchmark, guided_setup):
+    program, space, _, _ = guided_setup
+
+    def run():
+        return BeamSearch(
+            space, _benchmarker(program), width=4, seed=0
+        ).run(64)
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert len(result.samples) > 0
+
+
+def test_bench_beam_guided(benchmark, guided_setup):
+    program, space, guide, unguided_best = guided_setup
+
+    def run():
+        return BeamSearch(
+            space, _benchmarker(program), width=4, seed=0, guide=guide
+        ).run(64)
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    benchmark.extra_info["best_vs_unguided_exhaustive"] = (
+        result.best().time / unguided_best
+    )
+
+
+def test_bench_guide_resolution(benchmark, guided_setup):
+    """Building a guide from a loaded store (signature resolution) —
+    the per-search fixed cost a consumer pays before any pruning."""
+    program, _, guide, _ = guided_setup
+    store_rules = guide.rules
+
+    def run():
+        return ScheduleGuide(store_rules, guide.op_keys)
+
+    rebuilt = benchmark(run)
+    assert rebuilt.n_rules == guide.n_rules

@@ -21,6 +21,15 @@ Quick start::
         print(ruleset.predicted_class, "<-", str(ruleset))
 """
 
+from repro.advisor import (
+    ArtifactStore,
+    Recommendation,
+    ScheduleGuide,
+    UnionArtifact,
+    WorkloadArtifact,
+    publish_artifacts,
+    recommend,
+)
 from repro.apps.halo import GridCase, build_halo_program
 from repro.apps.spmv import SpmvCase, build_spmv_program, spmv_paper_case
 from repro.core import (
@@ -100,6 +109,7 @@ from repro.workloads import (
 __all__ = [
     "Action",
     "ActionKind",
+    "ArtifactStore",
     "Benchmarker",
     "BoundOp",
     "CommPlan",
@@ -131,10 +141,12 @@ __all__ = [
     "PlanRun",
     "Program",
     "RandomSearch",
+    "Recommendation",
     "RuleSet",
     "Schedule",
     "ScheduleBlock",
     "ScheduleExecutor",
+    "ScheduleGuide",
     "SerialEvaluator",
     "SignatureMatcher",
     "SimResult",
@@ -145,8 +157,10 @@ __all__ = [
     "SuiteRunner",
     "TransferMatrixResult",
     "TreeConfig",
+    "UnionArtifact",
     "Vertex",
     "Work",
+    "WorkloadArtifact",
     "WorkloadSpec",
     "WorkloadTask",
     "__version__",
@@ -165,7 +179,9 @@ __all__ = [
     "plan_rules",
     "plan_suite",
     "program_signatures",
+    "publish_artifacts",
     "range_accuracy",
+    "recommend",
     "run_suite",
     "run_transfer_matrix",
     "score_transfer",

@@ -184,6 +184,7 @@ def _cmd_suite(args) -> str:
         seed=args.seed,
         shard_workers=args.shard_workers,
         block_size=args.block_size,
+        store_path=args.store,
     )
     json_path = args.json or f"repro-suite-{args.name}.json"
     out = report.ascii_table()
@@ -192,6 +193,12 @@ def _cmd_suite(args) -> str:
     else:
         report.save_json(json_path)
         out += f"\nJSON report written to {json_path}"
+    if args.report:
+        from repro.report import render_suite_report
+
+        with open(args.report, "w", encoding="utf-8") as fh:
+            fh.write(render_suite_report(report) + "\n")
+        out += f"\nMarkdown report written to {args.report}"
     return out
 
 
@@ -237,6 +244,209 @@ def _cmd_transfer(args) -> str:
 
 
 # ----------------------------------------------------------------------
+def _parse_params(items) -> dict:
+    """``k=v`` pairs with int → float → string value coercion."""
+    out = {}
+    for item in items or ():
+        if "=" not in item:
+            raise SystemExit(f"--param expects k=v, got {item!r}")
+        key, text = item.split("=", 1)
+        value: object
+        try:
+            value = int(text)
+        except ValueError:
+            try:
+                value = float(text)
+            except ValueError:
+                value = text
+        out[key] = value
+    return out
+
+
+def _target_spec(args):
+    from repro.workloads import WorkloadSpec
+
+    return WorkloadSpec(
+        args.family, _parse_params(args.param), seed=args.workload_seed
+    )
+
+
+#: Held-out default target for ``repro advise --smoke``: a layered_random
+#: parameterization (params + seed) no built-in suite trains on.
+_SMOKE_TARGET = ("layered_random", {"layers": 3, "width": 2, "edge_p": 0.7}, 5)
+
+
+def _train_store(args, store, machine) -> list:
+    """Run the training suite's rule pipelines and publish artifacts."""
+    from repro.advisor import publish_artifacts
+    from repro.sim.measure import MeasurementConfig
+    from repro.workloads import get_suite, rules_for_specs
+
+    suite = get_suite(args.train)
+    measurement = (
+        MeasurementConfig(max_samples=1) if args.smoke else suite.measurement
+    )
+    per_workload = rules_for_specs(
+        suite.specs,
+        machine=machine,
+        n_streams=suite.n_streams,
+        measurement=measurement,
+        workers=args.workers,
+        cache_path=args.cache,
+        shard_workers=args.shard_workers,
+        block_size=args.block_size,
+    )
+    return publish_artifacts(
+        store,
+        per_workload,
+        machine=machine.name,
+        n_streams=suite.n_streams,
+    )
+
+
+def _cmd_advise(args) -> str:
+    """Recommend a schedule for a (possibly never-searched) workload."""
+    import json
+
+    from repro.advisor import ArtifactStore, recommend
+    from repro.platform.presets import perlmutter_like
+    from repro.workloads import WorkloadSpec, build_workload
+
+    machine = perlmutter_like(noise_sigma=args.noise)
+    store = ArtifactStore(args.store)
+    lines = []
+    if args.smoke and not args.train:
+        args.train = "smoke"
+    if args.smoke and args.family is None:
+        family, params, seed = _SMOKE_TARGET
+        spec = WorkloadSpec(family, params, seed=seed)
+    elif args.family is None:
+        raise SystemExit("repro advise needs --family (or --smoke)")
+    else:
+        spec = _target_spec(args)
+    if args.train:
+        paths = _train_store(args, store, machine)
+        lines.append(
+            f"trained on suite {args.train!r}: published {len(paths)} "
+            f"artifacts to {args.store}"
+        )
+    program = build_workload(spec)
+    rec = recommend(
+        program,
+        store,
+        machine=machine.name,
+        n_streams=args.streams,
+        seed=args.seed,
+    )
+    lines.append(f"advise {spec.label} (store: {args.store})")
+    lines.append(f"  status:     {rec.status}")
+    lines.append(f"  confidence: {rec.confidence:.3f}")
+    if rec.recommended:
+        lines.append(
+            f"  ranked {rec.n_candidates} candidates with {rec.n_rules} "
+            f"resolved rules from {len(rec.sources)} sources"
+        )
+        lines.append(
+            f"  rule score {rec.rule_score:+.3f}, union P(fast) "
+            f"{rec.p_fast:.2f}"
+        )
+        lines.append(
+            "  schedule:   "
+            + " -> ".join(str(op) for op in rec.schedule.ops)
+        )
+    if rec.excluded_sources:
+        lines.append(
+            "  excluded by do-not-transfer advisories: "
+            + ", ".join(rec.excluded_sources)
+        )
+    if rec.note:
+        lines.append(f"  note: {rec.note}")
+    if args.json:
+        payload = json.dumps(rec.to_dict(), indent=2, sort_keys=True)
+        if args.json == "-":
+            lines.append(payload)
+        else:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                fh.write(payload + "\n")
+            lines.append(f"JSON written to {args.json}")
+    return "\n".join(lines)
+
+
+def _cmd_search(args) -> str:
+    """Run one search strategy on one workload, optionally rule-guided."""
+    import time
+
+    from repro.advisor import ArtifactStore, ScheduleGuide
+    from repro.exec import build_evaluator
+    from repro.platform.presets import perlmutter_like
+    from repro.schedule.space import DesignSpace
+    from repro.search.beam import BeamSearch
+    from repro.search.exhaustive import ExhaustiveSearch
+    from repro.search.mcts import MctsConfig, MctsSearch
+    from repro.search.random_search import RandomSearch
+    from repro.sim.measure import MeasurementConfig
+    from repro.workloads import build_workload
+
+    if args.family is None:
+        raise SystemExit("repro search needs --family (see `repro list`)")
+    spec = _target_spec(args)
+    machine = perlmutter_like(noise_sigma=args.noise)
+    program = build_workload(spec)
+    space = DesignSpace(program, n_streams=args.streams)
+    guide = None
+    lines = []
+    if args.guided:
+        guide = ScheduleGuide.from_store(
+            ArtifactStore(args.store),
+            program,
+            machine=machine.name,
+        )
+        lines.append(guide.describe())
+    evaluator = build_evaluator(
+        program,
+        machine.with_ranks(program.n_ranks),
+        MeasurementConfig(),
+        workers=args.workers,
+    )
+    try:
+        if args.strategy == "exhaustive":
+            strategy = ExhaustiveSearch(space, evaluator, guide=guide)
+            budget = args.iterations  # None = exhaust
+        else:
+            if args.strategy == "random":
+                strategy = RandomSearch(
+                    space, evaluator, seed=args.seed, guide=guide
+                )
+            elif args.strategy == "beam":
+                strategy = BeamSearch(
+                    space, evaluator, seed=args.seed, guide=guide
+                )
+            elif args.strategy == "mcts":
+                strategy = MctsSearch(
+                    space, evaluator, MctsConfig(seed=args.seed), guide=guide
+                )
+            else:
+                raise SystemExit(f"unknown strategy {args.strategy!r}")
+            budget = args.iterations or 64
+        t0 = time.perf_counter()
+        result = strategy.run(budget)
+        wall = time.perf_counter() - t0
+    finally:
+        evaluator.close()
+    best = result.best()
+    lines.append(
+        f"{args.strategy}{' (guided)' if guide is not None else ''} on "
+        f"{spec.label}: space {space.count()} schedules"
+    )
+    lines.append(
+        f"  evaluated {result.n_iterations} schedules"
+        + (f", pruned {result.n_pruned} by rules" if guide is not None else "")
+        + f" in {wall:.2f}s"
+    )
+    lines.append(f"  best time {best.time * 1e6:.2f} us")
+    return "\n".join(lines)
+
+
 def _add_experiment_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--scale",
@@ -342,6 +552,26 @@ def build_parser() -> argparse.ArgumentParser:
             "(default repro-suite-<name>.json; '-' appends it to stdout)"
         ),
     )
+    p.add_argument(
+        "--report",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help=(
+            "also write a markdown report with per-stage timing "
+            "(repro.report.render_suite_report) to PATH"
+        ),
+    )
+    p.add_argument(
+        "--store",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help=(
+            "advisor artifact store; cross-workload suites publish "
+            "their trained rules/trees/signatures there (repro.advisor)"
+        ),
+    )
     _add_common_options(p)
     _add_sharding_options(p)
 
@@ -385,7 +615,131 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common_options(p)
     _add_sharding_options(p)
+
+    p = sub.add_parser(
+        "advise",
+        help=(
+            "recommend a schedule for a workload from persisted advisor "
+            "artifacts — no simulation, just rules + the union tree"
+        ),
+    )
+    _add_target_options(p)
+    p.add_argument(
+        "--store",
+        type=str,
+        default="repro-store",
+        metavar="DIR",
+        help="advisor artifact store directory (default: repro-store)",
+    )
+    p.add_argument(
+        "--train",
+        type=str,
+        default=None,
+        metavar="SUITE",
+        help=(
+            "first run this suite's exhaustive rule pipelines and "
+            "publish their artifacts to the store"
+        ),
+    )
+    p.add_argument(
+        "--smoke",
+        action="store_true",
+        help=(
+            "CI-fast mode: single measurement sample for training, and "
+            "a held-out synthetic default target; implies "
+            "--train smoke unless --train is given"
+        ),
+    )
+    p.add_argument(
+        "--json",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="write the recommendation as JSON ('-' appends to stdout)",
+    )
+    _add_common_options(p)
+    _add_sharding_options(p)
+
+    p = sub.add_parser(
+        "search",
+        help=(
+            "run one search strategy on one workload, optionally "
+            "rule-guided from the artifact store (--guided)"
+        ),
+    )
+    _add_target_options(p)
+    p.add_argument(
+        "--strategy",
+        type=str,
+        default="exhaustive",
+        choices=("exhaustive", "random", "beam", "mcts"),
+        help="search strategy (default: exhaustive)",
+    )
+    p.add_argument(
+        "--guided",
+        action="store_true",
+        help=(
+            "prune/bias the search with rules from the artifact store: "
+            "exhaustive and random skip schedules violating "
+            "high-discrimination rules, beam orders expansion by rule "
+            "satisfaction, MCTS biases rollouts"
+        ),
+    )
+    p.add_argument(
+        "--store",
+        type=str,
+        default="repro-store",
+        metavar="DIR",
+        help="advisor artifact store directory (default: repro-store)",
+    )
+    p.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "benchmark budget (sampling strategies default to 64; "
+            "exhaustive defaults to the whole space)"
+        ),
+    )
+    _add_common_options(p)
     return parser
+
+
+def _add_target_options(parser: argparse.ArgumentParser) -> None:
+    """Workload-targeting options shared by ``advise`` and ``search``."""
+    parser.add_argument(
+        "--family",
+        type=str,
+        default=None,
+        help="workload family (see `repro list`)",
+    )
+    parser.add_argument(
+        "--param",
+        action="append",
+        default=None,
+        metavar="K=V",
+        help="family parameter override (repeatable)",
+    )
+    parser.add_argument(
+        "--workload-seed",
+        dest="workload_seed",
+        type=int,
+        default=0,
+        help="workload generation seed",
+    )
+    parser.add_argument(
+        "--streams",
+        type=int,
+        default=2,
+        help="GPU streams in the design space (default 2)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="seed for candidate sampling / search strategies",
+    )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -400,6 +754,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(_cmd_suite(args))
     elif args.command == "transfer":
         print(_cmd_transfer(args))
+    elif args.command == "advise":
+        print(_cmd_advise(args))
+    elif args.command == "search":
+        print(_cmd_search(args))
     else:
         print(_COMMANDS[args.command][0](args))
     return 0

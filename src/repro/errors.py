@@ -61,3 +61,8 @@ class LabelingError(ReproError):
 class WorkloadError(ReproError):
     """Raised for unknown workload families, invalid workload parameters,
     or registration conflicts in the workload registry."""
+
+
+class ArtifactError(ReproError):
+    """Raised for malformed, stale, or version-incompatible persisted
+    advisor artifacts (rules, trees, signature tables)."""

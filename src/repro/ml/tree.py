@@ -319,6 +319,76 @@ class DecisionTree:
         return out
 
     # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready form of the fitted tree (config + node structure).
+
+        The node encoding is recursive and canonical — two equal trees
+        produce identical dicts, so persisted artifacts
+        (:mod:`repro.advisor.store`) are bit-stable.  ``weighted_counts``
+        are stored as plain floats; :meth:`from_dict` restores them as
+        ``np.ndarray`` exactly (they are finite IEEE doubles end to end).
+        """
+
+        def node_dict(node: TreeNode) -> dict:
+            out = {
+                "node_id": node.node_id,
+                "depth": node.depth,
+                "n_samples": node.n_samples,
+                "weighted_counts": [float(w) for w in node.weighted_counts],
+            }
+            if not node.is_leaf:
+                out["feature"] = node.feature
+                out["threshold"] = node.threshold
+                out["left"] = node_dict(node.left)
+                out["right"] = node_dict(node.right)
+            return out
+
+        return {
+            "config": {
+                "criterion": self.config.criterion,
+                "max_leaf_nodes": self.config.max_leaf_nodes,
+                "max_depth": self.config.max_depth,
+                "class_weight": self.config.class_weight,
+                "min_impurity_decrease": self.config.min_impurity_decrease,
+            },
+            "n_classes": self.n_classes,
+            "n_features": self.n_features,
+            "n_leaves": self.n_leaves,
+            "depth": self.depth,
+            "root": node_dict(self.root) if self.root is not None else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DecisionTree":
+        """Rebuild a fitted tree from :meth:`to_dict` output."""
+        tree = cls(TreeConfig(**data["config"]))
+        tree.n_classes = int(data["n_classes"])
+        tree.n_features = int(data["n_features"])
+        tree.n_leaves = int(data["n_leaves"])
+        tree.depth = int(data["depth"])
+
+        def build(nd: Optional[dict]) -> Optional[TreeNode]:
+            if nd is None:
+                return None
+            node = TreeNode(
+                node_id=int(nd["node_id"]),
+                depth=int(nd["depth"]),
+                n_samples=int(nd["n_samples"]),
+                weighted_counts=np.asarray(nd["weighted_counts"], dtype=float),
+            )
+            if "feature" in nd:
+                node.feature = int(nd["feature"])
+                node.threshold = float(nd["threshold"])
+                node.left = build(nd["left"])
+                node.right = build(nd["right"])
+            return node
+
+        tree.root = build(data.get("root"))
+        if tree.root is not None:
+            tree._next_id = 1 + max(n.node_id for n in tree.nodes())
+        return tree
+
+    # ------------------------------------------------------------------
     def render(self, feature_names: Optional[Sequence[str]] = None) -> str:
         """Text rendering in the style of the paper's Figure 6."""
         if self.root is None:

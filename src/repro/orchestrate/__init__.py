@@ -37,10 +37,12 @@ from repro.orchestrate.plan import (
 from repro.orchestrate.runner import (
     PlanRun,
     TaskResult,
+    estimate_task_cost,
     execute_plan,
     execute_task,
     make_strategy,
     restore_rules_payload,
+    submission_order,
 )
 
 __all__ = [
@@ -50,10 +52,12 @@ __all__ = [
     "PlanRun",
     "TaskResult",
     "WorkloadTask",
+    "estimate_task_cost",
     "execute_plan",
     "execute_task",
     "make_strategy",
     "plan_rules",
     "plan_suite",
     "restore_rules_payload",
+    "submission_order",
 ]

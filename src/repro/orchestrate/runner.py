@@ -24,12 +24,13 @@ bit-identical by the workload determinism contract.
 from __future__ import annotations
 
 import dataclasses
+import functools
 import multiprocessing
 import os
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import WorkloadError
 from repro.exec import MeasurementCache, build_evaluator
@@ -95,6 +96,48 @@ class PlanRun:
 
 
 # ----------------------------------------------------------------------
+@functools.lru_cache(maxsize=256)
+def _space_count(spec, n_streams: int) -> int:
+    """Memoized design-space size of one workload (specs are hashable and
+    builds deterministic; the DP count costs milliseconds even for
+    billion-schedule spaces)."""
+    from repro.workloads.spec import build_workload as _build
+
+    return DesignSpace(_build(spec), n_streams=n_streams).count()
+
+
+def estimate_task_cost(task: WorkloadTask) -> float:
+    """Estimated work of one task, from its design-space size.
+
+    ``workload-rules`` tasks enumerate and simulate the whole space, so
+    their cost *is* ``space.count()``.  ``suite-cells`` tasks sample: at
+    most ``n_iterations`` benchmarks per strategy, capped by the space
+    itself (space size still proxies per-schedule simulation cost via
+    the op count, but the cap keeps a billion-schedule sampled workload
+    from outranking an exhaustive one).
+    """
+    count = float(_space_count(task.spec, task.n_streams))
+    if task.kind == TASK_SUITE_CELLS:
+        budget = float(task.n_iterations * max(1, len(task.strategies)))
+        return min(count, budget) if budget > 0 else count
+    return count
+
+
+def submission_order(
+    tasks: Sequence[WorkloadTask], costs: Mapping[int, float]
+) -> List[int]:
+    """Task indices, costliest first (index breaks ties).
+
+    Shard scheduling submits in this order so long-pole workloads start
+    before cheap ones — FIFO-by-index used to leave the most expensive
+    task to finish alone on one shard while the rest of the pool idled.
+    Results are still returned in task-index order; only wall time moves.
+    """
+    return sorted(
+        (t.index for t in tasks), key=lambda i: (-costs.get(i, 0.0), i)
+    )
+
+
 def make_strategy(
     name: str, space: DesignSpace, evaluator, seed: int
 ) -> SearchStrategy:
@@ -295,6 +338,7 @@ def _execute_sharded(
         start_method = "fork" if "fork" in methods else methods[0]
     n_workers = min(shard_workers, len(plan.tasks))
     pending = {t.index: t for t in plan.tasks}
+    costs = {t.index: estimate_task_cost(t) for t in plan.tasks}
     done: set = set()
     results: List[TaskResult] = []
     with ProcessPoolExecutor(
@@ -304,7 +348,9 @@ def _execute_sharded(
         in_flight: Dict[object, int] = {}
 
         def submit_ready() -> None:
-            for index in sorted(pending):
+            # Costliest-first: long-pole workloads hit the pool before
+            # cheap ones, so no shard drains while a giant waits queued.
+            for index in submission_order(pending.values(), costs):
                 task = pending[index]
                 if all(dep in done for dep in task.depends_on):
                     future = pool.submit(

@@ -21,6 +21,7 @@ from repro.rules.score import (
     score_rules,
     transfer_summary,
 )
+from repro.rules.serialize import rule_from_dict, rule_to_dict
 
 __all__ = [
     "Annotation",
@@ -34,7 +35,9 @@ __all__ = [
     "op_role",
     "render_ruleset_table",
     "render_rulesets",
+    "rule_from_dict",
     "rule_satisfied",
+    "rule_to_dict",
     "rule_transfers",
     "score_rules",
     "transfer_summary",

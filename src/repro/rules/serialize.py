@@ -1,0 +1,58 @@
+"""JSON round-trip for rules and their features.
+
+Rules are plain statements over two operation names — an ordering
+(:class:`~repro.ml.features.OrderFeature`) or a stream assignment
+(:class:`~repro.ml.features.StreamFeature`) plus a boolean value — so
+they serialize to three-field dicts.  The round-trip is canonical:
+``rule_from_dict(rule_to_dict(r)) == r`` for every rule the tree
+extractor can produce, and the dict form is key-sorted JSON-stable, so
+persisted artifacts (:mod:`repro.advisor.store`) are bit-identical
+across processes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import ArtifactError
+from repro.ml.features import Feature, OrderFeature, StreamFeature
+from repro.rules.ruleset import Rule
+
+#: ``kind`` tags understood by :func:`feature_from_dict`.
+_KINDS = {"order": OrderFeature, "stream": StreamFeature}
+
+
+def feature_to_dict(feature: Feature) -> Dict[str, str]:
+    """``{"kind", "u", "v"}`` form of an order/stream feature."""
+    for kind, cls in _KINDS.items():
+        if isinstance(feature, cls):
+            return {"kind": kind, "u": feature.u, "v": feature.v}
+    raise ArtifactError(
+        f"cannot serialize feature of type {type(feature).__name__}"
+    )
+
+
+def feature_from_dict(data: Dict[str, str]) -> Feature:
+    """Inverse of :func:`feature_to_dict`."""
+    try:
+        cls = _KINDS[data["kind"]]
+        return cls(u=data["u"], v=data["v"])
+    except KeyError as exc:
+        raise ArtifactError(f"malformed feature dict {data!r}") from exc
+
+
+def rule_to_dict(rule: Rule) -> Dict[str, object]:
+    """JSON-ready dict of one rule (feature fields + value)."""
+    out: Dict[str, object] = dict(feature_to_dict(rule.feature))
+    out["value"] = bool(rule.value)
+    return out
+
+
+def rule_from_dict(data: Dict[str, object]) -> Rule:
+    """Inverse of :func:`rule_to_dict`."""
+    if "value" not in data:
+        raise ArtifactError(f"malformed rule dict {data!r}")
+    return Rule(
+        feature=feature_from_dict(data),  # type: ignore[arg-type]
+        value=bool(data["value"]),
+    )

@@ -23,7 +23,7 @@ almost always a single op; atomic sync groups make it longer.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, FrozenSet, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -201,11 +201,14 @@ class ScheduleBlock:
     :meth:`DesignSpace.iter_blocks` continues with the next schedule, so
     enumeration can be checkpointed, interleaved with evaluation, or
     split across processes without ever materializing the space.
+    ``n_skipped`` counts schedules a ``keep`` filter rejected while this
+    block filled (they were enumerated but never staged).
     """
 
     index: int
     schedules: List[Schedule] = field(default_factory=list)
     cursor: EnumerationCursor = EnumerationCursor()
+    n_skipped: int = 0
 
     def __len__(self) -> int:
         return len(self.schedules)
@@ -299,6 +302,7 @@ class DesignSpace:
         self,
         block_size: int,
         cursor: Optional[EnumerationCursor] = None,
+        keep: Optional[Callable[[Schedule], bool]] = None,
     ) -> Iterator[ScheduleBlock]:
         """Stream the space in blocks of at most ``block_size`` schedules.
 
@@ -310,6 +314,14 @@ class DesignSpace:
         cursor is marked ``exhausted``.  Pass ``cursor`` to continue a
         previous run (possibly in another process: enumeration order is a
         pure function of the program and ``n_streams``).
+
+        ``keep`` is a streaming pruning filter (rule-guided search,
+        :mod:`repro.advisor.guided`): rejected schedules are dropped
+        immediately — counted in :attr:`ScheduleBlock.n_skipped`, never
+        staged — and blocks keep filling from the stream, so downstream
+        evaluation batches stay full however aggressive the filter.
+        Cursors remain exact: the resume point tracks the last schedule
+        *enumerated*, kept or not.
         """
         if block_size < 1:
             raise ScheduleError("block_size must be >= 1")
@@ -324,7 +336,10 @@ class DesignSpace:
             last_path = after
             while pending is not None and len(block.schedules) < block_size:
                 last_path, schedule = pending
-                block.schedules.append(schedule)
+                if keep is None or keep(schedule):
+                    block.schedules.append(schedule)
+                else:
+                    block.n_skipped += 1
                 pending = next(stream, None)
             block.cursor = EnumerationCursor(
                 path=last_path, exhausted=pending is None

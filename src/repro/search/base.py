@@ -37,6 +37,9 @@ class SearchResult:
     samples: List[SearchSample] = field(default_factory=list)
     n_iterations: int = 0
     n_simulations: int = 0
+    #: Schedules a rule guide rejected before evaluation (guided search
+    #: only; see :mod:`repro.advisor.guided`).
+    n_pruned: int = 0
 
     def add(self, schedule: Schedule, time: float) -> None:
         self.samples.append(SearchSample(schedule=schedule, time=time))
@@ -47,6 +50,7 @@ class SearchResult:
             strategy=self.strategy,
             n_iterations=self.n_iterations,
             n_simulations=self.n_simulations,
+            n_pruned=self.n_pruned,
         )
         for s in self.samples:
             if s.schedule not in seen:

@@ -40,6 +40,7 @@ class BeamSearch(SearchStrategy):
         width: int = 8,
         rollouts_per_candidate: int = 1,
         seed: int = 0,
+        guide=None,
     ) -> None:
         super().__init__(space, evaluator)
         if width < 1:
@@ -49,6 +50,12 @@ class BeamSearch(SearchStrategy):
         self.width = width
         self.rollouts_per_candidate = rollouts_per_candidate
         self.rng = np.random.default_rng(seed)
+        #: Optional rule guide (:mod:`repro.advisor.guided`), used as an
+        #: ordering prior: each level's expansions are visited in
+        #: ascending prefix-violation order (so a truncated budget spends
+        #: its rollouts on rule-satisfying prefixes first), and the
+        #: penalty breaks measured-score ties when the beam is cut.
+        self.guide = guide
 
     # ------------------------------------------------------------------
     def _random_completion(self, state: DecisionState):
@@ -70,18 +77,33 @@ class BeamSearch(SearchStrategy):
         while budget > 0:
             # Expand the level and draw all rollout completions first.
             candidates: List[DecisionState] = []
+            penalties: List[float] = []
             rollouts: List[Tuple[int, Schedule]] = []
             any_expandable = False
             for _, state in beam:
                 if state.is_complete():
                     continue
                 any_expandable = True
-                for action in state.available_actions():
+                actions = state.available_actions()
+                if self.guide is not None:
+                    # Ordering prior: expand low-violation children first
+                    # (stable on the original action order for ties).
+                    priced = sorted(
+                        (
+                            (self.guide.prefix_penalty(state.placed + a), a)
+                            for a in actions
+                        ),
+                        key=lambda pa: pa[0],
+                    )
+                else:
+                    priced = [(0.0, a) for a in actions]
+                for penalty, action in priced:
                     if budget <= 0:
                         break
                     child = state.apply(action)
                     idx = len(candidates)
                     candidates.append(child)
+                    penalties.append(penalty)
                     for _ in range(self.rollouts_per_candidate):
                         if budget <= 0:
                             break
@@ -101,8 +123,9 @@ class BeamSearch(SearchStrategy):
                 result.n_iterations += 1
                 scores[idx] = min(scores[idx], m.time)
             scored = sorted(
-                zip(scores, candidates), key=lambda sc: sc[0]
+                zip(scores, penalties, candidates),
+                key=lambda sc: (sc[0], sc[1]),
             )
-            beam = scored[: self.width]
+            beam = [(score, state) for score, _, state in scored[: self.width]]
         result.n_simulations = self.evaluator.n_simulations
         return result

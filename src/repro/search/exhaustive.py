@@ -9,6 +9,12 @@ Enumeration streams through :meth:`repro.schedule.space.DesignSpace.iter_blocks`
 in blocks of ``batch_size`` schedules, so a parallel evaluator keeps all
 workers busy, results remain in enumeration order, and peak schedule
 residency is one block — never the space.
+
+A rule ``guide`` (:class:`repro.advisor.guided.ScheduleGuide`) turns the
+sweep into *guided* exhaustive search: schedules violating any
+prune-strength rule are dropped inside the enumeration stream — counted
+in ``result.n_pruned``, never simulated — while everything else proceeds
+unchanged.
 """
 
 from __future__ import annotations
@@ -23,15 +29,20 @@ class ExhaustiveSearch(SearchStrategy):
 
     name = "exhaustive"
 
-    def __init__(self, space, evaluator, batch_size: int = 64) -> None:
+    def __init__(
+        self, space, evaluator, batch_size: int = 64, guide=None
+    ) -> None:
         super().__init__(space, evaluator)
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
         self.batch_size = batch_size
+        self.guide = guide
 
     def run(self, n_iterations: Optional[int] = None) -> SearchResult:
         result = SearchResult(strategy=self.name)
-        for block in self.space.iter_blocks(self.batch_size):
+        keep = self.guide.admits if self.guide is not None else None
+        for block in self.space.iter_blocks(self.batch_size, keep=keep):
+            result.n_pruned += block.n_skipped
             schedules = block.schedules
             if n_iterations is not None:
                 schedules = schedules[: n_iterations - result.n_iterations]

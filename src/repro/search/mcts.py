@@ -179,10 +179,17 @@ class MctsSearch(SearchStrategy):
         space: DesignSpace,
         evaluator,
         config: MctsConfig = MctsConfig(),
+        guide=None,
     ) -> None:
         super().__init__(space, evaluator)
         self.config = config
         self.rng = np.random.default_rng(config.seed)
+        #: Optional rule guide (:mod:`repro.advisor.guided`): rollouts
+        #: pick uniformly among the actions adding the least rule-
+        #: violation weight instead of among all actions — the tree
+        #: phases (selection/expansion/backprop) stay exactly the
+        #: paper's, only the rollout policy is biased.
+        self.guide = guide
         self.root = MctsNode(
             parent=None, action=None, state=space.initial_state()
         )
@@ -276,6 +283,15 @@ class MctsSearch(SearchStrategy):
             if not actions:
                 raise SearchError(
                     "dead end during rollout; inconsistent design space"
+                )
+            if self.guide is not None and len(actions) > 1:
+                placed = current.state.placed
+                penalties = [
+                    self.guide.prefix_penalty(placed + a) for a in actions
+                ]
+                floor = min(penalties)
+                actions = tuple(
+                    a for a, p in zip(actions, penalties) if p == floor
                 )
             action = actions[int(self.rng.integers(len(actions)))]
             current = current.child_for(action)

@@ -35,6 +35,7 @@ class RandomSearch(SearchStrategy):
         seed: int = 0,
         dedup: bool = False,
         batch_size: int = 64,
+        guide=None,
     ) -> None:
         super().__init__(space, evaluator)
         if batch_size < 1:
@@ -42,6 +43,11 @@ class RandomSearch(SearchStrategy):
         self.rng = np.random.default_rng(seed)
         self.dedup = dedup
         self.batch_size = batch_size
+        #: Optional rule guide (:mod:`repro.advisor.guided`): sampled
+        #: schedules it rejects are skipped (counted in ``n_pruned``)
+        #: before they cost a simulation — rejection sampling toward the
+        #: rule-satisfying region, bounded by the same attempt cap.
+        self.guide = guide
 
     def run(self, n_iterations: int) -> SearchResult:
         result = SearchResult(strategy=self.name)
@@ -57,6 +63,9 @@ class RandomSearch(SearchStrategy):
             ):
                 attempts += 1
                 schedule = self.space.random_schedule(self.rng)
+                if self.guide is not None and not self.guide.admits(schedule):
+                    result.n_pruned += 1
+                    continue
                 if self.dedup:
                     if schedule in seen:
                         continue

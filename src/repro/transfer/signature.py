@@ -125,6 +125,36 @@ def signature_fingerprint(sig: OpSignature) -> str:
     return hashlib.sha256(sig.key.encode("utf-8")).hexdigest()
 
 
+def signature_to_dict(sig: OpSignature) -> Dict[str, object]:
+    """JSON-ready dict of one signature (all dataclass fields)."""
+    return {
+        "device": sig.device,
+        "action": sig.action,
+        "topology": sig.topology,
+        "arity": sig.arity,
+        "feeds_post": sig.feeds_post,
+        "after_wait": sig.after_wait,
+        "source_like": sig.source_like,
+        "sink_like": sig.sink_like,
+        "refs": list(sig.refs),
+    }
+
+
+def signature_from_dict(data: Dict[str, object]) -> OpSignature:
+    """Inverse of :func:`signature_to_dict`."""
+    return OpSignature(
+        device=str(data["device"]),
+        action=str(data["action"]),
+        topology=str(data.get("topology", "none")),
+        arity=int(data.get("arity", 0)),  # type: ignore[arg-type]
+        feeds_post=bool(data.get("feeds_post", False)),
+        after_wait=bool(data.get("after_wait", False)),
+        source_like=bool(data.get("source_like", False)),
+        sink_like=bool(data.get("sink_like", False)),
+        refs=tuple(data.get("refs", ())),  # type: ignore[arg-type]
+    )
+
+
 # ----------------------------------------------------------------------
 # communication-group classification
 # ----------------------------------------------------------------------

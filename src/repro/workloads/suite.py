@@ -203,6 +203,10 @@ class SuiteReport:
     #: Wall-clock only — every other field is identical for any shard or
     #: worker count.
     timing: Dict[str, object] = field(default_factory=dict)
+    #: Advisor artifacts this run published (paths; empty when no store
+    #: was configured) and why publishing was skipped, if it was.
+    published: List[str] = field(default_factory=list)
+    store_note: str = ""
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -214,6 +218,8 @@ class SuiteReport:
             "union_table": self.union_table,
             "union_note": self.union_note,
             "timing": self.timing,
+            "published": self.published,
+            "store_note": self.store_note,
         }
 
     def to_json(self, indent: int = 2) -> str:
@@ -272,6 +278,13 @@ class SuiteReport:
                 + (f"across {shards} shards" if shards > 1 else "in-process")
                 + f" in {float(self.timing.get('wall_s', 0.0)):.2f}s"
             )
+        if self.published:
+            lines.append(
+                f"Published {len(self.published)} advisor artifacts "
+                "(rules + signatures + union tree) to the store"
+            )
+        if self.store_note:
+            lines.append(self.store_note)
         return "\n".join(lines)
 
     def _rules_ascii(self) -> str:
@@ -356,6 +369,7 @@ class SuiteRunner:
         seed: int = 0,
         shard_workers: int = 0,
         block_size: Optional[int] = None,
+        store_path: Optional[str] = None,
     ) -> None:
         self.suite = suite
         self.machine = machine if machine is not None else perlmutter_like()
@@ -364,6 +378,9 @@ class SuiteRunner:
         self.seed = seed
         self.shard_workers = shard_workers
         self.block_size = block_size
+        #: Advisor artifact store directory; cross-workload suite runs
+        #: publish their trained outputs there (:mod:`repro.advisor`).
+        self.store_path = store_path
 
     # ------------------------------------------------------------------
     def run(self) -> SuiteReport:
@@ -411,6 +428,25 @@ class SuiteRunner:
             report.transfer_table = matrix.rows()
             report.union_table = [u.to_dict() for u in matrix.union_rows]
             report.union_note = matrix.union_note
+            if self.store_path is not None:
+                from repro.advisor import ArtifactStore, publish_artifacts
+
+                report.published = publish_artifacts(
+                    ArtifactStore(self.store_path),
+                    per_workload,
+                    machine=self.machine.name,
+                    n_streams=suite.n_streams,
+                    advisories=[
+                        (c.source, c.target, c.mean_discrimination)
+                        for c in matrix.advisories()
+                    ],
+                )
+        elif self.store_path is not None:
+            report.store_note = (
+                f"store {self.store_path!r} not updated: suite "
+                f"{suite.name!r} does not run the cross-workload rule "
+                "pipelines (artifacts need exhaustively labeled spaces)"
+            )
         return report
 
 
@@ -446,6 +482,7 @@ def run_suite(
     seed: int = 0,
     shard_workers: int = 0,
     block_size: Optional[int] = None,
+    store_path: Optional[str] = None,
 ) -> SuiteReport:
     """Convenience: look up a built-in suite by name and run it."""
     return SuiteRunner(
@@ -456,4 +493,5 @@ def run_suite(
         seed=seed,
         shard_workers=shard_workers,
         block_size=block_size,
+        store_path=store_path,
     ).run()

@@ -1,0 +1,58 @@
+"""Shared advisor fixtures: one trained artifact store for the package.
+
+Training runs the exhaustive rule pipelines on seven small workloads
+(the generalization six plus ``layered_random``) once per session; every
+advisor test — store round-trips, guided search, recommendation —
+consumes the same artifacts, exactly as a real deployment shares one
+store across consumers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.advisor import ArtifactStore, publish_artifacts
+from repro.platform import noiseless, perlmutter_like
+from repro.sim.measure import MeasurementConfig
+from repro.workloads import WorkloadSpec
+from repro.workloads.generalization import rules_for_specs
+
+#: Exhaustible training workloads: every family the advisor tests
+#: recommend for or guide on has a structural relative in here.
+TRAIN_SPECS = (
+    WorkloadSpec("spmv", {"scale": 0.025}),
+    WorkloadSpec(
+        "halo3d",
+        {"nx": 32, "ny": 32, "nz": 32, "px": 2, "py": 2, "pz": 1, "axes": "x"},
+    ),
+    WorkloadSpec("layered_random", {"layers": 3, "width": 2, "edge_p": 0.5}),
+    WorkloadSpec("tree_allreduce", {"rounds": 1, "elems": 16384}),
+    WorkloadSpec("fork_join", {"stages": 1, "branches": 2, "depth": 1}),
+    WorkloadSpec("wavefront", {"width": 2, "height": 2}),
+    WorkloadSpec("stencil_reduce", {"width": 2, "height": 2}),
+)
+
+MEASUREMENT = MeasurementConfig(max_samples=1)
+
+MACHINE_NAME = "perlmutter-like"
+
+
+@pytest.fixture(scope="session")
+def advisor_machine():
+    """Noiseless machine used for all advisor-test simulation."""
+    return noiseless(perlmutter_like())
+
+
+@pytest.fixture(scope="session")
+def trained_workloads():
+    """Per-workload pipeline outputs over the training specs."""
+    return rules_for_specs(list(TRAIN_SPECS), measurement=MEASUREMENT)
+
+
+@pytest.fixture(scope="session")
+def trained_store(tmp_path_factory, trained_workloads):
+    """An artifact store holding the trained workloads + union tree."""
+    root = tmp_path_factory.mktemp("advisor-store")
+    store = ArtifactStore(str(root))
+    publish_artifacts(store, trained_workloads, machine=MACHINE_NAME)
+    return store

@@ -1,0 +1,209 @@
+"""Recommendation for unseen programs: quality, determinism, refusals."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.advisor import (
+    STATUS_EMPTY_STORE,
+    STATUS_NO_MATCH,
+    STATUS_OK,
+    STATUS_VACUOUS,
+    ArtifactStore,
+    ScoredRule,
+    WorkloadArtifact,
+    recommend,
+)
+from repro.ml.features import OrderFeature
+from repro.rules.ruleset import Rule
+from repro.schedule.space import DesignSpace
+from repro.sim.executor import ScheduleExecutor
+from repro.sim.measure import Benchmarker, MeasurementConfig
+from repro.transfer.signature import OpSignature, program_signatures
+from repro.workloads import WorkloadSpec, build_workload
+
+MEASUREMENT = MeasurementConfig(max_samples=1)
+MACHINE_NAME = "perlmutter-like"
+
+#: Held out from training: same family as one training workload but a
+#: different DAG (edge probability and generator seed differ), so the
+#: concrete program was never searched.
+HELD_OUT = WorkloadSpec(
+    "layered_random", {"layers": 3, "width": 2, "edge_p": 0.7}, seed=5
+)
+
+
+@pytest.fixture(scope="module")
+def held_program():
+    return build_workload(HELD_OUT)
+
+
+@pytest.fixture(scope="module")
+def held_recommendation(held_program, trained_store):
+    return recommend(held_program, trained_store, machine=MACHINE_NAME)
+
+
+class TestHeldOutQuality:
+    def test_recommends_with_confidence(self, held_recommendation):
+        rec = held_recommendation
+        assert rec.status == STATUS_OK
+        assert rec.recommended
+        assert rec.schedule is not None
+        assert rec.confidence > 0.5
+        assert rec.n_rules > 0
+        assert rec.sources  # at least one artifact contributed
+
+    def test_beats_space_median(
+        self, held_recommendation, held_program, advisor_machine
+    ):
+        """The PR's acceptance bar: the advised schedule's simulated cost
+        beats the median of the full (never-searched) design space."""
+        space = DesignSpace(held_program, n_streams=2)
+        machine = advisor_machine.with_ranks(held_program.n_ranks)
+        bench = Benchmarker(
+            ScheduleExecutor(held_program, machine), MEASUREMENT
+        )
+        times = np.array(
+            [bench.measure(s).time for s in space.enumerate_schedules()]
+        )
+        advised = bench.measure(held_recommendation.schedule).time
+        assert advised < float(np.median(times))
+
+    def test_schedule_is_valid_member_of_space(
+        self, held_recommendation, held_program
+    ):
+        space = DesignSpace(held_program, n_streams=2)
+        space.validate_schedule(held_recommendation.schedule)
+
+    def test_honors_do_not_transfer_advisories(self, held_recommendation):
+        """The training matrix flags stencil_reduce/wavefront guidance as
+        anti-predictive for layered_random's nearest structure; those
+        sources must be excluded from the rule pool."""
+        excluded = set(held_recommendation.excluded_sources)
+        assert any("stencil" in label for label in excluded)
+        assert all(
+            label not in excluded for label in held_recommendation.sources
+        )
+
+    def test_deterministic(self, held_program, trained_store, held_recommendation):
+        again = recommend(held_program, trained_store, machine=MACHINE_NAME)
+        assert (
+            again.schedule.fingerprint()
+            == held_recommendation.schedule.fingerprint()
+        )
+        assert again.to_dict() == held_recommendation.to_dict()
+
+    def test_to_dict_json_ready(self, held_recommendation):
+        payload = json.dumps(held_recommendation.to_dict(), sort_keys=True)
+        data = json.loads(payload)
+        assert data["status"] == STATUS_OK
+        assert len(data["schedule"]) == len(held_recommendation.schedule)
+
+    def test_large_space_samples_candidates(
+        self, held_program, trained_store
+    ):
+        rec = recommend(
+            held_program,
+            trained_store,
+            machine=MACHINE_NAME,
+            max_candidates=100,
+        )
+        assert rec.status == STATUS_OK
+        assert rec.n_candidates == 100
+
+
+# ----------------------------------------------------------------------
+def _artifact_for(program, spec, rules, signatures=None):
+    """Hand-built artifact (bypasses training) for degenerate tests."""
+    from repro.exec.cache import program_fingerprint
+
+    return WorkloadArtifact(
+        label=spec.label,
+        spec=spec,
+        machine=MACHINE_NAME,
+        n_streams=2,
+        program_fingerprint=program_fingerprint(program),
+        signatures=(
+            signatures
+            if signatures is not None
+            else program_signatures(program)
+        ),
+        rules=rules,
+        n_schedules=4,
+    )
+
+
+class TestDegenerateInputs:
+    """Each degenerate input yields an explicit refusal with
+    ``schedule=None`` and zero confidence — never a silent arbitrary
+    schedule."""
+
+    def test_empty_store(self, tmp_path, held_program):
+        rec = recommend(held_program, ArtifactStore(str(tmp_path / "empty")))
+        assert rec.status == STATUS_EMPTY_STORE
+        assert rec.schedule is None
+        assert rec.confidence == 0.0
+        assert not rec.recommended
+
+    def test_no_signature_match(self, held_program):
+        """An artifact whose signatures exist nowhere in the target (and
+        whose rules mention an op with no signature at all) resolves
+        zero rules."""
+        spec = WorkloadSpec("wavefront", {"width": 2, "height": 2})
+        program = build_workload(spec)
+        alien = {
+            "X": OpSignature(
+                device="gpu", action="kernel", topology="irregular", arity=9
+            )
+        }
+        artifact = _artifact_for(
+            program,
+            spec,
+            rules=[
+                ScoredRule(
+                    rule=Rule(OrderFeature("X", "Y"), True),
+                    discrimination=1.0,
+                    coverage=1.0,
+                )
+            ],
+            signatures=alien,
+        )
+        rec = recommend(held_program, [artifact])
+        assert rec.status == STATUS_NO_MATCH
+        assert rec.schedule is None
+        assert rec.confidence == 0.0
+
+    def test_all_rules_vacuous(self, held_program):
+        """Rules that structurally match but carry zero discrimination
+        must be refused, not used as arbitrary tie-break noise."""
+        signatures = program_signatures(held_program)
+        first = sorted(signatures)[0]
+        other = next(
+            name
+            for name in sorted(signatures)
+            if signatures[name].key != signatures[first].key
+        )
+        artifact = _artifact_for(
+            held_program,
+            HELD_OUT,
+            rules=[
+                ScoredRule(
+                    rule=Rule(OrderFeature(first, other), True),
+                    discrimination=0.0,
+                    coverage=1.0,
+                )
+            ],
+        )
+        rec = recommend(held_program, [artifact])
+        assert rec.status == STATUS_VACUOUS
+        assert rec.schedule is None
+        assert rec.confidence == 0.0
+        assert rec.n_rules > 0  # matched, but uninformative
+
+    def test_machine_filter_excludes_foreign_platform(
+        self, held_program, trained_store
+    ):
+        rec = recommend(held_program, trained_store, machine="other-machine")
+        assert rec.status == STATUS_EMPTY_STORE
+        assert rec.schedule is None

@@ -1,0 +1,260 @@
+"""Artifact store round-trips, validation, and version error paths."""
+
+import json
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.advisor import (
+    ARTIFACT_VERSION,
+    ArtifactStore,
+    ScoredRule,
+    artifact_from_dict,
+)
+from repro.errors import ArtifactError
+from repro.ml.features import OrderFeature
+from repro.rules.ruleset import Rule
+from repro.sim.measure import MeasurementConfig
+from repro.workloads import Suite, SuiteRunner, WorkloadSpec
+
+MACHINE_NAME = "perlmutter-like"
+MEASUREMENT = MeasurementConfig(max_samples=1)
+
+
+@pytest.fixture(scope="module")
+def store(trained_store):
+    return trained_store
+
+
+def _workload_keys(store):
+    return [k for k in store.keys() if k.startswith("workload-")]
+
+
+def _union_keys(store):
+    return [k for k in store.keys() if k.startswith("union-")]
+
+
+class TestRoundTrip:
+    def test_store_holds_every_artifact(self, store, trained_workloads):
+        assert len(_workload_keys(store)) == len(trained_workloads)
+        assert len(_union_keys(store)) == 1
+
+    def test_workload_round_trip_is_exact(self, store):
+        for key in _workload_keys(store):
+            artifact = store.load(key)
+            again = artifact_from_dict(
+                json.loads(
+                    json.dumps(artifact.to_dict(), sort_keys=True)
+                )
+            )
+            assert again.to_dict() == artifact.to_dict()
+            assert again.signatures == artifact.signatures
+            assert again.rules == artifact.rules
+            assert again.spec == artifact.spec
+
+    def test_union_round_trip_preserves_predictions(self, store):
+        union = store.load_union()
+        assert union is not None
+        again = artifact_from_dict(union.to_dict())
+        assert again.features == union.features
+        assert again.workloads == union.workloads
+        assert again.advisories == union.advisories
+        # The rebuilt tree classifies identically on every binary input
+        # pattern of a few probe rows.
+        rng = np.random.default_rng(0)
+        x = rng.integers(0, 2, size=(64, len(union.features)))
+        assert (again.tree.predict(x) == union.tree.predict(x)).all()
+
+    def test_republish_overwrites_in_place(self, store, trained_workloads):
+        from repro.advisor import workload_artifact
+
+        n = len(store)
+        artifact = workload_artifact(
+            trained_workloads[0], machine=MACHINE_NAME
+        )
+        store.publish(artifact)
+        assert len(store) == n
+
+    def test_file_is_key_sorted_json(self, store):
+        key = _workload_keys(store)[0]
+        with open(store.path_of(key), "r", encoding="utf-8") as fh:
+            text = fh.read()
+        data = json.loads(text)
+        assert text == json.dumps(data, indent=2, sort_keys=True) + "\n"
+
+    def test_load_round_trip_bit_stable_across_processes(self, store):
+        """A fresh process loads an artifact and re-serializes it to the
+        exact bytes on disk — nothing drifts through the round trip."""
+        key = _workload_keys(store)[0]
+        path = store.path_of(key)
+        script = (
+            "import json, sys\n"
+            "from repro.advisor import artifact_from_dict\n"
+            "data = json.load(open(sys.argv[1]))\n"
+            "artifact = artifact_from_dict(data)\n"
+            "sys.stdout.write(json.dumps(artifact.to_dict(), indent=2, "
+            "sort_keys=True) + '\\n')\n"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", script, path],
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout
+        with open(path, "r", encoding="utf-8") as fh:
+            assert out == fh.read()
+
+
+class TestValidation:
+    def _tampered(self, store, key, mutate, tmp_path, name):
+        with open(store.path_of(key), "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+        mutate(data)
+        bad = ArtifactStore(str(tmp_path / name))
+        bad_key = "workload-tampered"
+        import os
+
+        os.makedirs(bad.root, exist_ok=True)
+        with open(bad.path_of(bad_key), "w", encoding="utf-8") as fh:
+            json.dump(data, fh)
+        return bad, bad_key
+
+    def test_stale_fingerprint_rejected(self, store, tmp_path):
+        key = _workload_keys(store)[0]
+        bad, bad_key = self._tampered(
+            store,
+            key,
+            lambda d: d.update(program_fingerprint="0" * 64),
+            tmp_path,
+            "stale",
+        )
+        with pytest.raises(ArtifactError, match="stale artifact"):
+            bad.load(bad_key)
+        # ... but an explicitly trusting load still works.
+        assert bad.load(bad_key, validate=False).program_fingerprint == "0" * 64
+
+    def test_changed_spec_rejected_as_stale(self, store, tmp_path):
+        """The generator moved on (different params): the rebuilt program
+        no longer matches the stored fingerprint."""
+        key = next(
+            k for k in _workload_keys(store) if "wavefront" in store.load(k).label
+        )
+        bad, bad_key = self._tampered(
+            store,
+            key,
+            lambda d: d["spec"]["params"].update(width=3),
+            tmp_path,
+            "spec",
+        )
+        with pytest.raises(ArtifactError, match="stale"):
+            bad.load(bad_key)
+
+    def test_tampered_signature_table_rejected(self, store, tmp_path):
+        key = _workload_keys(store)[0]
+
+        def corrupt(d):
+            name = sorted(d["signatures"])[0]
+            d["signatures"][name]["device"] = "tpu"
+
+        bad, bad_key = self._tampered(store, key, corrupt, tmp_path, "sig")
+        with pytest.raises(ArtifactError, match="signature"):
+            bad.load(bad_key)
+
+    def test_version_mismatch_rejected(self, store, tmp_path):
+        key = _workload_keys(store)[0]
+        bad, bad_key = self._tampered(
+            store,
+            key,
+            lambda d: d.update(version=ARTIFACT_VERSION + 1),
+            tmp_path,
+            "version",
+        )
+        with pytest.raises(ArtifactError, match="version"):
+            bad.load(bad_key)
+
+    def test_missing_artifact_rejected(self, store):
+        with pytest.raises(ArtifactError, match="no artifact"):
+            store.load("workload-doesnotexist")
+
+    def test_malformed_json_rejected(self, tmp_path):
+        import os
+
+        root = tmp_path / "broken"
+        os.makedirs(root)
+        (root / "workload-x.json").write_text("{not json")
+        with pytest.raises(ArtifactError, match="not valid JSON"):
+            ArtifactStore(str(root)).load("workload-x")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ArtifactError, match="unknown artifact kind"):
+            artifact_from_dict({"version": ARTIFACT_VERSION, "kind": "blob"})
+
+
+class TestScoredRule:
+    def test_weight_is_discrimination_times_coverage(self):
+        rule = Rule(OrderFeature("a", "b"), True)
+        scored = ScoredRule(rule=rule, discrimination=0.5, coverage=0.4)
+        assert scored.weight == pytest.approx(0.2)
+        assert ScoredRule.from_dict(scored.to_dict()) == scored
+
+
+class TestSuiteAutoPublish:
+    SPECS = (
+        WorkloadSpec("wavefront", {"width": 2, "height": 2}),
+        WorkloadSpec("fork_join", {"stages": 1, "branches": 2, "depth": 1}),
+    )
+
+    def test_cross_workload_suite_publishes(self, tmp_path):
+        suite = Suite(
+            name="tiny-rules",
+            description="",
+            specs=self.SPECS,
+            strategies=("random",),
+            n_iterations=4,
+            measurement=MEASUREMENT,
+            cross_workload_rules=True,
+        )
+        store_dir = tmp_path / "suite-store"
+        report = SuiteRunner(suite, store_path=str(store_dir)).run()
+        assert len(report.published) >= len(self.SPECS)
+        store = ArtifactStore(str(store_dir))
+        loaded = store.load_workloads()
+        assert {a.label for a in loaded} == {s.label for s in self.SPECS}
+        assert "published" in report.to_json().lower() or report.published
+        assert "advisor artifacts" in report.ascii_table()
+
+    def test_sampling_suite_notes_skip(self, tmp_path):
+        suite = Suite(
+            name="tiny",
+            description="",
+            specs=self.SPECS,
+            strategies=("random",),
+            n_iterations=4,
+            measurement=MEASUREMENT,
+        )
+        report = SuiteRunner(
+            suite, store_path=str(tmp_path / "nope")
+        ).run()
+        assert report.published == []
+        assert "not updated" in report.store_note
+        assert report.store_note in report.ascii_table()
+
+
+class TestUnionArtifactShape:
+    def test_extractor_rebuild_matches_features(self, store):
+        union = store.load_union()
+        ex = union.extractor()
+        assert list(ex.features) == list(union.features)
+        assert ex.keys == tuple(union.keys)
+
+    def test_advisories_present_for_training_set(self, store):
+        """The training set contains the known stencil→wavefront
+        negative-transfer edge; it must survive the store round trip."""
+        union = store.load_union()
+        pairs = {(src, dst) for src, dst, _ in union.advisories}
+        assert any(
+            "stencil" in src and dst.startswith("wavefront")
+            for src, dst in pairs
+        )

@@ -8,10 +8,12 @@ from repro.orchestrate import (
     TASK_WORKLOAD_RULES,
     ExecutionPlan,
     WorkloadTask,
+    estimate_task_cost,
     execute_plan,
     plan_rules,
     plan_suite,
     restore_rules_payload,
+    submission_order,
 )
 from repro.platform.presets import perlmutter_like
 from repro.sim.measure import MeasurementConfig
@@ -167,6 +169,59 @@ class TestExecution:
         plan = ExecutionPlan(machine=_machine(), tasks=tasks)
         run = execute_plan(plan, shard_workers=2)
         assert [r.index for r in run.results] == [0, 1]
+
+    def test_cost_aware_submission_order(self):
+        """Sharded submission is costliest-first: the long-pole workload
+        (largest design space) hits the pool before cheap ones, so the
+        slowest task never starts last.  Pinned on real space counts:
+        fork_join(s1,b2,d1) = 40 schedules, wavefront(2x2) = 16."""
+        plan = plan_rules(
+            SPECS, machine=_machine(), measurement=MEASUREMENT
+        )
+        costs = {t.index: estimate_task_cost(t) for t in plan.tasks}
+        # SPECS order is (wavefront, fork_join): FIFO would submit the
+        # cheap wavefront first; cost ordering must flip them.
+        assert costs[0] == 16.0
+        assert costs[1] == 40.0
+        assert submission_order(plan.tasks, costs) == [1, 0]
+        # Ties break on index, and unknown costs sort last.
+        assert submission_order(plan.tasks, {0: 5.0, 1: 5.0}) == [0, 1]
+        assert submission_order(plan.tasks, {}) == [0, 1]
+
+    def test_suite_cells_cost_capped_by_sampling_budget(self):
+        """A sampled (suite-cells) task on a big space costs its
+        benchmark budget, not the space size, so it cannot outrank an
+        exhaustive rules task over the same workload."""
+        cells = WorkloadTask(
+            index=0,
+            kind=TASK_SUITE_CELLS,
+            spec=SPECS[1],
+            measurement=MEASUREMENT,
+            strategies=("random", "mcts"),
+            n_iterations=4,
+        )
+        rules = WorkloadTask(
+            index=1,
+            kind=TASK_WORKLOAD_RULES,
+            spec=SPECS[1],
+            measurement=MEASUREMENT,
+        )
+        assert estimate_task_cost(cells) == 8.0  # 4 iters x 2 strategies
+        assert estimate_task_cost(rules) == 40.0  # the whole space
+        costs = {0: estimate_task_cost(cells), 1: estimate_task_cost(rules)}
+        assert submission_order((cells, rules), costs) == [1, 0]
+
+    def test_cost_ordered_run_results_stay_index_ordered(self):
+        """Submission order is a wall-clock concern only: results (and
+        every payload) still come back in task-index order."""
+        plan = plan_rules(
+            SPECS, machine=_machine(), measurement=MEASUREMENT
+        )
+        run = execute_plan(plan, shard_workers=2)
+        assert [r.index for r in run.results] == [0, 1]
+        assert [r.label for r in run.results] == [
+            s.label for s in SPECS
+        ]
 
     def test_shared_cache_across_shards(self, tmp_path):
         """Two shards writing one cache file; a rerun re-simulates

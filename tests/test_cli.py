@@ -95,7 +95,13 @@ def test_suite_smoke_writes_json_report(tmp_path, capsys):
     import json
 
     path = tmp_path / "smoke.json"
-    assert main(["suite", "smoke", "--json", str(path)]) == 0
+    md_path = tmp_path / "smoke.md"
+    assert (
+        main(
+            ["suite", "smoke", "--json", str(path), "--report", str(md_path)]
+        )
+        == 0
+    )
     out = capsys.readouterr().out
     assert "Suite 'smoke'" in out
     assert str(path) in out
@@ -106,6 +112,12 @@ def test_suite_smoke_writes_json_report(tmp_path, capsys):
     # row per (workload, strategy) cell
     assert len(workloads) >= 6
     assert len(data["cells"]) == len(workloads) * len(strategies)
+    # markdown report surfaces the per-stage wall times the JSON always
+    # carried (previously dropped by rendering)
+    md = md_path.read_text()
+    assert "# Suite report" in md
+    assert "## Timing" in md
+    assert "search:random" in md
 
 
 def test_suite_json_to_stdout(capsys):
@@ -164,6 +176,9 @@ def test_transfer_smoke_writes_reports(tmp_path, capsys):
     md = md_path.read_text()
     assert "# Cross-program transfer report" in md
     assert "Union-trained tree" in md
+    # per-stage wall times surface in the rendered report too
+    assert "## Timing" in md
+    assert "label+train" in md
 
 
 def test_transfer_unknown_suite_raises():
@@ -178,3 +193,149 @@ def test_public_api_importable():
 
     for name in repro.__all__:
         assert getattr(repro, name) is not None
+
+
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def tiny_store(tmp_path_factory):
+    """A small trained artifact store for advise/search CLI tests."""
+    from repro.advisor import ArtifactStore, publish_artifacts
+    from repro.sim.measure import MeasurementConfig
+    from repro.workloads import WorkloadSpec, rules_for_specs
+
+    specs = [
+        WorkloadSpec("wavefront", {"width": 2, "height": 2}),
+        WorkloadSpec("fork_join", {"stages": 1, "branches": 2, "depth": 1}),
+        WorkloadSpec("tree_allreduce", {"rounds": 1, "elems": 16384}),
+    ]
+    per = rules_for_specs(
+        specs, measurement=MeasurementConfig(max_samples=1)
+    )
+    root = tmp_path_factory.mktemp("cli-store")
+    store = ArtifactStore(str(root))
+    publish_artifacts(store, per, machine="perlmutter-like")
+    return str(root)
+
+
+def test_advise_empty_store_refuses(tmp_path, capsys):
+    assert (
+        main(
+            [
+                "advise",
+                "--family",
+                "wavefront",
+                "--param",
+                "width=3",
+                "--param",
+                "height=2",
+                "--store",
+                str(tmp_path / "nothing"),
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "status:     empty-store" in out
+    assert "confidence: 0.000" in out
+
+
+def test_advise_from_store_writes_json(tiny_store, tmp_path, capsys):
+    import json
+
+    json_path = tmp_path / "advise.json"
+    assert (
+        main(
+            [
+                "advise",
+                "--family",
+                "wavefront",
+                "--param",
+                "width=3",
+                "--param",
+                "height=2",
+                "--store",
+                tiny_store,
+                "--json",
+                str(json_path),
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "advise wavefront[height=2,width=3,seed=0]" in out
+    data = json.loads(json_path.read_text())
+    assert data["status"] in ("ok", "no-signature-match", "vacuous-rules")
+    if data["status"] == "ok":
+        assert data["schedule"]
+        assert data["confidence"] > 0
+
+
+def test_advise_requires_family_without_smoke():
+    with pytest.raises(SystemExit, match="--family"):
+        main(["advise", "--store", "unused"])
+
+
+def test_search_guided_exhaustive(tiny_store, capsys):
+    assert (
+        main(
+            [
+                "search",
+                "--family",
+                "wavefront",
+                "--param",
+                "width=2",
+                "--param",
+                "height=2",
+                "--guided",
+                "--store",
+                tiny_store,
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "resolved rules" in out
+    assert "exhaustive (guided)" in out
+    assert "best time" in out
+
+
+def test_search_unguided_sampling(capsys):
+    assert (
+        main(
+            [
+                "search",
+                "--family",
+                "wavefront",
+                "--param",
+                "width=2",
+                "--param",
+                "height=2",
+                "--strategy",
+                "random",
+                "--iterations",
+                "8",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "random on wavefront" in out
+    assert "evaluated 8 schedules" in out
+
+
+def test_search_requires_family():
+    with pytest.raises(SystemExit, match="--family"):
+        main(["search"])
+
+
+def test_bad_param_rejected():
+    with pytest.raises(SystemExit, match="k=v"):
+        main(
+            [
+                "search",
+                "--family",
+                "wavefront",
+                "--param",
+                "width",
+            ]
+        )
