@@ -1,0 +1,98 @@
+"""Compare a pytest-benchmark JSON run against the previous nightly.
+
+Usage (the nightly workflow drives this):
+
+    python benchmarks/compare_bench.py \
+        --current BENCH_<sha>.json --baseline-dir baseline/ \
+        [--pattern REGEX] [--max-regression 0.25]
+
+The baseline dir holds the unzipped most-recent ``bench-*`` artifact
+(zero or more ``BENCH_*.json`` files; the newest by mtime wins).  Every
+benchmark whose ``fullname`` matches ``--pattern`` and appears in both
+runs is compared on mean wall time; any regression beyond
+``--max-regression`` fails the run.  Missing baseline (first nightly,
+expired artifacts) is a warning, not a failure — there is nothing to
+regress against.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+DEFAULT_PATTERN = r"branch_and_bound|guided|enumeration|sharding"
+
+
+def load_means(path: Path, pattern: str) -> dict:
+    data = json.loads(path.read_text())
+    rx = re.compile(pattern)
+    return {
+        b["fullname"]: b["stats"]["mean"]
+        for b in data.get("benchmarks", [])
+        if rx.search(b["fullname"])
+    }
+
+
+def find_baseline(baseline_dir: Path) -> Path | None:
+    candidates = sorted(
+        baseline_dir.glob("BENCH_*.json"),
+        key=lambda p: p.stat().st_mtime,
+        reverse=True,
+    )
+    return candidates[0] if candidates else None
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--current", required=True, type=Path)
+    ap.add_argument("--baseline-dir", required=True, type=Path)
+    ap.add_argument("--pattern", default=DEFAULT_PATTERN)
+    ap.add_argument("--max-regression", type=float, default=0.25)
+    args = ap.parse_args(argv)
+
+    if not args.baseline_dir.is_dir():
+        print(f"no baseline dir {args.baseline_dir}: skipping comparison")
+        return 0
+    baseline_path = find_baseline(args.baseline_dir)
+    if baseline_path is None:
+        print("no baseline BENCH_*.json found: skipping comparison")
+        return 0
+
+    current = load_means(args.current, args.pattern)
+    baseline = load_means(baseline_path, args.pattern)
+    shared = sorted(set(current) & set(baseline))
+    if not shared:
+        print("no shared benchmarks between runs: skipping comparison")
+        return 0
+
+    print(f"baseline: {baseline_path.name}")
+    failed = []
+    for name in shared:
+        cur, base = current[name], baseline[name]
+        ratio = cur / base if base > 0 else float("inf")
+        flag = ""
+        if ratio > 1 + args.max_regression:
+            failed.append(name)
+            flag = "  << REGRESSION"
+        print(f"{name}: {base:.4f}s -> {cur:.4f}s ({ratio:.2f}x){flag}")
+    only_current = set(current) - set(baseline)
+    if only_current:
+        print(f"new benchmarks (no baseline): {len(only_current)}")
+
+    if failed:
+        print(
+            f"\n{len(failed)} benchmark(s) regressed more than "
+            f"{args.max_regression:.0%}:"
+        )
+        for name in failed:
+            print(f"  {name}")
+        return 1
+    print(f"\nall {len(shared)} shared benchmarks within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -337,6 +337,28 @@ class ScheduleGuide:
                 return False
         return True
 
+    def admits_prefix(self, ops: Sequence[BoundOp]) -> bool:
+        """False when a (partial) launch sequence *determinately*
+        violates a prune-strength rule.
+
+        This is the branch-and-bound predicate for
+        :meth:`repro.schedule.space.DesignSpace.iter_blocks`: because
+        :meth:`_violated` only answers ``True`` when no extension can
+        undo the verdict (a placed pair already violates, or a mandatory
+        op can only land too late), a rejected prefix's entire subtree
+        contains nothing :meth:`admits` would keep — cutting it is
+        lossless.  The converse does not hold: a prefix can still be
+        admitted while some completion violates, so complete schedules
+        must still pass :meth:`admits`.
+        """
+        order, streams = self._groups(ops)
+        for rule in self.rules:
+            if rule.weight < self.prune_threshold:
+                continue
+            if self._violated(rule, order, streams) is True:
+                return False
+        return True
+
     def prefix_penalty(self, ops: Sequence[BoundOp]) -> float:
         """Total positive weight already determinately violated by a
         (partial) launch sequence.  Monotone along a schedule prefix:

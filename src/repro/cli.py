@@ -372,8 +372,47 @@ def _cmd_advise(args) -> str:
     return "\n".join(lines)
 
 
+def _search_payload(args, spec, space_count, result, wall) -> dict:
+    """JSON summary of one search run.
+
+    Everything outside ``timing`` is a pure function of the run's inputs
+    — the workload, strategy, guide artifacts, and seeds — so CI can
+    assert a range-sharded sweep is bit-identical to the serial one by
+    comparing payloads with ``timing`` dropped.  ``samples_digest``
+    condenses the full (fingerprint, time) sample sequence into one
+    hash, order included.
+    """
+    import hashlib
+
+    best = result.best()
+    digest = hashlib.sha256()
+    for sample in result.samples:
+        digest.update(
+            f"{sample.schedule.fingerprint()}:{sample.time!r};".encode()
+        )
+    return {
+        "family": spec.family,
+        "label": spec.label,
+        "strategy": args.strategy,
+        "guided": bool(args.guided),
+        "n_streams": args.streams,
+        "space": space_count,
+        "n_iterations": result.n_iterations,
+        "n_pruned": result.n_pruned,
+        "n_subtrees_cut": result.n_subtrees_cut,
+        "n_simulations": result.n_simulations,
+        "best": {
+            "time": best.time,
+            "fingerprint": best.schedule.fingerprint(),
+        },
+        "samples_digest": digest.hexdigest(),
+        "timing": {"wall_s": wall},
+    }
+
+
 def _cmd_search(args) -> str:
     """Run one search strategy on one workload, optionally rule-guided."""
+    import json
     import time
 
     from repro.advisor import ArtifactStore, ScheduleGuide
@@ -395,55 +434,100 @@ def _cmd_search(args) -> str:
     space = DesignSpace(program, n_streams=args.streams)
     guide = None
     lines = []
-    if args.guided:
-        guide = ScheduleGuide.from_store(
-            ArtifactStore(args.store),
-            program,
-            machine=machine.name,
-        )
-        lines.append(guide.describe())
-    evaluator = build_evaluator(
-        program,
-        machine.with_ranks(program.n_ranks),
-        MeasurementConfig(),
-        workers=args.workers,
-    )
-    try:
-        if args.strategy == "exhaustive":
-            strategy = ExhaustiveSearch(space, evaluator, guide=guide)
-            budget = args.iterations  # None = exhaust
-        else:
-            if args.strategy == "random":
-                strategy = RandomSearch(
-                    space, evaluator, seed=args.seed, guide=guide
-                )
-            elif args.strategy == "beam":
-                strategy = BeamSearch(
-                    space, evaluator, seed=args.seed, guide=guide
-                )
-            elif args.strategy == "mcts":
-                strategy = MctsSearch(
-                    space, evaluator, MctsConfig(seed=args.seed), guide=guide
-                )
-            else:
-                raise SystemExit(f"unknown strategy {args.strategy!r}")
-            budget = args.iterations or 64
+    if args.range_shards > 1:
+        # Range-sharded exhaustive: split the enumeration order into
+        # seek-delimited slices and merge — bit-identical to serial.
+        from repro.orchestrate import run_range_sharded_search
+
+        if args.strategy != "exhaustive":
+            raise SystemExit("--range-shards requires --strategy exhaustive")
         t0 = time.perf_counter()
-        result = strategy.run(budget)
+        sharded = run_range_sharded_search(
+            spec,
+            machine=machine,
+            n_streams=args.streams,
+            n_shards=args.range_shards,
+            measurement=MeasurementConfig(),
+            workers=args.workers,
+            cache_path=args.cache,
+            block_size=args.block_size,
+            store_path=args.store if args.guided else None,
+            shard_workers=args.shard_workers,
+        )
+        result = sharded.result
         wall = time.perf_counter() - t0
-    finally:
-        evaluator.close()
+        lines.append(
+            f"range-sharded over {len(sharded.ranges)} ranges "
+            f"(shard workers: {args.shard_workers or 'in-process'})"
+        )
+    else:
+        if args.guided:
+            guide = ScheduleGuide.from_store(
+                ArtifactStore(args.store),
+                program,
+                machine=machine.name,
+            )
+            lines.append(guide.describe())
+        evaluator = build_evaluator(
+            program,
+            machine.with_ranks(program.n_ranks),
+            MeasurementConfig(),
+            workers=args.workers,
+        )
+        try:
+            if args.strategy == "exhaustive":
+                strategy = ExhaustiveSearch(space, evaluator, guide=guide)
+                budget = args.iterations  # None = exhaust
+            else:
+                if args.strategy == "random":
+                    strategy = RandomSearch(
+                        space, evaluator, seed=args.seed, guide=guide
+                    )
+                elif args.strategy == "beam":
+                    strategy = BeamSearch(
+                        space, evaluator, seed=args.seed, guide=guide
+                    )
+                elif args.strategy == "mcts":
+                    strategy = MctsSearch(
+                        space, evaluator, MctsConfig(seed=args.seed), guide=guide
+                    )
+                else:
+                    raise SystemExit(f"unknown strategy {args.strategy!r}")
+                budget = args.iterations or 64
+            t0 = time.perf_counter()
+            result = strategy.run(budget)
+            wall = time.perf_counter() - t0
+        finally:
+            evaluator.close()
     best = result.best()
+    space_count = space.count()
     lines.append(
-        f"{args.strategy}{' (guided)' if guide is not None else ''} on "
-        f"{spec.label}: space {space.count()} schedules"
+        f"{args.strategy}{' (guided)' if args.guided else ''} on "
+        f"{spec.label}: space {space_count} schedules"
     )
     lines.append(
         f"  evaluated {result.n_iterations} schedules"
-        + (f", pruned {result.n_pruned} by rules" if guide is not None else "")
+        + (
+            f", pruned {result.n_pruned} by rules, cut "
+            f"{result.n_subtrees_cut} subtrees before enumeration"
+            if args.guided
+            else ""
+        )
         + f" in {wall:.2f}s"
     )
     lines.append(f"  best time {best.time * 1e6:.2f} us")
+    if args.json:
+        payload = json.dumps(
+            _search_payload(args, spec, space_count, result, wall),
+            indent=2,
+            sort_keys=True,
+        )
+        if args.json == "-":
+            lines.append(payload)
+        else:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                fh.write(payload + "\n")
+            lines.append(f"JSON written to {args.json}")
     return "\n".join(lines)
 
 
@@ -702,7 +786,28 @@ def build_parser() -> argparse.ArgumentParser:
             "exhaustive defaults to the whole space)"
         ),
     )
+    p.add_argument(
+        "--range-shards",
+        dest="range_shards",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "split an exhaustive sweep into N seek-delimited enumeration "
+            "ranges executed as orchestrate tasks (results merge "
+            "bit-identically to serial; combine with --shard-workers "
+            "for actual parallelism)"
+        ),
+    )
+    p.add_argument(
+        "--json",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="write a deterministic run summary as JSON ('-' = stdout)",
+    )
     _add_common_options(p)
+    _add_sharding_options(p)
     return parser
 
 

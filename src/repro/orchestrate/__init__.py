@@ -27,12 +27,19 @@ plans; the CLI exposes the knobs as ``repro suite/transfer
 """
 
 from repro.orchestrate.plan import (
+    TASK_SEARCH_RANGE,
     TASK_SUITE_CELLS,
     TASK_WORKLOAD_RULES,
     ExecutionPlan,
     WorkloadTask,
     plan_rules,
     plan_suite,
+)
+from repro.orchestrate.ranges import (
+    RangeShardedSearch,
+    ScheduleRange,
+    partition_ranges,
+    run_range_sharded_search,
 )
 from repro.orchestrate.runner import (
     PlanRun,
@@ -46,18 +53,23 @@ from repro.orchestrate.runner import (
 )
 
 __all__ = [
+    "TASK_SEARCH_RANGE",
     "TASK_SUITE_CELLS",
     "TASK_WORKLOAD_RULES",
     "ExecutionPlan",
     "PlanRun",
+    "RangeShardedSearch",
+    "ScheduleRange",
     "TaskResult",
     "WorkloadTask",
     "estimate_task_cost",
     "execute_plan",
     "execute_task",
     "make_strategy",
+    "partition_ranges",
     "plan_rules",
     "plan_suite",
     "restore_rules_payload",
+    "run_range_sharded_search",
     "submission_order",
 ]

@@ -43,6 +43,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: Task kinds understood by the runner.
 TASK_SUITE_CELLS = "suite-cells"
 TASK_WORKLOAD_RULES = "workload-rules"
+TASK_SEARCH_RANGE = "search-range"
 
 
 @dataclass(frozen=True)
@@ -72,6 +73,16 @@ class WorkloadTask:
     cache_path: Optional[str] = None
     #: Enumeration/evaluation block size for exhaustive pipelines.
     block_size: Optional[int] = None
+    #: ``search-range`` only: the task's slice of the enumeration order —
+    #: it sweeps positions ``[range_start, range_start + range_limit)``,
+    #: located via :meth:`~repro.schedule.space.DesignSpace.seek` without
+    #: enumerating the prefix.
+    range_start: Optional[int] = None
+    range_limit: Optional[int] = None
+    #: ``search-range`` only: optional artifact-store path; when set the
+    #: shard builds a :class:`~repro.advisor.guided.ScheduleGuide` and
+    #: runs its range branch-and-bound instead of unguided.
+    store_path: Optional[str] = None
     #: Indices of tasks that must complete before this one starts.
     depends_on: Tuple[int, ...] = ()
 
@@ -80,10 +91,21 @@ class WorkloadTask:
         return self.spec.label
 
     def __post_init__(self) -> None:
-        if self.kind not in (TASK_SUITE_CELLS, TASK_WORKLOAD_RULES):
+        if self.kind not in (
+            TASK_SUITE_CELLS,
+            TASK_WORKLOAD_RULES,
+            TASK_SEARCH_RANGE,
+        ):
             raise WorkloadError(f"unknown task kind {self.kind!r}")
         if self.kind == TASK_SUITE_CELLS and not self.strategies:
             raise WorkloadError("suite-cells task needs at least one strategy")
+        if self.kind == TASK_SEARCH_RANGE:
+            if self.range_start is None or self.range_limit is None:
+                raise WorkloadError(
+                    "search-range task needs range_start and range_limit"
+                )
+            if self.range_start < 0 or self.range_limit < 0:
+                raise WorkloadError("search-range bounds must be >= 0")
 
 
 @dataclass(frozen=True)

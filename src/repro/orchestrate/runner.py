@@ -35,6 +35,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 from repro.errors import WorkloadError
 from repro.exec import MeasurementCache, build_evaluator
 from repro.orchestrate.plan import (
+    TASK_SEARCH_RANGE,
     TASK_SUITE_CELLS,
     TASK_WORKLOAD_RULES,
     ExecutionPlan,
@@ -116,6 +117,9 @@ def estimate_task_cost(task: WorkloadTask) -> float:
     the op count, but the cap keeps a billion-schedule sampled workload
     from outranking an exhaustive one).
     """
+    if task.kind == TASK_SEARCH_RANGE:
+        # A range shard's work is exactly its slice of the enumeration.
+        return float(task.range_limit or 0)
     count = float(_space_count(task.spec, task.n_streams))
     if task.kind == TASK_SUITE_CELLS:
         budget = float(task.n_iterations * max(1, len(task.strategies)))
@@ -248,9 +252,72 @@ def _run_workload_rules(
     return rules, stages
 
 
+def _run_search_range(
+    machine: MachineConfig, task: WorkloadTask
+) -> Tuple[object, List[Tuple[str, float]]]:
+    """One shard of a range-sharded exhaustive sweep.
+
+    The shard seeks to ``range_start`` (a DP descent, no enumeration),
+    sweeps exactly ``range_limit`` enumeration positions, and returns the
+    :class:`~repro.search.base.SearchResult` — schedules are plain
+    picklable values, so the payload crosses the process boundary whole.
+    With ``store_path`` set the shard loads the machine's rule artifacts
+    and runs guided branch-and-bound over its range instead.
+    """
+    from repro.search.exhaustive import ExhaustiveSearch
+
+    stages: List[Tuple[str, float]] = []
+    t0 = time.perf_counter()
+    program = build_workload(task.spec)
+    space = DesignSpace(program, n_streams=task.n_streams)
+    cursor = space.seek(task.range_start)
+    stages.append(("build+seek", time.perf_counter() - t0))
+    guide = None
+    if task.store_path is not None:
+        from repro.advisor import ArtifactStore
+        from repro.advisor.guided import ScheduleGuide
+
+        t0 = time.perf_counter()
+        guide = ScheduleGuide.from_store(
+            ArtifactStore(task.store_path), program, machine=machine.name
+        )
+        stages.append(("load-guide", time.perf_counter() - t0))
+    cache = (
+        MeasurementCache(task.cache_path)
+        if task.cache_path is not None
+        else None
+    )
+    try:
+        evaluator = build_evaluator(
+            program,
+            machine.with_ranks(program.n_ranks),
+            task.measurement,
+            workers=task.workers,
+            cache=cache,
+        )
+        try:
+            t0 = time.perf_counter()
+            result = ExhaustiveSearch(
+                space,
+                evaluator,
+                batch_size=task.block_size or 64,
+                guide=guide,
+                cursor=cursor,
+                limit=task.range_limit,
+            ).run()
+            stages.append(("search", time.perf_counter() - t0))
+        finally:
+            evaluator.close()
+    finally:
+        if cache is not None:
+            cache.close()
+    return result, stages
+
+
 _EXECUTORS = {
     TASK_SUITE_CELLS: _run_suite_cells,
     TASK_WORKLOAD_RULES: _run_workload_rules,
+    TASK_SEARCH_RANGE: _run_search_range,
 }
 
 

@@ -202,19 +202,39 @@ class ScheduleBlock:
     enumeration can be checkpointed, interleaved with evaluation, or
     split across processes without ever materializing the space.
     ``n_skipped`` counts schedules a ``keep`` filter rejected while this
-    block filled (they were enumerated but never staged).
+    block filled (they were enumerated but never staged);
+    ``n_subtrees_cut`` counts whole subtrees a ``keep_prefix`` predicate
+    cut before expansion while this block filled (their schedules were
+    never even enumerated — branch-and-bound, not filtering).
     """
 
     index: int
     schedules: List[Schedule] = field(default_factory=list)
     cursor: EnumerationCursor = EnumerationCursor()
     n_skipped: int = 0
+    n_subtrees_cut: int = 0
 
     def __len__(self) -> int:
         return len(self.schedules)
 
     def __iter__(self) -> Iterator[Schedule]:
         return iter(self.schedules)
+
+
+@dataclass
+class _CutLog:
+    """Mutable subtree-cut bookkeeping shared between :meth:`_stream`
+    and :meth:`iter_blocks`.
+
+    ``n_leaves`` (the enumeration positions the cut subtrees spanned) is
+    tracked only when ``count_leaves`` is set — it needs the completion-
+    count DP, which range-limited walks require for exact position
+    accounting and everything else can skip.
+    """
+
+    n_subtrees: int = 0
+    n_leaves: int = 0
+    count_leaves: bool = False
 
 
 class DesignSpace:
@@ -238,6 +258,10 @@ class DesignSpace:
         self.kind_of: Dict[str, OpKind] = {
             v.name: v.kind for v in self.program_ops
         }
+        #: Completion-count memo shared by :meth:`count`, :meth:`seek`,
+        #: and cut-leaf accounting in :meth:`_stream`.  Key is (placed
+        #: names, GPU bindings) — see :meth:`_completions`.
+        self._count_memo: Dict[Tuple, int] = {}
 
     # ------------------------------------------------------------------
     def initial_state(self) -> DecisionState:
@@ -248,7 +272,10 @@ class DesignSpace:
         return (schedule for _, schedule in self._stream())
 
     def _stream(
-        self, after: Tuple[int, ...] = ()
+        self,
+        after: Tuple[int, ...] = (),
+        keep_prefix: Optional[Callable[[Tuple[BoundOp, ...]], bool]] = None,
+        cuts: Optional[_CutLog] = None,
     ) -> Iterator[Tuple[Tuple[int, ...], Schedule]]:
         """Depth-first enumeration as ``(action-index path, schedule)``
         pairs, optionally resuming strictly after the leaf at ``after``.
@@ -258,6 +285,17 @@ class DesignSpace:
         decision states are rebuilt on resume, never serialized.  The
         leaf order is identical to the recursive formulation: first child
         first, complete states are leaves (no further expansion).
+
+        ``keep_prefix`` is the branch-and-bound hook: every *expanded*
+        incomplete state is tested, and a rejected prefix discards its
+        whole subtree without generating it.  Soundness requires the
+        predicate to be monotone (a rejected prefix stays rejected under
+        any extension) — :meth:`ScheduleGuide.admits_prefix` is.  States
+        rebuilt along a resume path are not re-tested: a cursor always
+        addresses a leaf that was actually produced, so its prefix
+        already passed.  Cuts are tallied in ``cuts`` when given; leaf
+        counting additionally uses the completion-count DP so callers
+        can track exact enumeration positions under pruning.
         """
         stack: List[Tuple[DecisionState, Tuple[Action, ...], int]] = []
         state: Optional[DecisionState] = self.initial_state()
@@ -291,6 +329,13 @@ class DesignSpace:
                 yield tuple(i for _, _, i in stack), state.schedule()
                 state = None
             else:
+                if keep_prefix is not None and not keep_prefix(state.placed):
+                    if cuts is not None:
+                        cuts.n_subtrees += 1
+                        if cuts.count_leaves:
+                            cuts.n_leaves += self._completions(state)
+                    state = None  # cut: the whole subtree is skipped
+                    continue
                 actions = state.available_actions()
                 if not actions:  # dead branch: contributes no schedules
                     state = None
@@ -303,6 +348,8 @@ class DesignSpace:
         block_size: int,
         cursor: Optional[EnumerationCursor] = None,
         keep: Optional[Callable[[Schedule], bool]] = None,
+        keep_prefix: Optional[Callable[[Tuple[BoundOp, ...]], bool]] = None,
+        limit: Optional[int] = None,
     ) -> Iterator[ScheduleBlock]:
         """Stream the space in blocks of at most ``block_size`` schedules.
 
@@ -322,15 +369,51 @@ class DesignSpace:
         evaluation batches stay full however aggressive the filter.
         Cursors remain exact: the resume point tracks the last schedule
         *enumerated*, kept or not.
+
+        ``keep_prefix`` turns the walk into branch-and-bound: incomplete
+        prefixes it rejects cut their entire subtree before expansion
+        (see :meth:`_stream`), tallied per block in
+        :attr:`ScheduleBlock.n_subtrees_cut`.  ``limit`` bounds the walk
+        to the next ``limit`` *enumeration positions* after the cursor —
+        leaves enumerated plus leaves inside cut subtrees — which is what
+        makes :meth:`seek`-delimited range shards exact: shard ``k``
+        resumes at ``seek(start)`` with ``limit=length`` and covers
+        precisely the serial walk's positions ``[start, start+length)``.
+        A limit-stopped final block keeps ``exhausted=False`` so the
+        caller can distinguish "range done" from "space done".
         """
         if block_size < 1:
             raise ScheduleError("block_size must be >= 1")
+        if limit is not None and limit < 0:
+            raise ScheduleError("limit must be >= 0")
         if cursor is not None and cursor.exhausted:
             return
         after = cursor.path if cursor is not None else ()
-        stream = self._stream(after)
+        cuts = _CutLog(count_leaves=limit is not None)
+        stream = self._stream(after, keep_prefix=keep_prefix, cuts=cuts)
+        produced = 0
+        ended = False
+
+        def pull() -> Optional[Tuple[Tuple[int, ...], Schedule]]:
+            """Next in-range leaf, or None (range or space exhausted)."""
+            nonlocal produced, ended
+            if limit is not None and produced + cuts.n_leaves >= limit:
+                return None
+            nxt = next(stream, None)
+            if nxt is None:
+                ended = True
+                return None
+            produced += 1
+            if limit is not None and produced + cuts.n_leaves > limit:
+                # Cut subtrees pulled us past the range end: this leaf's
+                # position is >= limit, so it belongs to the next shard.
+                produced -= 1
+                return None
+            return nxt
+
         index = 0
-        pending = next(stream, None)
+        cut_base = 0
+        pending = pull()
         while pending is not None:
             block = ScheduleBlock(index=index)
             last_path = after
@@ -340,45 +423,104 @@ class DesignSpace:
                     block.schedules.append(schedule)
                 else:
                     block.n_skipped += 1
-                pending = next(stream, None)
+                pending = pull()
+            block.n_subtrees_cut = cuts.n_subtrees - cut_base
+            cut_base = cuts.n_subtrees
             block.cursor = EnumerationCursor(
-                path=last_path, exhausted=pending is None
+                path=last_path, exhausted=pending is None and ended
             )
             yield block
             index += 1
+        if index == 0 and cuts.n_subtrees > 0:
+            # Everything in range was cut before a single leaf surfaced;
+            # still surface the bookkeeping in one empty terminal block.
+            yield ScheduleBlock(
+                index=0,
+                cursor=EnumerationCursor(path=after, exhausted=ended),
+                n_subtrees_cut=cuts.n_subtrees,
+            )
 
     def count(self) -> int:
-        """Number of schedules, via memoized DP over decision states.
+        """Number of schedules, via memoized DP over decision states."""
+        return self._completions(self.initial_state())
+
+    def _completions(self, state: DecisionState) -> int:
+        """Number of complete schedules reachable from ``state``.
 
         The memo key is (set of placed names, GPU bindings): the count of
         completions depends only on what is placed and where GPU ops run,
-        not on the order they were placed in.
+        not on the order they were placed in.  The memo lives on the
+        space instance so :meth:`count`, :meth:`seek`, and cut-leaf
+        accounting in :meth:`_stream` all share one table.
         """
-        memo: Dict[Tuple, int] = {}
+        if state.is_complete():
+            return 1
+        k = (
+            state.placed_names,
+            tuple(sorted(state.gpu_streams.items())),
+        )
+        hit = self._count_memo.get(k)
+        if hit is not None:
+            return hit
+        total = sum(
+            self._completions(state.apply(a))
+            for a in state.available_actions()
+        )
+        self._count_memo[k] = total
+        return total
 
-        def key(state: DecisionState) -> Tuple:
-            return (
-                frozenset(state.placed_names),
-                tuple(sorted(state.gpu_streams.items())),
+    def seek(self, index: int) -> EnumerationCursor:
+        """Cursor that resumes enumeration at schedule ``index`` — without
+        enumerating anything.
+
+        The descent picks, level by level, the child whose completion
+        count (the same DP :meth:`count` uses) contains the target leaf
+        rank, so cost is O(depth × branching) DP lookups instead of
+        O(index) schedule constructions.  ``seek(0)`` is the start cursor,
+        ``seek(count())`` the exhausted one; together with ``limit`` in
+        :meth:`iter_blocks` this splits one huge sweep into independent
+        ranges that concatenate bit-identically to the serial walk.
+        """
+        total = self.count()
+        if not 0 <= index <= total:
+            raise ScheduleError(
+                f"seek index {index} outside [0, {total}]"
             )
-
-        def rec(state: DecisionState) -> int:
-            if state.is_complete():
-                return 1
-            k = key(state)
-            hit = memo.get(k)
-            if hit is not None:
-                return hit
-            total = sum(rec(state.apply(a)) for a in state.available_actions())
-            memo[k] = total
-            return total
-
-        return rec(self.initial_state())
-
-    def random_schedule(self, rng: np.random.Generator) -> Schedule:
-        """Frontier-uniform random completion (the paper's rollout policy)."""
+        if index == 0:
+            return EnumerationCursor()
+        if index == total:
+            return EnumerationCursor(exhausted=True)
+        target = index - 1  # rank of the last already-produced leaf
+        path: List[int] = []
         state = self.initial_state()
         while not state.is_complete():
+            for i, action in enumerate(state.available_actions()):
+                child = state.apply(action)
+                below = self._completions(child)
+                if target < below:
+                    path.append(i)
+                    state = child
+                    break
+                target -= below
+            else:  # pragma: no cover - counts partition the leaf ranks
+                raise ScheduleError("seek descent ran out of actions")
+        return EnumerationCursor(path=tuple(path))
+
+    def random_schedule(
+        self,
+        rng: np.random.Generator,
+        keep_prefix: Optional[Callable[[Tuple[BoundOp, ...]], bool]] = None,
+    ) -> Optional[Schedule]:
+        """Frontier-uniform random completion (the paper's rollout policy).
+
+        With ``keep_prefix`` the rollout is abandoned — returning None —
+        the moment its prefix is rejected, mirroring the enumerator's
+        branch-and-bound cut instead of finishing a doomed completion.
+        """
+        state = self.initial_state()
+        while not state.is_complete():
+            if keep_prefix is not None and not keep_prefix(state.placed):
+                return None
             actions = state.available_actions()
             if not actions:
                 raise ScheduleError(

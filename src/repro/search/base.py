@@ -40,6 +40,11 @@ class SearchResult:
     #: Schedules a rule guide rejected before evaluation (guided search
     #: only; see :mod:`repro.advisor.guided`).
     n_pruned: int = 0
+    #: Whole subtrees branch-and-bound cut before enumeration (guided
+    #: exhaustive search), or rollouts abandoned mid-prefix (guided
+    #: random search).  Schedules inside cut subtrees are counted in
+    #: neither ``n_iterations`` nor ``n_pruned`` — they were never built.
+    n_subtrees_cut: int = 0
 
     def add(self, schedule: Schedule, time: float) -> None:
         self.samples.append(SearchSample(schedule=schedule, time=time))
@@ -51,6 +56,7 @@ class SearchResult:
             n_iterations=self.n_iterations,
             n_simulations=self.n_simulations,
             n_pruned=self.n_pruned,
+            n_subtrees_cut=self.n_subtrees_cut,
         )
         for s in self.samples:
             if s.schedule not in seen:

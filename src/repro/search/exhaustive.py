@@ -11,16 +11,26 @@ workers busy, results remain in enumeration order, and peak schedule
 residency is one block — never the space.
 
 A rule ``guide`` (:class:`repro.advisor.guided.ScheduleGuide`) turns the
-sweep into *guided* exhaustive search: schedules violating any
-prune-strength rule are dropped inside the enumeration stream — counted
-in ``result.n_pruned``, never simulated — while everything else proceeds
-unchanged.
+sweep into *guided* exhaustive search.  With ``branch_and_bound`` (the
+default) the guide prunes at two levels: incomplete prefixes that
+determinately violate a prune-strength rule cut their entire subtree
+before enumeration (``result.n_subtrees_cut``), and surviving complete
+schedules that still violate are dropped before simulation
+(``result.n_pruned``).  Both prune toward exactly the set
+``guide.admits`` keeps, so the guided best is found while enumerating —
+not merely skipping — the violating region.
+
+``cursor``/``limit`` restrict the sweep to an enumeration range (see
+:meth:`DesignSpace.seek`), which is how
+:mod:`repro.orchestrate.ranges` splits one huge space across a shard
+pool with bit-identical merged results.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
+from repro.schedule.space import EnumerationCursor
 from repro.search.base import SearchResult, SearchStrategy
 
 
@@ -30,19 +40,41 @@ class ExhaustiveSearch(SearchStrategy):
     name = "exhaustive"
 
     def __init__(
-        self, space, evaluator, batch_size: int = 64, guide=None
+        self,
+        space,
+        evaluator,
+        batch_size: int = 64,
+        guide=None,
+        cursor: Optional[EnumerationCursor] = None,
+        limit: Optional[int] = None,
+        branch_and_bound: bool = True,
     ) -> None:
         super().__init__(space, evaluator)
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
         self.batch_size = batch_size
         self.guide = guide
+        self.cursor = cursor
+        self.limit = limit
+        self.branch_and_bound = branch_and_bound
 
     def run(self, n_iterations: Optional[int] = None) -> SearchResult:
         result = SearchResult(strategy=self.name)
         keep = self.guide.admits if self.guide is not None else None
-        for block in self.space.iter_blocks(self.batch_size, keep=keep):
+        keep_prefix = (
+            self.guide.admits_prefix
+            if self.guide is not None and self.branch_and_bound
+            else None
+        )
+        for block in self.space.iter_blocks(
+            self.batch_size,
+            cursor=self.cursor,
+            keep=keep,
+            keep_prefix=keep_prefix,
+            limit=self.limit,
+        ):
             result.n_pruned += block.n_skipped
+            result.n_subtrees_cut += block.n_subtrees_cut
             schedules = block.schedules
             if n_iterations is not None:
                 schedules = schedules[: n_iterations - result.n_iterations]

@@ -43,9 +43,12 @@ class RandomSearch(SearchStrategy):
         self.rng = np.random.default_rng(seed)
         self.dedup = dedup
         self.batch_size = batch_size
-        #: Optional rule guide (:mod:`repro.advisor.guided`): sampled
-        #: schedules it rejects are skipped (counted in ``n_pruned``)
-        #: before they cost a simulation — rejection sampling toward the
+        #: Optional rule guide (:mod:`repro.advisor.guided`): rollouts
+        #: whose prefix determinately violates a prune-strength rule are
+        #: abandoned mid-draw (counted in ``n_subtrees_cut``, mirroring
+        #: the enumerator's branch-and-bound cut), and completed draws
+        #: the guide still rejects are skipped (``n_pruned``) before
+        #: they cost a simulation — rejection sampling toward the
         #: rule-satisfying region, bounded by the same attempt cap.
         self.guide = guide
 
@@ -62,7 +65,17 @@ class RandomSearch(SearchStrategy):
                 and attempts < max_attempts
             ):
                 attempts += 1
-                schedule = self.space.random_schedule(self.rng)
+                keep_prefix = (
+                    self.guide.admits_prefix
+                    if self.guide is not None
+                    else None
+                )
+                schedule = self.space.random_schedule(
+                    self.rng, keep_prefix=keep_prefix
+                )
+                if schedule is None:  # rollout abandoned mid-prefix
+                    result.n_subtrees_cut += 1
+                    continue
                 if self.guide is not None and not self.guide.admits(schedule):
                     result.n_pruned += 1
                     continue

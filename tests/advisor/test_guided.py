@@ -176,13 +176,45 @@ class TestGuidedExhaustiveRegression:
         ).run()
         total = halo_unguided.n_iterations
         assert total == halo_space.count() == 1600
-        assert guided.n_iterations + guided.n_pruned == total
+        # Branch-and-bound: cut subtrees' schedules are never enumerated,
+        # so evaluated + individually-pruned is a *strict* undercount.
+        assert guided.n_subtrees_cut > 0
+        assert guided.n_iterations + guided.n_pruned < total
         assert guided.n_iterations <= 0.5 * total
         best_guided = guided.best().time
         best_unguided = halo_unguided.best().time
         assert best_guided <= 1.01 * best_unguided
         # With the current training set the guide keeps the true best.
         assert best_guided == best_unguided
+
+    def test_branch_and_bound_matches_block_filter(
+        self, halo_space, halo_program, halo_guide, advisor_machine
+    ):
+        """B&B and the PR-5 block filter keep the exact same samples in
+        the same order — cutting a subtree loses nothing `admits` would
+        have kept.  The cut count is deterministic, so it's pinned: 232
+        subtrees covering 1600 - (304 + 172) = 1124 never-built leaves."""
+        bb = ExhaustiveSearch(
+            halo_space,
+            _benchmarker(halo_program, advisor_machine),
+            guide=halo_guide,
+        ).run()
+        filtered = ExhaustiveSearch(
+            halo_space,
+            _benchmarker(halo_program, advisor_machine),
+            guide=halo_guide,
+            branch_and_bound=False,
+        ).run()
+        assert filtered.n_subtrees_cut == 0
+        assert filtered.n_iterations + filtered.n_pruned == 1600
+        assert [(s.schedule, s.time) for s in bb.samples] == [
+            (s.schedule, s.time) for s in filtered.samples
+        ]
+        assert (bb.n_iterations, bb.n_pruned, bb.n_subtrees_cut) == (
+            304,
+            172,
+            232,
+        )
 
     def test_guided_results_are_a_subsequence(
         self, halo_space, halo_program, halo_guide, halo_unguided, advisor_machine
@@ -212,7 +244,10 @@ class TestGuidedSamplingStrategies:
         # Rejection sampling is bounded by the strategy's attempt cap, so
         # a heavily-pruned space may come up short of the full budget.
         assert 0 < result.n_iterations <= 24
-        assert result.n_pruned > 0  # most frontier samples violate rules
+        # Most rollouts die early (abandoned the moment a prefix violates
+        # a prune rule) or are rejected once complete.
+        assert result.n_subtrees_cut + result.n_pruned > 0
+        assert result.n_subtrees_cut > 0  # early abandon actually fires
         for sample in result.samples:
             assert halo_guide.admits(sample.schedule)
 

@@ -155,6 +155,14 @@ class TestStreamingPipeline:
         assert "streamed" in text
         assert "peak 37 resident" in text or "peak" in text
 
+    def test_feature_compaction_stats(self, streamed):
+        assert streamed.n_candidate_features > 0
+        assert 0 < streamed.n_varying_features <= streamed.n_candidate_features
+        assert (
+            f"kept {streamed.n_varying_features} varying of "
+            f"{streamed.n_candidate_features} candidates"
+        ) in streamed.summary()
+
     def test_requires_exhaustive_strategy(self, spmv_instance, machine):
         pipe = DesignRulePipeline(
             spmv_instance.program, machine, PipelineConfig(strategy="mcts")

@@ -1,0 +1,292 @@
+"""seek/limit/branch-and-bound properties of DesignSpace enumeration.
+
+The contracts range sharding and guided branch-and-bound rest on:
+
+* ``seek(i)`` resumes exactly at schedule ``i`` — a pure DP descent, no
+  enumeration — for every index, including the endpoints;
+* seek-delimited range shards concatenate bit-identically to
+  ``enumerate_schedules()`` for any partition;
+* ``keep_prefix`` cuts are lossless against the equivalent whole-schedule
+  filter, and cut-count bookkeeping is invariant across block sizes and
+  cursor resume points.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ScheduleError
+from repro.schedule.space import DesignSpace, EnumerationCursor
+from repro.workloads import WorkloadSpec, build_workload
+
+
+def _space(family="wavefront", params=None, n_streams=2):
+    params = params if params is not None else {"width": 2, "height": 2}
+    return DesignSpace(build_workload(WorkloadSpec(family, params)), n_streams)
+
+
+def _fps(schedules):
+    return [s.fingerprint() for s in schedules]
+
+
+SPACES = [
+    ("wavefront", {"width": 2, "height": 2}),
+    ("fork_join", {"stages": 1, "branches": 2, "depth": 1}),
+    ("tree_allreduce", {"rounds": 1, "elems": 16384}),
+]
+
+
+class TestSeek:
+    @pytest.mark.parametrize("family,params", SPACES)
+    def test_seek_resumes_at_exact_index(self, family, params):
+        space = _space(family, params)
+        total = space.count()
+        full = _fps(space.enumerate_schedules())
+        rng = np.random.default_rng(0)
+        indices = {0, 1, total - 1, total} | {
+            int(i) for i in rng.integers(0, total + 1, size=12)
+        }
+        for i in sorted(indices):
+            cursor = space.seek(i)
+            resumed = _fps(
+                s
+                for b in space.iter_blocks(7, cursor=cursor)
+                for s in b.schedules
+            )
+            assert resumed == full[i:], f"seek({i})"
+
+    def test_seek_endpoints(self):
+        space = _space()
+        assert space.seek(0) == EnumerationCursor()
+        end = space.seek(space.count())
+        assert end.exhausted
+        assert list(space.iter_blocks(4, cursor=end)) == []
+
+    def test_seek_agrees_with_walked_cursor(self):
+        """seek(i) must produce the exact cursor path enumeration itself
+        reports after i schedules."""
+        space = _space()
+        walked = [b.cursor for b in space.iter_blocks(1)]
+        for i, cursor in enumerate(walked[:-1]):
+            assert space.seek(i + 1) == cursor
+
+    def test_out_of_range_rejected(self):
+        space = _space()
+        with pytest.raises(ScheduleError, match="seek index"):
+            space.seek(-1)
+        with pytest.raises(ScheduleError, match="seek index"):
+            space.seek(space.count() + 1)
+
+    def test_seek_does_not_enumerate(self):
+        """The descent is DP lookups, not enumeration: on a six-figure
+        space, seeking deep must be near-instant (and exact)."""
+        space = _space("stencil_reduce", {})
+        total = space.count()
+        assert total >= 100_000
+        cursor = space.seek(total - 3)
+        tail = [
+            s for b in space.iter_blocks(8, cursor=cursor) for s in b.schedules
+        ]
+        assert len(tail) == 3
+
+
+class TestRangeConcatenation:
+    @pytest.mark.parametrize("n_shards", [1, 2, 3, 7, 16])
+    def test_shards_concatenate_to_full(self, n_shards):
+        space = _space()
+        total = space.count()
+        full = _fps(space.enumerate_schedules())
+        bounds = [round(k * total / n_shards) for k in range(n_shards + 1)]
+        cat = []
+        for k in range(n_shards):
+            start, stop = bounds[k], bounds[k + 1]
+            cat += _fps(
+                s
+                for b in space.iter_blocks(
+                    4, cursor=space.seek(start), limit=stop - start
+                )
+                for s in b.schedules
+            )
+        assert cat == full
+
+    def test_limit_zero_is_empty(self):
+        space = _space()
+        assert list(space.iter_blocks(4, limit=0)) == []
+
+    def test_limit_stops_short_without_exhausting(self):
+        space = _space()
+        blocks = list(space.iter_blocks(4, limit=6))
+        assert sum(len(b) for b in blocks) == 6
+        assert not blocks[-1].cursor.exhausted
+        rest = _fps(
+            s
+            for b in space.iter_blocks(4, cursor=blocks[-1].cursor)
+            for s in b.schedules
+        )
+        assert rest == _fps(space.enumerate_schedules())[6:]
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(ScheduleError, match="limit"):
+            next(_space().iter_blocks(4, limit=-1))
+
+
+def _stream_bound_prefix(ops):
+    """Monotone predicate: no GPU op may use stream 1 (once bound, a
+    violation can never be undone by extending the prefix)."""
+    return not any(op.stream == 1 for op in ops)
+
+
+class TestBranchAndBound:
+    def test_cut_plus_filter_matches_whole_schedule_filter(self):
+        """keep_prefix + keep keeps exactly what filtering complete
+        schedules keeps — cuts lose nothing, at any block size."""
+        space = _space()
+        want = _fps(
+            s
+            for s in space.enumerate_schedules()
+            if _stream_bound_prefix(s.ops)
+        )
+        for bs in (1, 3, 7, 1000):
+            blocks = list(
+                space.iter_blocks(
+                    bs,
+                    keep=lambda s: _stream_bound_prefix(s.ops),
+                    keep_prefix=_stream_bound_prefix,
+                )
+            )
+            got = _fps(s for b in blocks for s in b.schedules)
+            assert got == want, bs
+            assert sum(b.n_subtrees_cut for b in blocks) > 0
+
+    def test_cut_count_invariant_across_block_sizes(self):
+        space = _space()
+        counts = {
+            sum(
+                b.n_subtrees_cut
+                for b in space.iter_blocks(
+                    bs, keep_prefix=_stream_bound_prefix
+                )
+            )
+            for bs in (1, 2, 5, 9, 1000)
+        }
+        assert len(counts) == 1
+
+    def test_cut_count_invariant_across_resume_points(self):
+        """Serial cuts split exactly at block-cursor resume points: the
+        prefix blocks' cuts plus the resumed walk's cuts equal the
+        uninterrupted total (cursors always address enumerated leaves,
+        never the inside of a cut subtree)."""
+        space = _space()
+        blocks = list(space.iter_blocks(3, keep_prefix=_stream_bound_prefix))
+        total_cuts = sum(b.n_subtrees_cut for b in blocks)
+        for i, block in enumerate(blocks[:-1]):
+            resumed = list(
+                space.iter_blocks(
+                    3,
+                    cursor=block.cursor,
+                    keep_prefix=_stream_bound_prefix,
+                )
+            )
+            before = sum(b.n_subtrees_cut for b in blocks[: i + 1])
+            after = sum(b.n_subtrees_cut for b in resumed)
+            assert before + after == total_cuts
+            assert _fps(s for b in resumed for s in b.schedules) == _fps(
+                s for b in blocks[i + 1 :] for s in b.schedules
+            )
+
+    def test_limit_accounts_for_cut_leaves(self):
+        """Under a limit, cut subtrees consume their leaves' enumeration
+        positions, so a full-range limited B&B walk equals the unlimited
+        one — positions, not surviving schedules, are what bound it."""
+        space = _space()
+        unlimited = _fps(
+            s
+            for b in space.iter_blocks(4, keep_prefix=_stream_bound_prefix)
+            for s in b.schedules
+        )
+        limited = _fps(
+            s
+            for b in space.iter_blocks(
+                4,
+                cursor=space.seek(0),
+                limit=space.count(),
+                keep_prefix=_stream_bound_prefix,
+            )
+            for s in b.schedules
+        )
+        assert limited == unlimited
+
+    def test_sharded_branch_and_bound_keeps_identical_set(self):
+        """Seek-split shards of a guided walk keep exactly the serial
+        guided walk's schedules, even when cut subtrees straddle shard
+        boundaries (the next shard re-walks the straddled remainder and
+        its keep filter rejects every violating leaf)."""
+        space = _space()
+        total = space.count()
+        want = _fps(
+            s
+            for s in space.enumerate_schedules()
+            if _stream_bound_prefix(s.ops)
+        )
+        for n_shards in (2, 3, 5):
+            bounds = [
+                round(k * total / n_shards) for k in range(n_shards + 1)
+            ]
+            cat = []
+            for k in range(n_shards):
+                start, stop = bounds[k], bounds[k + 1]
+                cat += _fps(
+                    s
+                    for b in space.iter_blocks(
+                        4,
+                        cursor=space.seek(start),
+                        limit=stop - start,
+                        keep=lambda s: _stream_bound_prefix(s.ops),
+                        keep_prefix=_stream_bound_prefix,
+                    )
+                    for s in b.schedules
+                )
+            assert cat == want, n_shards
+
+    def test_everything_cut_yields_one_empty_block(self):
+        space = _space()
+        blocks = list(space.iter_blocks(4, keep_prefix=lambda ops: False))
+        assert len(blocks) == 1
+        assert len(blocks[0]) == 0
+        assert blocks[0].n_subtrees_cut == 1  # the root subtree
+        assert blocks[0].cursor.exhausted
+
+    def test_random_schedule_early_abandon(self):
+        space = _space()
+        rng = np.random.default_rng(0)
+        draws = [
+            space.random_schedule(rng, keep_prefix=_stream_bound_prefix)
+            for _ in range(50)
+        ]
+        assert any(s is None for s in draws)  # abandon fires
+        kept = [s for s in draws if s is not None]
+        assert kept
+        # Only the final action can still violate (prefixes are checked
+        # before every extension; complete schedules are the admits/keep
+        # filter's job, exactly as in the enumerator), so any violating
+        # op in a kept draw sits in the schedule's last placed GPU
+        # binding — never earlier than the final stream-bound op.
+        for s in kept:
+            bad = [i for i, op in enumerate(s.ops) if op.stream == 1]
+            if bad:
+                later_gpu = [
+                    i
+                    for i, op in enumerate(s.ops)
+                    if op.stream is not None and i > max(bad)
+                ]
+                assert not later_gpu
+
+    def test_random_schedule_unguided_unchanged(self):
+        space = _space()
+        a = [
+            space.random_schedule(np.random.default_rng(7)) for _ in range(10)
+        ]
+        b = [
+            space.random_schedule(np.random.default_rng(7), keep_prefix=None)
+            for _ in range(10)
+        ]
+        assert _fps(a) == _fps(b)
