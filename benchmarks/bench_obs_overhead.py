@@ -1,0 +1,110 @@
+"""Observability overhead (repro.obs): pinning zero-cost-when-disabled.
+
+Three measurements:
+
+* the raw no-op path — ``obs.span(...)`` with no tracer installed
+  returns a shared singleton; per-call cost must stay nanoseconds, so
+  instrumented hot paths pay nothing when tracing is off;
+* an instrumented exhaustive sweep with tracing *disabled* vs. the same
+  sweep *traced* end to end (``obs.capture(trace=True)``) — the traced
+  run must stay within 5% of the disabled one, because spans open at
+  search/batch granularity, never per schedule;
+* trace export+parse, so the ``--trace`` JSONL round-trip stays cheap.
+
+The 5% bound is asserted on interleaved best-of-N walls (min, not
+mean): CI runners are noisy, and alternating the two variants round by
+round keeps slow-drift noise from landing on one side of the ratio.
+"""
+
+import time
+
+from repro import obs
+from repro.exec import build_evaluator
+from repro.obs import read_trace, write_trace
+from repro.platform.presets import noiseless, perlmutter_like
+from repro.schedule.space import DesignSpace
+from repro.search.exhaustive import ExhaustiveSearch
+from repro.sim.measure import MeasurementConfig
+from repro.workloads import WorkloadSpec, build_workload
+
+SPEC = WorkloadSpec("fork_join", {"stages": 2, "branches": 2, "depth": 1})
+
+
+def _sweep():
+    program = build_workload(SPEC)
+    machine = noiseless(perlmutter_like()).with_ranks(program.n_ranks)
+    evaluator = build_evaluator(
+        program, machine, MeasurementConfig(max_samples=1)
+    )
+    space = DesignSpace(program, n_streams=2)
+    try:
+        return ExhaustiveSearch(space, evaluator).run()
+    finally:
+        evaluator.close()
+
+
+def _interleaved_best(fns, rounds: int):
+    """Best wall per function, alternating them each round."""
+    best = [float("inf")] * len(fns)
+    for _ in range(rounds):
+        for i, fn in enumerate(fns):
+            t0 = time.perf_counter()
+            fn()
+            best[i] = min(best[i], time.perf_counter() - t0)
+    return best
+
+
+def test_bench_noop_span_call(benchmark):
+    """Per-call cost of ``obs.span`` while tracing is disabled."""
+    obs.reset()
+    n = 10_000
+
+    def spin():
+        for _ in range(n):
+            with obs.span("hot", key=1):
+                pass
+
+    benchmark.pedantic(spin, rounds=20, iterations=1)
+    per_call = benchmark.stats.stats.median / n
+    benchmark.extra_info["per_call_us"] = per_call * 1e6
+    # The no-op handle is a shared singleton: entering it must cost well
+    # under a microsecond, i.e. invisible next to one simulator step.
+    assert obs.span("hot") is obs.span("other")
+    assert per_call < 5e-6
+
+
+def test_bench_traced_sweep_overhead(benchmark):
+    """Fully traced exhaustive sweep vs. the identical disabled run."""
+    obs.reset()
+    _sweep()  # warm imports and caches outside the timed region
+
+    def traced():
+        with obs.capture(trace=True):
+            _sweep()
+
+    disabled_wall, traced_wall = _interleaved_best([_sweep, traced], rounds=7)
+    benchmark.pedantic(traced, rounds=2, iterations=1)
+
+    overhead = traced_wall / disabled_wall - 1.0
+    benchmark.extra_info["disabled_wall_s"] = disabled_wall
+    benchmark.extra_info["traced_wall_s"] = traced_wall
+    benchmark.extra_info["overhead_frac"] = overhead
+    # Spans open per search/batch, not per schedule, so tracing a whole
+    # sweep must cost < 5% even on a noisy runner.
+    assert overhead < 0.05
+
+
+def test_bench_trace_export_round_trip(benchmark, tmp_path):
+    """JSONL write+read of a real sweep trace."""
+    obs.reset()
+    with obs.capture(trace=True) as cap:
+        _sweep()
+    path = str(tmp_path / "trace.jsonl")
+
+    def round_trip():
+        write_trace(path, cap.spans, metrics=cap.metrics)
+        return read_trace(path)
+
+    data = benchmark(round_trip)
+    assert data.n_spans() == cap.n_spans
+    benchmark.extra_info["n_spans"] = cap.n_spans

@@ -26,11 +26,13 @@ and an all-vacuous rule pool each return a :class:`Recommendation` with
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.advisor.guided import ScheduleGuide
 from repro.advisor.store import (
     ArtifactStore,
@@ -181,7 +183,40 @@ def recommend(
     unless ``union`` is passed explicitly) or a plain artifact sequence.
     ``machine`` filters artifacts by platform preset name.  The result is
     deterministic in (store contents, program, seed).
+
+    Every call lands in the ``advisor.recommend_s`` latency histogram
+    (p50/p95/p99 via ``obs``) — the number the ROADMAP's
+    advisor-as-a-service item must hold at service rates.
     """
+    t0 = time.perf_counter()
+    with obs.span("advisor.recommend", program=program.name):
+        rec = _recommend(
+            program,
+            store,
+            union=union,
+            machine=machine,
+            n_streams=n_streams,
+            max_candidates=max_candidates,
+            seed=seed,
+            validate=validate,
+        )
+    obs.observe("advisor.recommend_s", time.perf_counter() - t0)
+    obs.add("advisor.recommendations")
+    obs.add(f"advisor.status.{rec.status}")
+    return rec
+
+
+def _recommend(
+    program: Program,
+    store: "ArtifactStore | Sequence[WorkloadArtifact]",
+    *,
+    union: Optional[UnionArtifact],
+    machine: Optional[str],
+    n_streams: int,
+    max_candidates: int,
+    seed: int,
+    validate: bool,
+) -> Recommendation:
     if isinstance(store, ArtifactStore):
         artifacts = store.load_workloads(machine=machine, validate=validate)
         if union is None:

@@ -468,11 +468,14 @@ def _cmd_search(args) -> str:
                 machine=machine.name,
             )
             lines.append(guide.describe())
+        from repro.exec import MeasurementCache
+
         evaluator = build_evaluator(
             program,
             machine.with_ranks(program.n_ranks),
             MeasurementConfig(),
             workers=args.workers,
+            cache=MeasurementCache(args.cache) if args.cache else None,
         )
         try:
             if args.strategy == "exhaustive":
@@ -529,6 +532,13 @@ def _cmd_search(args) -> str:
                 fh.write(payload + "\n")
             lines.append(f"JSON written to {args.json}")
     return "\n".join(lines)
+
+
+def _cmd_trace(args) -> str:
+    """Render a recorded JSONL trace (``--trace PATH``) as ASCII."""
+    from repro.obs import read_trace, render_trace
+
+    return render_trace(read_trace(args.path), width=args.width)
 
 
 def _add_experiment_options(parser: argparse.ArgumentParser) -> None:
@@ -598,6 +608,31 @@ def _add_sharding_options(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_obs_options(parser: argparse.ArgumentParser) -> None:
+    """Run-telemetry flags (repro.obs) for the long-running commands."""
+    parser.add_argument(
+        "--trace",
+        dest="trace",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help=(
+            "record a span trace of the whole run (including shard "
+            "worker processes) and write it as JSONL to PATH; render "
+            "with `repro trace PATH`"
+        ),
+    )
+    parser.add_argument(
+        "--metrics",
+        dest="metrics",
+        action="store_true",
+        help=(
+            "append the run's metrics (counters, gauges, latency "
+            "histograms) to the output"
+        ),
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -605,6 +640,23 @@ def build_parser() -> argparse.ArgumentParser:
             "Reproduce experiments from 'Machine Learning for CUDA+MPI "
             "Design Rules' (arXiv:2203.02530) on the simulated platform."
         ),
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help=(
+            "more diagnostics on stderr (repeatable; results stay on "
+            "stdout)"
+        ),
+    )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="count",
+        default=0,
+        help="fewer diagnostics on stderr (repeatable)",
     )
     sub = parser.add_subparsers(dest="command", required=True, metavar="command")
 
@@ -658,6 +710,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common_options(p)
     _add_sharding_options(p)
+    _add_obs_options(p)
 
     p = sub.add_parser(
         "transfer",
@@ -699,6 +752,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common_options(p)
     _add_sharding_options(p)
+    _add_obs_options(p)
 
     p = sub.add_parser(
         "advise",
@@ -743,6 +797,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common_options(p)
     _add_sharding_options(p)
+    _add_obs_options(p)
 
     p = sub.add_parser(
         "search",
@@ -808,6 +863,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common_options(p)
     _add_sharding_options(p)
+    _add_obs_options(p)
+
+    p = sub.add_parser(
+        "trace",
+        help="render a JSONL trace recorded with --trace as an ASCII tree",
+    )
+    p.add_argument("path", help="trace file written by --trace PATH")
+    p.add_argument(
+        "--width",
+        type=int,
+        default=24,
+        metavar="COLS",
+        help="duration bar width in columns (default 24)",
+    )
     return parser
 
 
@@ -847,24 +916,53 @@ def _add_target_options(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+def _dispatch(args) -> str:
+    """Route one parsed command to its handler; the result string is the
+    command's entire stdout (the CLI is the only thing that prints)."""
     if args.command == "all":
+        chunks = []
         for name in sorted(_COMMANDS):
-            print(f"\n===== {name} =====")
-            print(_COMMANDS[name][0](args))
-    elif args.command == "list":
-        print(_cmd_list(args))
-    elif args.command == "suite":
-        print(_cmd_suite(args))
-    elif args.command == "transfer":
-        print(_cmd_transfer(args))
-    elif args.command == "advise":
-        print(_cmd_advise(args))
-    elif args.command == "search":
-        print(_cmd_search(args))
-    else:
-        print(_COMMANDS[args.command][0](args))
+            chunks.append(f"\n===== {name} =====")
+            chunks.append(_COMMANDS[name][0](args))
+        return "\n".join(chunks)
+    if args.command == "list":
+        return _cmd_list(args)
+    if args.command == "suite":
+        return _cmd_suite(args)
+    if args.command == "transfer":
+        return _cmd_transfer(args)
+    if args.command == "advise":
+        return _cmd_advise(args)
+    if args.command == "search":
+        return _cmd_search(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    return _COMMANDS[args.command][0](args)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    from repro import obs
+
+    args = build_parser().parse_args(argv)
+    obs.configure_logging(verbose=args.verbose, quiet=args.quiet)
+    trace_path = getattr(args, "trace", None)
+    want_metrics = getattr(args, "metrics", False)
+    if trace_path is None and not want_metrics:
+        print(_dispatch(args))
+        return 0
+    with obs.capture(trace=trace_path is not None) as cap:
+        out = _dispatch(args)
+    print(out)
+    if trace_path is not None:
+        n_spans = obs.write_trace(
+            trace_path,
+            cap.spans,
+            metrics=cap.metrics,
+            meta={"command": args.command},
+        )
+        print(f"trace with {n_spans} spans written to {trace_path}")
+    if want_metrics:
+        print(obs.render_metrics(cap.metrics))
     return 0
 
 

@@ -37,6 +37,7 @@ import sqlite3
 import time
 from typing import Dict, Iterable, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.dag.program import Program
 from repro.platform.machine import MachineConfig
 from repro.sim.measure import Measurement, MeasurementConfig
@@ -156,6 +157,12 @@ class MeasurementCache:
 
     def __init__(self, path: str) -> None:
         self.path = str(path)
+        #: Lifetime telemetry for this connection; the same counts land in
+        #: the ambient metrics registry as ``cache.hits`` / ``cache.misses``
+        #: / ``cache.lock_retries``.
+        self.n_hits = 0
+        self.n_misses = 0
+        self.n_lock_retries = 0
         self._conn = sqlite3.connect(
             self.path, timeout=self._BUSY_TIMEOUT_MS / 1000.0
         )
@@ -179,7 +186,11 @@ class MeasurementCache:
             (context, schedule_fp),
         ).fetchone()
         if row is None:
+            self.n_misses += 1
+            obs.add("cache.misses")
             return None
+        self.n_hits += 1
+        obs.add("cache.hits")
         return Measurement(
             time=row[0],
             n_samples=row[1],
@@ -210,6 +221,12 @@ class MeasurementCache:
                     n_samples=n_samples,
                     per_rank_time=tuple(json.loads(per_rank)),
                 )
+        self.n_hits += len(found)
+        self.n_misses += len(unique) - len(found)
+        if found:
+            obs.add("cache.hits", len(found))
+        if len(unique) > len(found):
+            obs.add("cache.misses", len(unique) - len(found))
         return found
 
     def put(self, context: str, schedule_fp: str, m: Measurement) -> None:
@@ -246,6 +263,14 @@ class MeasurementCache:
                 locked = "locked" in str(exc) or "busy" in str(exc)
                 if not locked or attempt == self._WRITE_RETRIES:
                     raise
+                self.n_lock_retries += 1
+                obs.add("cache.lock_retries")
+                obs.log.warning(
+                    "cache.locked_retry",
+                    path=self.path,
+                    attempt=attempt + 1,
+                    retries=self._WRITE_RETRIES,
+                )
                 time.sleep(self._RETRY_BASE_DELAY_S * (2**attempt))
 
     # ------------------------------------------------------------------

@@ -14,6 +14,7 @@ from __future__ import annotations
 import abc
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence
 
+from repro import obs
 from repro.exec.cache import MeasurementCache, context_fingerprint
 from repro.schedule.schedule import Schedule
 from repro.sim.measure import Benchmarker, Measurement
@@ -111,11 +112,15 @@ class SerialEvaluator(Evaluator):
         return self.benchmarker.n_simulations
 
     def evaluate_batch(self, schedules: Sequence[Schedule]) -> List[Measurement]:
-        if self.cache is not None:
-            self._preload_from_cache(schedules)
-        results = [self.benchmarker.measure(s) for s in schedules]
-        if self.cache is not None:
-            self._write_back(schedules, results)
+        with obs.span("eval.batch", n=len(schedules), backend="serial"):
+            sims_before = self.benchmarker.n_simulations
+            if self.cache is not None:
+                self._preload_from_cache(schedules)
+            results = [self.benchmarker.measure(s) for s in schedules]
+            if self.cache is not None:
+                self._write_back(schedules, results)
+            obs.add("eval.schedules", len(schedules))
+            obs.add("eval.simulations", self.benchmarker.n_simulations - sims_before)
         return results
 
     # ------------------------------------------------------------------

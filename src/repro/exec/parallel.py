@@ -33,6 +33,7 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, List, Optional, Sequence
 
+from repro import obs
 from repro.dag.program import Program
 from repro.exec.cache import MeasurementCache, context_fingerprint
 from repro.exec.evaluator import Evaluator, SerialEvaluator
@@ -178,20 +179,26 @@ class ParallelEvaluator(Evaluator):
 
     # ------------------------------------------------------------------
     def evaluate_batch(self, schedules: Sequence[Schedule]) -> List[Measurement]:
-        fps = [s.fingerprint() for s in schedules]
-        pending: Dict[str, Schedule] = {
-            fp: s for fp, s in zip(fps, schedules) if fp not in self._memo
-        }
-        if pending and self.cache is not None:
-            hits = self.cache.get_many(self._context, list(pending))
-            for fp, m in hits.items():
-                self._memo[fp] = m
-                del pending[fp]
-        if pending:
-            fresh = self._dispatch(list(pending.values()))
-            if self.cache is not None:
-                self.cache.put_many(self._context, fresh.items())
-            self._memo.update(fresh)
+        with obs.span("eval.batch", n=len(schedules), backend="parallel"):
+            sims_before = self._n_simulations
+            fps = [s.fingerprint() for s in schedules]
+            pending: Dict[str, Schedule] = {
+                fp: s for fp, s in zip(fps, schedules) if fp not in self._memo
+            }
+            if len(fps) > len(pending):
+                obs.add("eval.memo_hits", len(fps) - len(pending))
+            if pending and self.cache is not None:
+                hits = self.cache.get_many(self._context, list(pending))
+                for fp, m in hits.items():
+                    self._memo[fp] = m
+                    del pending[fp]
+            if pending:
+                fresh = self._dispatch(list(pending.values()))
+                if self.cache is not None:
+                    self.cache.put_many(self._context, fresh.items())
+                self._memo.update(fresh)
+            obs.add("eval.schedules", len(schedules))
+            obs.add("eval.simulations", self._n_simulations - sims_before)
         return [self._memo[fp] for fp in fps]
 
     def _dispatch(self, schedules: List[Schedule]) -> Dict[str, Measurement]:

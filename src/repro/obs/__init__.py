@@ -1,0 +1,79 @@
+"""repro.obs — span tracing, metrics, and cross-process run telemetry.
+
+The shared observability substrate for the whole search/serve stack:
+
+* ``obs.span("search.exhaustive", batch_size=64)`` — nested spans,
+  no-op (a shared null handle) unless a tracer is installed.
+* ``obs.stage("label+train")`` — always-timed coarse task phases; the
+  orchestrator's per-stage walls in ``SuiteReport``/
+  ``TransferMatrixResult`` are views over these.
+* ``obs.add / gauge / observe`` — always-on counters, gauges, and
+  histograms; snapshots merge across processes exactly like
+  ``execute_plan`` merges task results, and their counter digests are
+  bit-stable between serial and sharded runs.
+* ``obs.capture(trace=True)`` / ``write_trace`` / ``read_trace`` /
+  ``render_trace`` — JSONL export and the ``repro trace`` ASCII view.
+* ``obs.log`` — the structured stdlib logger all library code uses
+  instead of printing.
+"""
+
+from repro.obs.logs import configure_logging, log
+from repro.obs.metrics import (
+    MetricsRegistry,
+    MetricsSnapshot,
+    summarize_histogram,
+)
+from repro.obs.render import render_metrics, render_span_tree, render_trace
+from repro.obs.runtime import (
+    absorb,
+    add,
+    capture,
+    gauge,
+    metrics_snapshot,
+    observe,
+    reset,
+    span,
+    stage,
+    task_scope,
+    tracing_active,
+    worker_capture,
+)
+from repro.obs.span import SpanRecord, Tracer, walk_spans
+from repro.obs.trace_io import (
+    TraceData,
+    TraceSchemaError,
+    read_trace,
+    validate_trace,
+    write_trace,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "SpanRecord",
+    "TraceData",
+    "TraceSchemaError",
+    "Tracer",
+    "absorb",
+    "add",
+    "capture",
+    "configure_logging",
+    "gauge",
+    "log",
+    "metrics_snapshot",
+    "observe",
+    "read_trace",
+    "render_metrics",
+    "render_span_tree",
+    "render_trace",
+    "reset",
+    "span",
+    "stage",
+    "summarize_histogram",
+    "task_scope",
+    "tracing_active",
+    "validate_trace",
+    "walk_spans",
+    "worker_capture",
+    "write_trace",
+]

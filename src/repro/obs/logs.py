@@ -1,0 +1,70 @@
+"""Structured logging facade over stdlib ``logging``.
+
+All of ``repro`` logs through the single ``"repro"`` logger via
+``obs.log``, which renders ``event key=value`` lines — library code
+never prints to stdout.  Unconfigured, only WARNING and above reach
+stderr (stdlib last-resort handler); the CLI calls
+:func:`configure_logging` from its global ``-v``/``-q`` flags.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional, TextIO
+
+__all__ = ["configure_logging", "log"]
+
+_LOGGER = logging.getLogger("repro")
+_HANDLER: Optional[logging.Handler] = None
+
+
+def _format_fields(fields: dict) -> str:
+    return " ".join(f"{k}={v}" for k, v in fields.items())
+
+
+class StructuredLogger:
+    """``log.info("suite started", suite="smoke", n_tasks=7)`` style API."""
+
+    __slots__ = ("_logger",)
+
+    def __init__(self, logger: logging.Logger) -> None:
+        self._logger = logger
+
+    def _emit(self, level: int, event: str, fields: dict) -> None:
+        if self._logger.isEnabledFor(level):
+            msg = event if not fields else f"{event} {_format_fields(fields)}"
+            self._logger.log(level, msg)
+
+    def debug(self, event: str, **fields: object) -> None:
+        self._emit(logging.DEBUG, event, fields)
+
+    def info(self, event: str, **fields: object) -> None:
+        self._emit(logging.INFO, event, fields)
+
+    def warning(self, event: str, **fields: object) -> None:
+        self._emit(logging.WARNING, event, fields)
+
+    def error(self, event: str, **fields: object) -> None:
+        self._emit(logging.ERROR, event, fields)
+
+
+log = StructuredLogger(_LOGGER)
+
+
+def configure_logging(
+    verbose: int = 0, quiet: int = 0, stream: Optional[TextIO] = None
+) -> None:
+    """Install the stderr handler; -v => INFO, -vv => DEBUG, -q => ERROR."""
+    global _HANDLER
+    level = logging.WARNING + 10 * (quiet - verbose)
+    level = max(logging.DEBUG, min(logging.ERROR, level))
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(
+        logging.Formatter("%(levelname).1s %(name)s: %(message)s")
+    )
+    if _HANDLER is not None:
+        _LOGGER.removeHandler(_HANDLER)
+    _LOGGER.addHandler(handler)
+    _HANDLER = handler
+    _LOGGER.setLevel(level)

@@ -1,0 +1,297 @@
+"""Module-level observability state and the primitives built on it.
+
+Three pieces of ambient state, all process-local:
+
+* ``metrics`` — a :class:`MetricsRegistry` that is **always on**.  Hot
+  paths emit at block/batch granularity (one dict add per enumeration
+  block, not per schedule), so the always-on cost is unmeasurable while
+  keeping cache hit/miss counts available without any opt-in.
+* ``tracer`` — ``None`` by default.  :func:`span` is a shared no-op
+  context manager until a :class:`~repro.obs.span.Tracer` is installed
+  (via :class:`capture`), which is what makes tracing zero-cost when
+  disabled.
+* ``stage_log`` — a plain list the innermost :class:`task_scope`
+  installs so :class:`stage` blocks can report ``(name, wall)`` pairs to
+  whoever is running the task.  This replaces the hand-threaded stage
+  float lists the orchestrator used to build, and doubles as a span when
+  tracing is active.
+
+Worker processes never share this state usefully (fork inherits a stale
+copy): :class:`worker_capture` swaps in a fresh registry/tracer for the
+duration of one task and the parent folds the shipped results back with
+:func:`absorb` — the same merge discipline ``execute_plan`` applies to
+task payloads.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.metrics import MetricsRegistry, MetricsSnapshot
+from repro.obs.span import SpanRecord, Tracer
+
+__all__ = [
+    "absorb",
+    "add",
+    "capture",
+    "gauge",
+    "metrics_snapshot",
+    "observe",
+    "reset",
+    "span",
+    "stage",
+    "task_scope",
+    "tracing_active",
+    "worker_capture",
+]
+
+
+class _ObsState:
+    __slots__ = ("tracer", "metrics", "stage_log")
+
+    def __init__(self) -> None:
+        self.tracer: Optional[Tracer] = None
+        self.metrics: MetricsRegistry = MetricsRegistry()
+        self.stage_log: Optional[List[Tuple[str, float]]] = None
+
+
+_STATE = _ObsState()
+
+
+def reset() -> None:
+    """Drop all ambient state (fresh registry, no tracer). Test helper."""
+    _STATE.tracer = None
+    _STATE.metrics = MetricsRegistry()
+    _STATE.stage_log = None
+
+
+# ---------------------------------------------------------------------------
+# metrics facade
+
+
+def add(name: str, value: float = 1) -> None:
+    _STATE.metrics.add(name, value)
+
+
+def gauge(name: str, value: float) -> None:
+    _STATE.metrics.gauge(name, value)
+
+
+def observe(name: str, value: float) -> None:
+    _STATE.metrics.observe(name, value)
+
+
+def metrics_snapshot() -> MetricsSnapshot:
+    return _STATE.metrics.snapshot()
+
+
+# ---------------------------------------------------------------------------
+# spans
+
+
+class _NullSpan:
+    """Shared do-nothing span handle returned while tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
+    def set(self, **attrs: object) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _SpanHandle:
+    __slots__ = ("_tracer", "_name", "_attrs", "record")
+
+    def __init__(self, tracer: Tracer, name: str, attrs: Dict[str, object]):
+        self._tracer = tracer
+        self._name = name
+        self._attrs = attrs
+
+    def __enter__(self) -> "_SpanHandle":
+        self.record = self._tracer.open(self._name, self._attrs)
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self._tracer.close(self.record)
+
+    def set(self, **attrs: object) -> None:
+        self.record.attrs.update(attrs)
+
+
+def span(name: str, **attrs: object):
+    """Open a traced span, or a shared no-op when tracing is disabled."""
+    tracer = _STATE.tracer
+    if tracer is None:
+        return _NULL_SPAN
+    return _SpanHandle(tracer, name, attrs)
+
+
+def tracing_active() -> bool:
+    return _STATE.tracer is not None
+
+
+# ---------------------------------------------------------------------------
+# stages: always-timed coarse phases reported to the enclosing task
+
+
+class stage:
+    """Time one coarse phase of a task.
+
+    Always measures wall time (``.duration`` after exit) and appends
+    ``(name, duration)`` to the innermost :class:`task_scope`'s stage
+    log; additionally records a ``stage:<name>`` span when tracing is
+    active.  This is the single primitive behind the per-stage walls in
+    ``SuiteReport``/``TransferMatrixResult`` timing dicts.
+    """
+
+    __slots__ = ("name", "attrs", "duration", "_t0", "_rec")
+
+    def __init__(self, name: str, **attrs: object) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.duration = 0.0
+
+    def __enter__(self) -> "stage":
+        tracer = _STATE.tracer
+        self._rec = (
+            tracer.open(f"stage:{self.name}", self.attrs)
+            if tracer is not None
+            else None
+        )
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.duration = time.perf_counter() - self._t0
+        if self._rec is not None and _STATE.tracer is not None:
+            _STATE.tracer.close(self._rec)
+        if _STATE.stage_log is not None:
+            _STATE.stage_log.append((self.name, self.duration))
+
+
+class task_scope:
+    """Scope for one orchestrated task: stage log + ``task:<label>`` span.
+
+    Exposes ``.stages`` (ordered ``(name, wall)`` pairs from nested
+    :class:`stage` blocks) and ``.duration`` after exit — exactly what
+    ``TaskResult`` records.
+    """
+
+    __slots__ = ("label", "kind", "index", "stages", "duration", "_prev", "_rec", "_t0")
+
+    def __init__(self, label: str, *, kind: str = "", index: int = 0) -> None:
+        self.label = label
+        self.kind = kind
+        self.index = index
+        self.stages: List[Tuple[str, float]] = []
+        self.duration = 0.0
+
+    def __enter__(self) -> "task_scope":
+        self._prev = _STATE.stage_log
+        _STATE.stage_log = self.stages
+        tracer = _STATE.tracer
+        self._rec = (
+            tracer.open(
+                f"task:{self.label}", {"kind": self.kind, "index": self.index}
+            )
+            if tracer is not None
+            else None
+        )
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.duration = time.perf_counter() - self._t0
+        _STATE.stage_log = self._prev
+        if self._rec is not None and _STATE.tracer is not None:
+            _STATE.tracer.close(self._rec)
+
+
+# ---------------------------------------------------------------------------
+# capture scopes
+
+
+class capture:
+    """Parent-side capture: optionally install a tracer, delta the metrics.
+
+    After exit, ``.spans`` holds the finished root spans (empty when
+    ``trace=False``) and ``.metrics`` the :class:`MetricsSnapshot` delta
+    of everything recorded — or absorbed from workers — inside the
+    block.  Nestable; the previous tracer is restored on exit.
+    """
+
+    def __init__(self, trace: bool = False) -> None:
+        self.trace = trace
+        self.spans: Tuple[SpanRecord, ...] = ()
+        self.metrics = MetricsSnapshot()
+
+    def __enter__(self) -> "capture":
+        self._before = _STATE.metrics.snapshot()
+        self._prev_tracer = _STATE.tracer
+        if self.trace:
+            _STATE.tracer = Tracer()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        if self.trace and _STATE.tracer is not None:
+            self.spans = _STATE.tracer.finished_roots()
+        _STATE.tracer = self._prev_tracer
+        self.metrics = _STATE.metrics.snapshot().diff(self._before)
+
+    @property
+    def n_spans(self) -> int:
+        return sum(rec.n_spans() for rec in self.spans)
+
+
+class worker_capture:
+    """Worker-side capture for one shipped task.
+
+    Swaps in a *fresh* registry (and tracer, when the parent is tracing)
+    so a pooled worker process — which may run many tasks back to back —
+    never leaks metrics between tasks.  After exit, ``.spans`` and
+    ``.snapshot`` are the picklable payloads to ship on the TaskResult.
+    """
+
+    def __init__(self, trace: bool = False) -> None:
+        self.trace = trace
+        self.spans: Tuple[SpanRecord, ...] = ()
+        self.snapshot = MetricsSnapshot()
+
+    def __enter__(self) -> "worker_capture":
+        self._prev_tracer = _STATE.tracer
+        self._prev_metrics = _STATE.metrics
+        _STATE.tracer = Tracer() if self.trace else None
+        _STATE.metrics = MetricsRegistry()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        if self.trace and _STATE.tracer is not None:
+            self.spans = _STATE.tracer.finished_roots()
+        self.snapshot = _STATE.metrics.snapshot()
+        _STATE.tracer = self._prev_tracer
+        _STATE.metrics = self._prev_metrics
+
+
+def absorb(
+    spans: Sequence[SpanRecord] = (),
+    snapshot: Optional[MetricsSnapshot] = None,
+) -> None:
+    """Fold a worker's shipped telemetry into the ambient state.
+
+    Metrics merge into the live registry; span subtrees graft under the
+    current open span (``plan.execute`` during plan merging), giving one
+    coherent trace tree per run.
+    """
+    if snapshot is not None and not snapshot.is_empty():
+        _STATE.metrics.merge_snapshot(snapshot)
+    if spans and _STATE.tracer is not None:
+        _STATE.tracer.attach(list(spans))

@@ -1,0 +1,120 @@
+"""Span records and the tracer that collects them.
+
+A :class:`SpanRecord` is one timed region of work — a search, a plan
+task, an evaluation batch — with a name, key/value attributes, and child
+spans nested inside it.  Records are plain picklable dataclasses so a
+worker process can run with its own :class:`Tracer`, ship its finished
+span tree back through the task result, and have the parent graft it
+into the run's single coherent trace (see
+:func:`repro.obs.runtime.absorb`).
+
+Timing uses ``time.perf_counter`` throughout: every tracer pins its own
+monotonic epoch at construction, and span ``start`` offsets are relative
+to that epoch.  Durations are therefore exact in every process; start
+offsets are only comparable *within* one process, which is why the
+ASCII renderer (:mod:`repro.obs.render`) lays spans out by nesting and
+duration, not by absolute timeline position.
+
+Spans must be strictly nested (closed in reverse open order) — the
+``with obs.span(...)`` form guarantees this.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+
+@dataclass
+class SpanRecord:
+    """One completed (or in-flight) span of a trace tree."""
+
+    name: str
+    #: Seconds since the owning tracer's epoch (process-local).
+    start: float
+    duration: float
+    #: PID of the process that recorded the span.
+    pid: int
+    attrs: Dict[str, object] = field(default_factory=dict)
+    children: List["SpanRecord"] = field(default_factory=list)
+
+    def walk(self) -> Iterator["SpanRecord"]:
+        """Depth-first traversal: self, then children in order."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> Optional["SpanRecord"]:
+        """First span named ``name`` in depth-first order, or None."""
+        for rec in self.walk():
+            if rec.name == name:
+                return rec
+        return None
+
+    def n_spans(self) -> int:
+        return sum(1 for _ in self.walk())
+
+
+def walk_spans(roots: Sequence[SpanRecord]) -> Iterator[SpanRecord]:
+    """Depth-first traversal over a forest of root spans."""
+    for root in roots:
+        yield from root.walk()
+
+
+class Tracer:
+    """Collects a tree of :class:`SpanRecord` for one process.
+
+    The tracer keeps an explicit open-span stack: :meth:`open` nests the
+    new record under the innermost open span (or into :attr:`roots`) and
+    :meth:`close` pops it, stamping the duration.  :meth:`attach` grafts
+    already-finished subtrees — span forests shipped back from worker
+    processes — under the current open span, which is how a sharded plan
+    execution merges into one trace.
+    """
+
+    def __init__(self) -> None:
+        self.epoch = time.perf_counter()
+        self.roots: List[SpanRecord] = []
+        self._stack: List[SpanRecord] = []
+
+    # ------------------------------------------------------------------
+    def open(self, name: str, attrs: Dict[str, object]) -> SpanRecord:
+        rec = SpanRecord(
+            name=name,
+            start=time.perf_counter() - self.epoch,
+            duration=0.0,
+            pid=os.getpid(),
+            attrs=dict(attrs),
+        )
+        parent = self._stack[-1] if self._stack else None
+        (parent.children if parent is not None else self.roots).append(rec)
+        self._stack.append(rec)
+        return rec
+
+    def close(self, rec: SpanRecord) -> None:
+        rec.duration = time.perf_counter() - self.epoch - rec.start
+        # Strict nesting makes rec the top of the stack; pop defensively
+        # past any span a caller failed to close (exception unwinding).
+        while self._stack:
+            if self._stack.pop() is rec:
+                break
+
+    def attach(self, spans: Sequence[SpanRecord]) -> None:
+        """Graft finished subtrees under the current open span."""
+        if not spans:
+            return
+        parent = self._stack[-1] if self._stack else None
+        (parent.children if parent is not None else self.roots).extend(spans)
+
+    # ------------------------------------------------------------------
+    @property
+    def current(self) -> Optional[SpanRecord]:
+        return self._stack[-1] if self._stack else None
+
+    def n_spans(self) -> int:
+        return sum(1 for _ in walk_spans(self.roots))
+
+    def finished_roots(self) -> Tuple[SpanRecord, ...]:
+        return tuple(self.roots)

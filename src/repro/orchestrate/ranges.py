@@ -25,6 +25,7 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.errors import WorkloadError
 from repro.orchestrate.plan import TASK_SEARCH_RANGE, ExecutionPlan, WorkloadTask
 from repro.orchestrate.runner import PlanRun, execute_plan
@@ -107,6 +108,13 @@ def run_range_sharded_search(
     space = DesignSpace(build_workload(spec), n_streams=n_streams)
     total = space.count()
     ranges = partition_ranges(total, n_shards)
+    obs.log.info(
+        "search.range_sharded",
+        spec=spec.family,
+        total=total,
+        n_shards=len(ranges),
+        shard_workers=shard_workers,
+    )
     measurement = (
         measurement if measurement is not None else MeasurementConfig()
     )

@@ -32,8 +32,10 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.errors import WorkloadError
 from repro.exec import MeasurementCache, build_evaluator
+from repro.obs import MetricsSnapshot, SpanRecord
 from repro.orchestrate.plan import (
     TASK_SEARCH_RANGE,
     TASK_SUITE_CELLS,
@@ -64,6 +66,12 @@ class TaskResult:
     stages: Tuple[Tuple[str, float], ...] = ()
     #: PID of the executing process (parent PID for in-process runs).
     pid: int = 0
+    #: Span subtrees recorded in a worker process (empty when the task
+    #: ran in-process — those spans land directly in the ambient tracer).
+    spans: Tuple[SpanRecord, ...] = ()
+    #: Worker-local metrics snapshot shipped home for parent-side merge
+    #: (None for in-process tasks, which hit the live registry directly).
+    metrics: Optional[MetricsSnapshot] = None
 
     def timing_dict(self) -> Dict[str, object]:
         return {
@@ -155,9 +163,7 @@ def make_strategy(
     raise WorkloadError(f"unknown suite strategy {name!r}")
 
 
-def _run_suite_cells(
-    machine: MachineConfig, task: WorkloadTask
-) -> Tuple[object, List[Tuple[str, float]]]:
+def _run_suite_cells(machine: MachineConfig, task: WorkloadTask) -> object:
     """All of one workload's (strategy → SuiteCell) rows.
 
     Mirrors the historical serial SuiteRunner loop exactly: one evaluator
@@ -166,11 +172,9 @@ def _run_suite_cells(
     """
     from repro.workloads.suite import _cell_from_result
 
-    stages: List[Tuple[str, float]] = []
-    t0 = time.perf_counter()
-    program = build_workload(task.spec)
-    space = DesignSpace(program, n_streams=task.n_streams)
-    stages.append(("build", time.perf_counter() - t0))
+    with obs.stage("build"):
+        program = build_workload(task.spec)
+        space = DesignSpace(program, n_streams=task.n_streams)
     cache = (
         MeasurementCache(task.cache_path)
         if task.cache_path is not None
@@ -187,14 +191,12 @@ def _run_suite_cells(
         )
         try:
             for strat_name in task.strategies:
-                t0 = time.perf_counter()
                 sims_before = evaluator.n_simulations
-                strategy = make_strategy(
-                    strat_name, space, evaluator, task.seed
-                )
-                result = strategy.run(task.n_iterations)
-                wall = time.perf_counter() - t0
-                stages.append((f"search:{strat_name}", wall))
+                with obs.stage(f"search:{strat_name}") as st:
+                    strategy = make_strategy(
+                        strat_name, space, evaluator, task.seed
+                    )
+                    result = strategy.run(task.n_iterations)
                 cells.append(
                     _cell_from_result(
                         task.spec,
@@ -202,7 +204,7 @@ def _run_suite_cells(
                         space,
                         result,
                         evaluator.n_simulations - sims_before,
-                        wall,
+                        st.duration,
                     )
                 )
         finally:
@@ -210,12 +212,10 @@ def _run_suite_cells(
     finally:
         if cache is not None:
             cache.close()
-    return cells, stages
+    return cells
 
 
-def _run_workload_rules(
-    machine: MachineConfig, task: WorkloadTask
-) -> Tuple[object, List[Tuple[str, float]]]:
+def _run_workload_rules(machine: MachineConfig, task: WorkloadTask) -> object:
     """One workload's exhaustive design-rule pipeline, reduced to a
     (program-free, picklable) :class:`WorkloadRules` payload."""
     from repro.workloads.generalization import (
@@ -223,10 +223,8 @@ def _run_workload_rules(
         reduce_workload_rules,
     )
 
-    stages: List[Tuple[str, float]] = []
-    t0 = time.perf_counter()
-    program = build_workload(task.spec)
-    stages.append(("build", time.perf_counter() - t0))
+    with obs.stage("build"):
+        program = build_workload(task.spec)
     pipe = pipeline_for_spec(
         task.spec,
         machine,
@@ -238,23 +236,18 @@ def _run_workload_rules(
         block_size=task.block_size,
     )
     try:
-        t0 = time.perf_counter()
-        search = pipe.explore()
-        stages.append(("enumerate", time.perf_counter() - t0))
-        t0 = time.perf_counter()
-        result = pipe.run(search)
-        stages.append(("label+train", time.perf_counter() - t0))
+        with obs.stage("enumerate"):
+            search = pipe.explore()
+        with obs.stage("label+train"):
+            result = pipe.run(search)
     finally:
         pipe.close()
-    t0 = time.perf_counter()
-    rules = reduce_workload_rules(task.spec, program, result)
-    stages.append(("extract-rules", time.perf_counter() - t0))
-    return rules, stages
+    with obs.stage("extract-rules"):
+        rules = reduce_workload_rules(task.spec, program, result)
+    return rules
 
 
-def _run_search_range(
-    machine: MachineConfig, task: WorkloadTask
-) -> Tuple[object, List[Tuple[str, float]]]:
+def _run_search_range(machine: MachineConfig, task: WorkloadTask) -> object:
     """One shard of a range-sharded exhaustive sweep.
 
     The shard seeks to ``range_start`` (a DP descent, no enumeration),
@@ -266,22 +259,19 @@ def _run_search_range(
     """
     from repro.search.exhaustive import ExhaustiveSearch
 
-    stages: List[Tuple[str, float]] = []
-    t0 = time.perf_counter()
-    program = build_workload(task.spec)
-    space = DesignSpace(program, n_streams=task.n_streams)
-    cursor = space.seek(task.range_start)
-    stages.append(("build+seek", time.perf_counter() - t0))
+    with obs.stage("build+seek"):
+        program = build_workload(task.spec)
+        space = DesignSpace(program, n_streams=task.n_streams)
+        cursor = space.seek(task.range_start)
     guide = None
     if task.store_path is not None:
         from repro.advisor import ArtifactStore
         from repro.advisor.guided import ScheduleGuide
 
-        t0 = time.perf_counter()
-        guide = ScheduleGuide.from_store(
-            ArtifactStore(task.store_path), program, machine=machine.name
-        )
-        stages.append(("load-guide", time.perf_counter() - t0))
+        with obs.stage("load-guide"):
+            guide = ScheduleGuide.from_store(
+                ArtifactStore(task.store_path), program, machine=machine.name
+            )
     cache = (
         MeasurementCache(task.cache_path)
         if task.cache_path is not None
@@ -296,22 +286,21 @@ def _run_search_range(
             cache=cache,
         )
         try:
-            t0 = time.perf_counter()
-            result = ExhaustiveSearch(
-                space,
-                evaluator,
-                batch_size=task.block_size or 64,
-                guide=guide,
-                cursor=cursor,
-                limit=task.range_limit,
-            ).run()
-            stages.append(("search", time.perf_counter() - t0))
+            with obs.stage("search"):
+                result = ExhaustiveSearch(
+                    space,
+                    evaluator,
+                    batch_size=task.block_size or 64,
+                    guide=guide,
+                    cursor=cursor,
+                    limit=task.range_limit,
+                ).run()
         finally:
             evaluator.close()
     finally:
         if cache is not None:
             cache.close()
-    return result, stages
+    return result
 
 
 _EXECUTORS = {
@@ -323,21 +312,21 @@ _EXECUTORS = {
 
 def execute_task(machine: MachineConfig, task: WorkloadTask) -> TaskResult:
     """Run one task to completion in the current process."""
-    t0 = time.perf_counter()
-    payload, stages = _EXECUTORS[task.kind](machine, task)
+    with obs.task_scope(task.label, kind=task.kind, index=task.index) as scope:
+        payload = _EXECUTORS[task.kind](machine, task)
     return TaskResult(
         index=task.index,
         label=task.label,
         kind=task.kind,
         payload=payload,
-        wall_s=time.perf_counter() - t0,
-        stages=tuple(stages),
+        wall_s=scope.duration,
+        stages=tuple(scope.stages),
         pid=os.getpid(),
     )
 
 
 def _execute_task_shipped(
-    machine: MachineConfig, task: WorkloadTask
+    machine: MachineConfig, task: WorkloadTask, observe: bool = False
 ) -> TaskResult:
     """Worker-side entry: run the task, then make the result picklable.
 
@@ -346,14 +335,20 @@ def _execute_task_shipped(
     :func:`restore_rules_payload` rebuilds it in the parent from the
     spec — bit-identical by the workload determinism contract.  The
     in-process path skips the round trip entirely.
+
+    Telemetry crosses the boundary the same way: the task runs against a
+    fresh worker-local registry (and tracer, when the parent traces —
+    ``observe``), whose snapshot and span subtrees ship home on the
+    result for :func:`repro.obs.absorb` in ``execute_plan``.
     """
-    result = execute_task(machine, task)
+    with obs.worker_capture(trace=observe) as cap:
+        result = execute_task(machine, task)
     payload = result.payload
     if getattr(payload, "program", None) is not None:
         result = dataclasses.replace(
             result, payload=dataclasses.replace(payload, program=None)
         )
-    return result
+    return dataclasses.replace(result, spans=cap.spans, metrics=cap.snapshot)
 
 
 def restore_rules_payload(result: TaskResult) -> object:
@@ -380,13 +375,27 @@ def execute_plan(
     returned in task-index order either way.
     """
     t0 = time.perf_counter()
-    if shard_workers > 1 and len(plan.tasks) > 1:
-        results, method = _execute_sharded(plan, shard_workers, start_method)
-    else:
-        shard_workers = 0
-        method = None
-        results = [execute_task(plan.machine, task) for task in plan.tasks]
-    results.sort(key=lambda r: r.index)
+    obs.log.info(
+        "plan.execute",
+        n_tasks=len(plan.tasks),
+        shard_workers=shard_workers,
+    )
+    with obs.span(
+        "plan.execute", n_tasks=len(plan.tasks), shard_workers=shard_workers
+    ):
+        if shard_workers > 1 and len(plan.tasks) > 1:
+            results, method = _execute_sharded(
+                plan, shard_workers, start_method
+            )
+        else:
+            shard_workers = 0
+            method = None
+            results = [execute_task(plan.machine, task) for task in plan.tasks]
+        results.sort(key=lambda r: r.index)
+        # Merge shipped worker telemetry in task-index order — the same
+        # deterministic merge discipline the payloads themselves get.
+        for result in results:
+            obs.absorb(result.spans, result.metrics)
     return PlanRun(
         results=results,
         shard_workers=shard_workers,
@@ -421,7 +430,10 @@ def _execute_sharded(
                 task = pending[index]
                 if all(dep in done for dep in task.depends_on):
                     future = pool.submit(
-                        _execute_task_shipped, plan.machine, task
+                        _execute_task_shipped,
+                        plan.machine,
+                        task,
+                        obs.tracing_active(),
                     )
                     in_flight[future] = index
                     del pending[index]

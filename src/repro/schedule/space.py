@@ -27,6 +27,7 @@ from typing import Callable, Dict, FrozenSet, Iterator, List, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.dag.program import Program
 from repro.dag.vertex import OpKind, Vertex
 from repro.errors import ScheduleError
@@ -219,6 +220,17 @@ class ScheduleBlock:
 
     def __iter__(self) -> Iterator[Schedule]:
         return iter(self.schedules)
+
+
+def _record_block_metrics(block: "ScheduleBlock") -> None:
+    """Per-*block* counter adds (never per schedule) keep the always-on
+    metrics cost unmeasurable against simulation work."""
+    obs.add("space.schedules_enumerated", len(block.schedules) + block.n_skipped)
+    obs.add("space.schedules_kept", len(block.schedules))
+    if block.n_skipped:
+        obs.add("space.schedules_skipped", block.n_skipped)
+    if block.n_subtrees_cut:
+        obs.add("space.subtrees_cut", block.n_subtrees_cut)
 
 
 @dataclass
@@ -429,16 +441,19 @@ class DesignSpace:
             block.cursor = EnumerationCursor(
                 path=last_path, exhausted=pending is None and ended
             )
+            _record_block_metrics(block)
             yield block
             index += 1
         if index == 0 and cuts.n_subtrees > 0:
             # Everything in range was cut before a single leaf surfaced;
             # still surface the bookkeeping in one empty terminal block.
-            yield ScheduleBlock(
+            block = ScheduleBlock(
                 index=0,
                 cursor=EnumerationCursor(path=after, exhausted=ended),
                 n_subtrees_cut=cuts.n_subtrees,
             )
+            _record_block_metrics(block)
+            yield block
 
     def count(self) -> int:
         """Number of schedules, via memoized DP over decision states."""

@@ -8,6 +8,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.schedule.schedule import Schedule
 from repro.schedule.space import DesignSpace
 from repro.sim.measure import Benchmarker
@@ -69,6 +70,19 @@ class SearchResult:
 
     def times(self) -> np.ndarray:
         return np.array([s.time for s in self.samples])
+
+    def record_metrics(self) -> None:
+        """Emit this result's counters into the ambient metrics registry.
+
+        Called once at the end of every strategy's ``run`` — counter
+        totals across range shards therefore equal the serial sweep's,
+        because shard results partition the same enumeration.
+        """
+        obs.add("search.schedules_evaluated", self.n_iterations)
+        if self.n_pruned:
+            obs.add("search.pruned", self.n_pruned)
+        if self.n_subtrees_cut:
+            obs.add("search.subtrees_cut", self.n_subtrees_cut)
 
     def best(self) -> SearchSample:
         return min(self.samples, key=lambda s: s.time)

@@ -23,6 +23,7 @@ from typing import List, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.schedule.schedule import Schedule
 from repro.schedule.space import DecisionState
 from repro.search.base import SearchResult, SearchStrategy
@@ -69,6 +70,12 @@ class BeamSearch(SearchStrategy):
     # ------------------------------------------------------------------
     def run(self, n_iterations: int) -> SearchResult:
         """Explore with a total budget of ``n_iterations`` benchmarks."""
+        with obs.span("search.beam", n_iterations=n_iterations):
+            result = self._run(n_iterations)
+        result.record_metrics()
+        return result
+
+    def _run(self, n_iterations: int) -> SearchResult:
         result = SearchResult(strategy=self.name)
         budget = n_iterations
         beam: List[Tuple[float, DecisionState]] = [

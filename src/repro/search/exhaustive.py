@@ -30,6 +30,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro import obs
 from repro.schedule.space import EnumerationCursor
 from repro.search.base import SearchResult, SearchStrategy
 
@@ -66,25 +67,35 @@ class ExhaustiveSearch(SearchStrategy):
             if self.guide is not None and self.branch_and_bound
             else None
         )
-        for block in self.space.iter_blocks(
-            self.batch_size,
-            cursor=self.cursor,
-            keep=keep,
-            keep_prefix=keep_prefix,
+        with obs.span(
+            "search.exhaustive",
+            batch_size=self.batch_size,
+            guided=self.guide is not None,
             limit=self.limit,
         ):
-            result.n_pruned += block.n_skipped
-            result.n_subtrees_cut += block.n_subtrees_cut
-            schedules = block.schedules
-            if n_iterations is not None:
-                schedules = schedules[: n_iterations - result.n_iterations]
-            for schedule, m in zip(
-                schedules, self.evaluator.evaluate_batch(schedules)
+            for block in self.space.iter_blocks(
+                self.batch_size,
+                cursor=self.cursor,
+                keep=keep,
+                keep_prefix=keep_prefix,
+                limit=self.limit,
             ):
-                result.add(schedule, m.time)
-                result.n_iterations += 1
-            # Stop before enumerating a block past the cap.
-            if n_iterations is not None and result.n_iterations >= n_iterations:
-                break
+                result.n_pruned += block.n_skipped
+                result.n_subtrees_cut += block.n_subtrees_cut
+                schedules = block.schedules
+                if n_iterations is not None:
+                    schedules = schedules[: n_iterations - result.n_iterations]
+                for schedule, m in zip(
+                    schedules, self.evaluator.evaluate_batch(schedules)
+                ):
+                    result.add(schedule, m.time)
+                    result.n_iterations += 1
+                # Stop before enumerating a block past the cap.
+                if (
+                    n_iterations is not None
+                    and result.n_iterations >= n_iterations
+                ):
+                    break
         result.n_simulations = self.evaluator.n_simulations
+        result.record_metrics()
         return result

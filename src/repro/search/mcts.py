@@ -32,6 +32,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.errors import SearchError
 from repro.schedule.schedule import Schedule
 from repro.schedule.space import Action, DecisionState, DesignSpace, _action_key
@@ -196,6 +197,12 @@ class MctsSearch(SearchStrategy):
 
     # ------------------------------------------------------------------
     def run(self, n_iterations: int) -> SearchResult:
+        with obs.span("search.mcts", n_iterations=n_iterations):
+            result = self._run(n_iterations)
+        result.record_metrics()
+        return result
+
+    def _run(self, n_iterations: int) -> SearchResult:
         result = SearchResult(strategy=self.name)
         while result.n_iterations < n_iterations:
             if self.root.fully_explored:

@@ -19,6 +19,7 @@ from typing import List
 
 import numpy as np
 
+from repro import obs
 from repro.schedule.schedule import Schedule
 from repro.search.base import SearchResult, SearchStrategy
 
@@ -53,6 +54,16 @@ class RandomSearch(SearchStrategy):
         self.guide = guide
 
     def run(self, n_iterations: int) -> SearchResult:
+        with obs.span(
+            "search.random",
+            n_iterations=n_iterations,
+            guided=self.guide is not None,
+        ):
+            result = self._run(n_iterations)
+        result.record_metrics()
+        return result
+
+    def _run(self, n_iterations: int) -> SearchResult:
         result = SearchResult(strategy=self.name)
         seen = set()
         attempts = 0

@@ -29,6 +29,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.errors import WorkloadError
 from repro.platform.machine import MachineConfig
 from repro.platform.presets import perlmutter_like
@@ -203,6 +204,10 @@ class SuiteReport:
     #: Wall-clock only — every other field is identical for any shard or
     #: worker count.
     timing: Dict[str, object] = field(default_factory=dict)
+    #: Run telemetry from the obs metrics registry delta — today the
+    #: measurement-cache hit/miss/lock-retry counts, which are
+    #: deterministic (unlike ``timing``) for a given cache state.
+    metrics: Dict[str, object] = field(default_factory=dict)
     #: Advisor artifacts this run published (paths; empty when no store
     #: was configured) and why publishing was skipped, if it was.
     published: List[str] = field(default_factory=list)
@@ -218,6 +223,7 @@ class SuiteReport:
             "union_table": self.union_table,
             "union_note": self.union_note,
             "timing": self.timing,
+            "metrics": self.metrics,
             "published": self.published,
             "store_note": self.store_note,
         }
@@ -277,6 +283,13 @@ class SuiteReport:
                 f"Executed {self.timing.get('n_tasks', 0)} workload tasks "
                 + (f"across {shards} shards" if shards > 1 else "in-process")
                 + f" in {float(self.timing.get('wall_s', 0.0)):.2f}s"
+            )
+        cache_stats = self.metrics.get("cache") if self.metrics else None
+        if cache_stats and (cache_stats["hits"] or cache_stats["misses"]):
+            lines.append(
+                f"Measurement cache: {cache_stats['hits']} hits / "
+                f"{cache_stats['misses']} misses "
+                f"({cache_stats['lock_retries']} lock retries)"
             )
         if self.published:
             lines.append(
@@ -401,7 +414,15 @@ class SuiteRunner:
             seed=self.seed,
             block_size=self.block_size,
         )
+        obs.log.info(
+            "suite.run",
+            suite=suite.name,
+            n_tasks=len(plan.tasks),
+            shard_workers=self.shard_workers,
+        )
+        metrics_before = obs.metrics_snapshot()
         run = execute_plan(plan, shard_workers=self.shard_workers)
+        delta = obs.metrics_snapshot().diff(metrics_before)
         cells: List[SuiteCell] = [
             cell
             for task in run.of_kind(TASK_SUITE_CELLS)
@@ -412,6 +433,13 @@ class SuiteRunner:
             machine=self.machine.name,
             cells=cells,
             timing=run.timing(),
+            metrics={
+                "cache": {
+                    "hits": int(delta.counter("cache.hits")),
+                    "misses": int(delta.counter("cache.misses")),
+                    "lock_retries": int(delta.counter("cache.lock_retries")),
+                }
+            },
         )
         if suite.cross_workload_rules:
             from repro.transfer.matrix import transfer_matrix_from

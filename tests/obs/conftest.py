@@ -1,0 +1,17 @@
+"""obs tests run against fresh ambient state.
+
+``obs.reset()`` swaps in a new registry and drops any tracer, so tests
+here never see counters leaked by other modules (and never leak their
+own into later tests).
+"""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def fresh_obs_state():
+    obs.reset()
+    yield
+    obs.reset()

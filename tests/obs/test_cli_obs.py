@@ -1,0 +1,121 @@
+"""CLI surface: --trace/--metrics flags, the trace subcommand, -v/-q."""
+
+import json
+import sys
+
+import pytest
+
+from repro.cli import main
+from repro.obs import configure_logging, read_trace
+
+
+@pytest.fixture(autouse=True)
+def _restore_logging():
+    # main() installs a stderr handler bound to capsys's capture stream;
+    # rebind to the real stderr (at the default WARNING level) afterwards
+    # so later tests never log into a torn-down capture object.
+    yield
+    configure_logging(stream=sys.stderr)
+
+
+SEARCH_ARGV = [
+    "search",
+    "--family",
+    "wavefront",
+    "--param",
+    "width=2",
+    "--param",
+    "height=2",
+]
+
+
+def test_search_trace_flag_writes_valid_jsonl(tmp_path, capsys):
+    trace = str(tmp_path / "t.jsonl")
+    argv = SEARCH_ARGV + ["--range-shards", "4", "--trace", trace]
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "trace with" in out and trace in out
+
+    data = read_trace(trace)
+    assert data.meta == {"command": "search"}
+    (root,) = data.spans
+    assert root.name == "plan.execute"
+    tasks = [s for s in root.children if s.name.startswith("task:")]
+    assert len(tasks) == 4
+    assert data.metrics.counter("search.schedules_evaluated") == 16
+
+
+def test_search_metrics_flag_appends_counters(capsys):
+    assert main(SEARCH_ARGV + ["--metrics"]) == 0
+    out = capsys.readouterr().out
+    assert "counters:" in out
+    assert "search.schedules_evaluated" in out
+
+
+def test_trace_subcommand_renders_tree(tmp_path, capsys):
+    trace = str(tmp_path / "t.jsonl")
+    assert main(SEARCH_ARGV + ["--trace", trace]) == 0
+    capsys.readouterr()
+    assert main(["trace", trace]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("trace v1  command=search")
+    assert "search.exhaustive" in out
+    assert "|#" in out  # duration bars
+
+
+def test_trace_subcommand_rejects_garbage(tmp_path):
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text("not json\n")
+    from repro.obs import TraceSchemaError
+
+    with pytest.raises(TraceSchemaError):
+        main(["trace", str(bad)])
+
+
+def test_advise_smoke_metrics_include_recommend_histogram(tmp_path, capsys):
+    argv = [
+        "advise",
+        "--smoke",
+        "--store",
+        str(tmp_path / "store"),
+        "--metrics",
+    ]
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "advisor.recommendations" in out
+    assert "advisor.recommend_s" in out
+
+
+def test_verbose_flag_routes_diagnostics_to_stderr(capsys):
+    assert main(["-v"] + SEARCH_ARGV + ["--range-shards", "2"]) == 0
+    captured = capsys.readouterr()
+    assert "search.range_sharded" in captured.err
+    assert "search.range_sharded" not in captured.out
+
+
+def test_quiet_by_default_no_stderr_diagnostics(capsys):
+    assert main(SEARCH_ARGV + ["--range-shards", "2"]) == 0
+    captured = capsys.readouterr()
+    assert "search.range_sharded" not in captured.err
+
+
+def test_search_cache_counters_cold_then_warm(tmp_path, capsys):
+    cache = str(tmp_path / "c.sqlite")
+    argv = SEARCH_ARGV + ["--cache", cache, "--metrics"]
+    assert main(argv) == 0
+    cold = capsys.readouterr().out
+    assert "cache.misses" in cold
+    assert main(argv) == 0
+    warm = capsys.readouterr().out
+    assert "cache.hits" in warm
+
+
+def test_suite_json_reports_cache_metrics(tmp_path, capsys):
+    cache = str(tmp_path / "cache.sqlite")
+    argv = ["suite", "smoke", "--cache", cache, "--json", "-"]
+    assert main(argv) == 0
+    capsys.readouterr()
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    payload = json.loads(out[out.index("{") :])
+    assert payload["metrics"]["cache"]["hits"] > 0

@@ -1,0 +1,106 @@
+"""Metrics registry: snapshots, deltas, merges, digests, histograms."""
+
+import pickle
+
+from repro.obs import MetricsRegistry, MetricsSnapshot, summarize_histogram
+
+
+class TestRegistry:
+    def test_counters_gauges_histograms(self):
+        reg = MetricsRegistry()
+        reg.add("c")
+        reg.add("c", 4)
+        reg.gauge("g", 2.5)
+        reg.gauge("g", 3.5)
+        reg.observe("h", 1.0)
+        reg.observe("h", 2.0)
+        snap = reg.snapshot()
+        assert snap.counter("c") == 5
+        assert snap.counter("absent") == 0
+        assert snap.gauges["g"] == 3.5
+        assert snap.histograms["h"] == (1.0, 2.0)
+
+    def test_snapshot_is_immutable_view(self):
+        reg = MetricsRegistry()
+        reg.add("c")
+        snap = reg.snapshot()
+        reg.add("c")
+        assert snap.counter("c") == 1
+        assert reg.snapshot().counter("c") == 2
+
+    def test_merge_snapshot_sums_counters_extends_histograms(self):
+        a = MetricsRegistry()
+        a.add("c", 2)
+        a.observe("h", 1.0)
+        b = MetricsRegistry()
+        b.add("c", 3)
+        b.observe("h", 2.0)
+        a.merge_snapshot(b.snapshot())
+        snap = a.snapshot()
+        assert snap.counter("c") == 5
+        assert snap.histograms["h"] == (1.0, 2.0)
+
+
+class TestSnapshot:
+    def test_diff_subtracts_counters_and_drops_histogram_prefix(self):
+        reg = MetricsRegistry()
+        reg.add("c", 2)
+        reg.observe("h", 1.0)
+        before = reg.snapshot()
+        reg.add("c", 3)
+        reg.add("new")
+        reg.observe("h", 2.0)
+        delta = reg.snapshot().diff(before)
+        assert delta.counters == {"c": 3, "new": 1}
+        assert delta.histograms == {"h": (2.0,)}
+
+    def test_diff_drops_zero_deltas(self):
+        reg = MetricsRegistry()
+        reg.add("c", 2)
+        before = reg.snapshot()
+        delta = reg.snapshot().diff(before)
+        assert delta.counters == {}
+        assert delta.is_empty()
+
+    def test_merged_is_commutative_on_counters(self):
+        a = MetricsSnapshot(counters={"x": 1, "y": 2})
+        b = MetricsSnapshot(counters={"y": 3, "z": 4})
+        ab, ba = a.merged(b), b.merged(a)
+        assert ab.counters == ba.counters == {"x": 1, "y": 5, "z": 4}
+
+    def test_digest_covers_counters_only(self):
+        a = MetricsSnapshot(counters={"x": 1}, gauges={"wall_s": 1.23})
+        b = MetricsSnapshot(counters={"x": 1}, gauges={"wall_s": 9.99})
+        c = MetricsSnapshot(counters={"x": 2})
+        assert a.digest() == b.digest()
+        assert a.digest() != c.digest()
+
+    def test_digest_is_order_independent(self):
+        a = MetricsSnapshot(counters={"x": 1, "y": 2})
+        b = MetricsSnapshot(counters={"y": 2, "x": 1})
+        assert a.digest() == b.digest()
+
+    def test_snapshot_pickles(self):
+        snap = MetricsSnapshot(
+            counters={"c": 1}, gauges={"g": 2.0}, histograms={"h": (3.0,)}
+        )
+        assert pickle.loads(pickle.dumps(snap)) == snap
+
+
+class TestHistogramSummary:
+    def test_empty(self):
+        assert summarize_histogram([]) == {"count": 0, "sum": 0.0}
+
+    def test_quantiles_nearest_rank(self):
+        values = [float(i) for i in range(1, 101)]  # 1..100
+        s = summarize_histogram(values)
+        assert s["count"] == 100
+        assert s["min"] == 1.0
+        assert s["max"] == 100.0
+        assert s["p50"] == 50.0
+        assert s["p95"] == 95.0
+        assert s["p99"] == 99.0
+
+    def test_single_value(self):
+        s = summarize_histogram([7.0])
+        assert s["p50"] == s["p95"] == s["p99"] == 7.0

@@ -1,0 +1,99 @@
+"""Span records and the tracer: nesting, attach, picklability."""
+
+import os
+import pickle
+
+from repro.obs import SpanRecord, Tracer, walk_spans
+
+
+class TestTracer:
+    def test_nesting_follows_open_close_order(self):
+        tracer = Tracer()
+        outer = tracer.open("outer", {})
+        inner = tracer.open("inner", {"k": 1})
+        tracer.close(inner)
+        leaf2 = tracer.open("leaf2", {})
+        tracer.close(leaf2)
+        tracer.close(outer)
+
+        roots = tracer.finished_roots()
+        assert [r.name for r in roots] == ["outer"]
+        assert [c.name for c in roots[0].children] == ["inner", "leaf2"]
+        assert roots[0].children[0].attrs == {"k": 1}
+        assert tracer.current is None
+
+    def test_durations_are_stamped_and_nonnegative(self):
+        tracer = Tracer()
+        rec = tracer.open("a", {})
+        tracer.close(rec)
+        assert rec.duration >= 0.0
+        assert rec.start >= 0.0
+        assert rec.pid == os.getpid()
+
+    def test_close_unwinds_unclosed_children(self):
+        # Exception unwinding can close an outer span while an inner one
+        # is still open; the stack must recover.
+        tracer = Tracer()
+        outer = tracer.open("outer", {})
+        tracer.open("dangling", {})
+        tracer.close(outer)
+        assert tracer.current is None
+        assert [r.name for r in tracer.finished_roots()] == ["outer"]
+
+    def test_attach_grafts_under_current_open_span(self):
+        worker = Tracer()
+        t = worker.open("task:w", {})
+        worker.close(t)
+
+        parent = Tracer()
+        plan = parent.open("plan.execute", {})
+        parent.attach(list(worker.finished_roots()))
+        parent.close(plan)
+
+        roots = parent.finished_roots()
+        assert [c.name for c in roots[0].children] == ["task:w"]
+
+    def test_attach_without_open_span_extends_roots(self):
+        worker = Tracer()
+        t = worker.open("task:w", {})
+        worker.close(t)
+        parent = Tracer()
+        parent.attach(list(worker.finished_roots()))
+        assert [r.name for r in parent.finished_roots()] == ["task:w"]
+
+    def test_n_spans_counts_whole_forest(self):
+        tracer = Tracer()
+        a = tracer.open("a", {})
+        b = tracer.open("b", {})
+        tracer.close(b)
+        tracer.close(a)
+        c = tracer.open("c", {})
+        tracer.close(c)
+        assert tracer.n_spans() == 3
+
+
+class TestSpanRecord:
+    def _tree(self):
+        leaf = SpanRecord("leaf", 0.1, 0.2, 42, {"x": 1})
+        return SpanRecord("root", 0.0, 1.0, 42, {}, [leaf])
+
+    def test_walk_is_depth_first_preorder(self):
+        root = self._tree()
+        assert [s.name for s in root.walk()] == ["root", "leaf"]
+        assert [s.name for s in walk_spans([root, root])] == [
+            "root",
+            "leaf",
+            "root",
+            "leaf",
+        ]
+
+    def test_find_by_name(self):
+        root = self._tree()
+        assert root.find("leaf").attrs == {"x": 1}
+        assert root.find("absent") is None
+
+    def test_records_pickle_round_trip(self):
+        root = self._tree()
+        clone = pickle.loads(pickle.dumps(root))
+        assert clone == root
+        assert clone.children[0].name == "leaf"
