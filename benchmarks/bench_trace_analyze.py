@@ -1,0 +1,213 @@
+"""Trace analytics cost (repro.obs.analyze/diff) at archive scale.
+
+The read side has to stay interactive on real archived runs: a sharded
+paper-scale sweep produces tens of thousands of spans, and ``repro
+trace <archive> --analyze`` / ``--diff`` parse and fold the whole
+bundle on every invocation.  Four pinned measurements on a synthetic
+>=50k-span archived trace (same shape as a sharded suite run — one
+``plan.execute`` root fanning out into task/stage/batch subtrees):
+
+* JSONL parse (``read_trace``) of the archived bundle;
+* per-span-path aggregation (``aggregate_spans``);
+* concurrent-aware critical-path extraction (``critical_path``);
+* full run diff (``diff_runs``) of two archived runs of that trace.
+
+Plus the live-progress overhead gate: an instrumented sweep under
+``obs.progress_scope`` (heartbeat/progress ticker armed, counters
+ticking on every ``obs.add``) must stay within 5% of the identical
+heartbeat-off sweep, asserted on interleaved best-of-N walls just like
+``bench_obs_overhead.py``.
+"""
+
+from __future__ import annotations
+
+import io
+import time
+
+import pytest
+
+from repro import obs
+from repro.exec import build_evaluator
+from repro.obs import (
+    MetricsRegistry,
+    RunArchive,
+    SpanRecord,
+    aggregate_spans,
+    critical_path,
+    diff_runs,
+    read_trace,
+)
+from repro.platform.presets import noiseless, perlmutter_like
+from repro.schedule.space import DesignSpace
+from repro.search.exhaustive import ExhaustiveSearch
+from repro.sim.measure import MeasurementConfig
+from repro.workloads import WorkloadSpec, build_workload
+
+# 1 root + 64 tasks + 64*8 stages + 64*8*100 batch leaves = 51_777.
+N_TASKS = 64
+N_STAGES = 8
+N_LEAVES = 100
+
+
+def _synthetic_run(scale: float = 1.0) -> tuple[SpanRecord, MetricsRegistry]:
+    """A plan.execute-shaped forest with deterministic durations."""
+    tasks = []
+    clock = 0.0
+    for t in range(N_TASKS):
+        stages = []
+        for s in range(N_STAGES):
+            leaves = [
+                SpanRecord(
+                    name="eval.batch",
+                    start=clock + 0.0001 * leaf,
+                    duration=scale * (0.0001 + 0.00001 * ((t + s + leaf) % 7)),
+                    pid=1000 + t % 4,
+                    attrs={"batch": leaf},
+                )
+                for leaf in range(N_LEAVES)
+            ]
+            stages.append(
+                SpanRecord(
+                    name=f"stage:search:{s % 2 and 'mcts' or 'random'}",
+                    start=clock,
+                    duration=scale * sum(c.duration for c in leaves) * 1.05,
+                    pid=1000 + t % 4,
+                    attrs={},
+                    children=leaves,
+                )
+            )
+            clock += stages[-1].duration
+        tasks.append(
+            SpanRecord(
+                name=f"task:synthetic[seed={t}]",
+                start=tasks[-1].start + 0.001 if tasks else 0.0,
+                duration=sum(c.duration for c in stages) * 1.02,
+                pid=1000 + t % 4,
+                attrs={},
+                children=stages,
+            )
+        )
+    root = SpanRecord(
+        name="plan.execute",
+        start=0.0,
+        # Tasks ran 4-wide on shard workers: the root wall is roughly a
+        # quarter of the summed task walls, like a real sharded run.
+        duration=sum(c.duration for c in tasks) / 4,
+        pid=999,
+        attrs={"n_tasks": N_TASKS},
+        children=tasks,
+    )
+    registry = MetricsRegistry()
+    registry.add("eval.schedules", N_TASKS * N_STAGES * N_LEAVES)
+    registry.add("plan.tasks_completed", N_TASKS)
+    for i in range(1000):
+        registry.observe("eval.batch_wall_us", 100.0 + (i % 37))
+    return root, registry
+
+
+@pytest.fixture(scope="session")
+def big_archive(tmp_path_factory) -> RunArchive:
+    """Archive with two >=50k-span runs: a baseline and a 1.02x rerun."""
+    archive = RunArchive(str(tmp_path_factory.mktemp("trace-archive")))
+    for run_id, scale in (("baseline", 1.0), ("rerun", 1.02)):
+        root, registry = _synthetic_run(scale)
+        archive.record(
+            [root],
+            registry.snapshot(),
+            command="bench",
+            run_id=run_id,
+        )
+    return archive
+
+
+def test_bench_trace_parse_50k(benchmark, big_archive):
+    """JSONL parse of the archived >=50k-span bundle."""
+    path = big_archive.get("baseline").trace_path
+
+    data = benchmark(lambda: read_trace(path))
+    n = data.n_spans()
+    benchmark.extra_info["n_spans"] = n
+    assert n >= 50_000
+
+
+def test_bench_aggregate_spans_50k(benchmark, big_archive):
+    """Per-span-path aggregation over the parsed forest."""
+    data = big_archive.load("baseline")
+
+    stats = benchmark(lambda: aggregate_spans(data.spans))
+    benchmark.extra_info["n_paths"] = len(stats)
+    total = stats["plan.execute"]
+    assert total.count == 1
+    assert sum(s.count for s in stats.values()) >= 50_000
+
+
+def test_bench_critical_path_50k(benchmark, big_archive):
+    """Concurrent-aware longest-chain extraction."""
+    data = big_archive.load("baseline")
+
+    chain = benchmark(lambda: critical_path(data.spans))
+    benchmark.extra_info["chain_len"] = len(chain)
+    assert chain[0].path == "plan.execute"
+    assert chain[-1].name == "eval.batch"
+
+
+def test_bench_diff_runs_50k(benchmark, big_archive):
+    """Full archived-run diff: aggregate both sides + threshold pass."""
+    baseline = big_archive.load("baseline")
+    current = big_archive.load("rerun")
+
+    diff = benchmark(lambda: diff_runs(baseline, current))
+    benchmark.extra_info["n_shared_paths"] = diff.n_shared_paths()
+    # 1.02x is inside the default 25% budget, counters are identical.
+    assert diff.ok
+    assert not diff.counters
+
+
+SPEC = WorkloadSpec("fork_join", {"stages": 2, "branches": 2, "depth": 1})
+
+
+def _sweep():
+    program = build_workload(SPEC)
+    machine = noiseless(perlmutter_like()).with_ranks(program.n_ranks)
+    evaluator = build_evaluator(
+        program, machine, MeasurementConfig(max_samples=1)
+    )
+    space = DesignSpace(program, n_streams=2)
+    try:
+        return ExhaustiveSearch(space, evaluator).run()
+    finally:
+        evaluator.close()
+
+
+def _interleaved_best(fns, rounds: int):
+    """Best wall per function, alternating them each round."""
+    best = [float("inf")] * len(fns)
+    for _ in range(rounds):
+        for i, fn in enumerate(fns):
+            t0 = time.perf_counter()
+            fn()
+            best[i] = min(best[i], time.perf_counter() - t0)
+    return best
+
+
+def test_bench_progress_heartbeat_overhead(benchmark):
+    """Progress-ticked sweep vs. the identical heartbeat-off run."""
+    obs.reset()
+    _sweep()  # warm imports and caches outside the timed region
+
+    def with_progress():
+        with obs.progress_scope(
+            10_000, label="bench", stream=io.StringIO(), interval=0.05
+        ):
+            _sweep()
+
+    off_wall, on_wall = _interleaved_best([_sweep, with_progress], rounds=7)
+    benchmark.pedantic(with_progress, rounds=2, iterations=1)
+
+    overhead = on_wall / off_wall - 1.0
+    benchmark.extra_info["off_wall_s"] = off_wall
+    benchmark.extra_info["on_wall_s"] = on_wall
+    benchmark.extra_info["overhead_frac"] = overhead
+    # The ticker is one attribute load + throttled clock check per
+    # counter bump; a progress-enabled sweep must stay within 5%.
+    assert overhead < 0.05

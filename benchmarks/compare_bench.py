@@ -7,33 +7,33 @@ Usage (the nightly workflow drives this):
         [--pattern REGEX] [--max-regression 0.25]
 
 The baseline dir holds the unzipped most-recent ``bench-*`` artifact
-(zero or more ``BENCH_*.json`` files; the newest by mtime wins).  Every
-benchmark whose ``fullname`` matches ``--pattern`` and appears in both
-runs is compared on mean wall time; any regression beyond
-``--max-regression`` fails the run.  Missing baseline (first nightly,
-expired artifacts) is a warning, not a failure — there is nothing to
-regress against.
+(zero or more ``BENCH_*.json`` files; the newest by mtime wins).  Both
+JSON files are converted to synthetic traces (one root span per
+benchmark, duration = mean wall) and gated through
+``repro.obs.diff.diff_runs`` — the same per-span-path threshold logic
+``repro trace --diff`` applies to real archived runs.  Benchmarks
+matching ``--pattern`` and present in both runs gate on mean wall time;
+any regression beyond ``--max-regression`` fails the run.  Missing
+baseline (first nightly, expired artifacts) is a warning, not a
+failure — there is nothing to regress against.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
-import re
+import os
 import sys
 from pathlib import Path
 
-DEFAULT_PATTERN = r"branch_and_bound|guided|enumeration|sharding"
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+)
 
+from repro.obs import DiffThresholds, bench_json_to_trace, diff_runs  # noqa: E402
 
-def load_means(path: Path, pattern: str) -> dict:
-    data = json.loads(path.read_text())
-    rx = re.compile(pattern)
-    return {
-        b["fullname"]: b["stats"]["mean"]
-        for b in data.get("benchmarks", [])
-        if rx.search(b["fullname"])
-    }
+DEFAULT_PATTERN = (
+    r"branch_and_bound|guided|enumeration|sharding|trace_analyze"
+)
 
 
 def find_baseline(baseline_dir: Path) -> Path | None:
@@ -61,27 +61,38 @@ def main(argv=None) -> int:
         print("no baseline BENCH_*.json found: skipping comparison")
         return 0
 
-    current = load_means(args.current, args.pattern)
-    baseline = load_means(baseline_path, args.pattern)
-    shared = sorted(set(current) & set(baseline))
+    baseline = bench_json_to_trace(str(baseline_path), args.pattern)
+    current = bench_json_to_trace(str(args.current), args.pattern)
+    diff = diff_runs(
+        baseline,
+        current,
+        DiffThresholds(
+            max_wall_delta=args.max_regression,
+            # Benchmarks are macro-level: gate even sub-5ms means.
+            min_wall_s=0.0,
+        ),
+    )
+    shared = [
+        p
+        for p in diff.paths
+        if p.baseline is not None and p.current is not None
+    ]
     if not shared:
         print("no shared benchmarks between runs: skipping comparison")
         return 0
 
     print(f"baseline: {baseline_path.name}")
-    failed = []
-    for name in shared:
-        cur, base = current[name], baseline[name]
-        ratio = cur / base if base > 0 else float("inf")
-        flag = ""
-        if ratio > 1 + args.max_regression:
-            failed.append(name)
-            flag = "  << REGRESSION"
-        print(f"{name}: {base:.4f}s -> {cur:.4f}s ({ratio:.2f}x){flag}")
-    only_current = set(current) - set(baseline)
+    for p in shared:
+        flag = "  << REGRESSION" if p.regressed else ""
+        print(
+            f"{p.path}: {p.baseline:.4f}s -> {p.current:.4f}s "
+            f"({p.ratio:.2f}x){flag}"
+        )
+    only_current = [p for p in diff.paths if p.baseline is None]
     if only_current:
         print(f"new benchmarks (no baseline): {len(only_current)}")
 
+    failed = [p.path for p in shared if p.regressed]
     if failed:
         print(
             f"\n{len(failed)} benchmark(s) regressed more than "

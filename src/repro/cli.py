@@ -185,6 +185,7 @@ def _cmd_suite(args) -> str:
         shard_workers=args.shard_workers,
         block_size=args.block_size,
         store_path=args.store,
+        progress=args.progress,
     )
     json_path = args.json or f"repro-suite-{args.name}.json"
     out = report.ascii_table()
@@ -428,6 +429,11 @@ def _cmd_search(args) -> str:
 
     if args.family is None:
         raise SystemExit("repro search needs --family (see `repro list`)")
+    if args.progress and args.strategy != "exhaustive":
+        raise SystemExit(
+            "--progress requires --strategy exhaustive (the meter's "
+            "denominator is the enumerated space)"
+        )
     spec = _target_spec(args)
     machine = perlmutter_like(noise_sigma=args.noise)
     program = build_workload(spec)
@@ -453,6 +459,7 @@ def _cmd_search(args) -> str:
             block_size=args.block_size,
             store_path=args.store if args.guided else None,
             shard_workers=args.shard_workers,
+            progress=args.progress,
         )
         result = sharded.result
         wall = time.perf_counter() - t0
@@ -498,7 +505,15 @@ def _cmd_search(args) -> str:
                     raise SystemExit(f"unknown strategy {args.strategy!r}")
                 budget = args.iterations or 64
             t0 = time.perf_counter()
-            result = strategy.run(budget)
+            from repro import obs
+
+            total = space.count()
+            if budget is not None:
+                total = min(total, budget)
+            with obs.progress_scope(
+                total, label=f"search {spec.family}", enabled=args.progress
+            ):
+                result = strategy.run(budget)
             wall = time.perf_counter() - t0
         finally:
             evaluator.close()
@@ -535,10 +550,54 @@ def _cmd_search(args) -> str:
 
 
 def _cmd_trace(args) -> str:
-    """Render a recorded JSONL trace (``--trace PATH``) as ASCII."""
-    from repro.obs import read_trace, render_trace
+    """Render, analyze, or diff recorded traces / archived runs.
 
-    return render_trace(read_trace(args.path), width=args.width)
+    Accepts bare trace files (``--trace PATH`` output), run-bundle
+    directories, or archive roots (``--archive DIR``; resolves to the
+    archive's latest run).  ``--diff BASELINE CURRENT`` gates on the
+    thresholds and exits nonzero on any regression — the same gate CI
+    and ``benchmarks/compare_bench.py`` use.
+    """
+    from repro.obs import (
+        DiffThresholds,
+        diff_runs,
+        render_analysis,
+        render_diff,
+        render_trace,
+        resolve_trace,
+    )
+
+    if args.diff:
+        if len(args.paths) != 2:
+            raise SystemExit(
+                "repro trace --diff takes exactly two runs: BASELINE CURRENT"
+            )
+        thresholds = DiffThresholds(
+            max_wall_delta=args.max_wall_delta,
+            min_wall_s=args.min_wall_ms / 1000.0,
+            counter_tolerance=args.counter_tolerance,
+            max_quantile_delta=args.max_quantile_delta,
+        )
+        diff = diff_runs(
+            resolve_trace(args.paths[0]),
+            resolve_trace(args.paths[1]),
+            thresholds,
+        )
+        report = render_diff(diff, top=args.top)
+        if not diff.ok:
+            print(report)
+            raise SystemExit(
+                f"trace diff: {len(diff.regressions())} regression(s)"
+            )
+        return report
+    if len(args.paths) != 1:
+        raise SystemExit(
+            "repro trace renders one trace (use --diff to compare two)"
+        )
+    data = resolve_trace(args.paths[0])
+    if args.analyze:
+        return render_analysis(data, top=args.top)
+    return render_trace(data, width=args.width)
 
 
 def _add_experiment_options(parser: argparse.ArgumentParser) -> None:
@@ -631,6 +690,19 @@ def _add_obs_options(parser: argparse.ArgumentParser) -> None:
             "histograms) to the output"
         ),
     )
+    parser.add_argument(
+        "--archive",
+        dest="archive",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help=(
+            "archive this run (span trace + metrics + meta: git sha, "
+            "argv, machine preset) as a self-describing bundle under "
+            "DIR; inspect or compare with `repro trace DIR "
+            "[--analyze|--diff]`"
+        ),
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -711,6 +783,14 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common_options(p)
     _add_sharding_options(p)
     _add_obs_options(p)
+    p.add_argument(
+        "--progress",
+        action="store_true",
+        help=(
+            "live stderr progress line over completed workload tasks "
+            "(sharded runs report through worker heartbeats)"
+        ),
+    )
 
     p = sub.add_parser(
         "transfer",
@@ -864,18 +944,107 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common_options(p)
     _add_sharding_options(p)
     _add_obs_options(p)
+    p.add_argument(
+        "--progress",
+        action="store_true",
+        help=(
+            "live stderr progress line with ETA over enumeration "
+            "positions retired (exhaustive sweeps; range shards report "
+            "through worker heartbeats)"
+        ),
+    )
 
     p = sub.add_parser(
         "trace",
-        help="render a JSONL trace recorded with --trace as an ASCII tree",
+        help=(
+            "render, analyze (--analyze), or diff (--diff) recorded "
+            "traces or archived runs"
+        ),
     )
-    p.add_argument("path", help="trace file written by --trace PATH")
+    p.add_argument(
+        "paths",
+        nargs="+",
+        metavar="TRACE",
+        help=(
+            "a trace file (--trace PATH), a run-bundle directory, or an "
+            "archive root (--archive DIR; resolves to its latest run); "
+            "--diff takes two"
+        ),
+    )
     p.add_argument(
         "--width",
         type=int,
         default=24,
         metavar="COLS",
         help="duration bar width in columns (default 24)",
+    )
+    p.add_argument(
+        "--analyze",
+        action="store_true",
+        help=(
+            "per-span-path aggregation, self-time hotspots, and the "
+            "parallelism-aware critical path instead of the span tree"
+        ),
+    )
+    p.add_argument(
+        "--diff",
+        action="store_true",
+        help=(
+            "compare two runs (BASELINE CURRENT): per-span-path wall "
+            "deltas, counter deltas, histogram quantile deltas; exits "
+            "nonzero when a threshold is violated"
+        ),
+    )
+    p.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        metavar="N",
+        help="rows per table in --analyze/--diff output (default 10)",
+    )
+    p.add_argument(
+        "--max-wall-delta",
+        dest="max_wall_delta",
+        type=float,
+        default=0.25,
+        metavar="FRAC",
+        help=(
+            "--diff: allowed relative wall growth per shared span path "
+            "(default 0.25 = +25%%)"
+        ),
+    )
+    p.add_argument(
+        "--min-wall-ms",
+        dest="min_wall_ms",
+        type=float,
+        default=5.0,
+        metavar="MS",
+        help=(
+            "--diff: ignore wall deltas on span paths whose baseline "
+            "total is under this many milliseconds (default 5)"
+        ),
+    )
+    p.add_argument(
+        "--counter-tolerance",
+        dest="counter_tolerance",
+        type=float,
+        default=0.0,
+        metavar="FRAC",
+        help=(
+            "--diff: allowed relative counter drift (default 0 = "
+            "bit-exact counters, the serial/sharded identity gate)"
+        ),
+    )
+    p.add_argument(
+        "--max-quantile-delta",
+        dest="max_quantile_delta",
+        type=float,
+        default=None,
+        metavar="FRAC",
+        help=(
+            "--diff: also gate on histogram p50/p95/p99 growth beyond "
+            "this fraction (default: informational only)"
+        ),
     )
     return parser
 
@@ -947,10 +1116,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     obs.configure_logging(verbose=args.verbose, quiet=args.quiet)
     trace_path = getattr(args, "trace", None)
     want_metrics = getattr(args, "metrics", False)
-    if trace_path is None and not want_metrics:
+    archive_dir = getattr(args, "archive", None)
+    if trace_path is None and not want_metrics and archive_dir is None:
         print(_dispatch(args))
         return 0
-    with obs.capture(trace=trace_path is not None) as cap:
+    # Archiving implies span capture: a bundle without spans can't be
+    # critical-path-analyzed or wall-diffed later.
+    with obs.capture(
+        trace=trace_path is not None or archive_dir is not None
+    ) as cap:
         out = _dispatch(args)
     print(out)
     if trace_path is not None:
@@ -961,6 +1135,21 @@ def main(argv: Optional[List[str]] = None) -> int:
             meta={"command": args.command},
         )
         print(f"trace with {n_spans} spans written to {trace_path}")
+    if archive_dir is not None:
+        from repro.platform.presets import perlmutter_like
+
+        rec = obs.RunArchive(archive_dir).record(
+            cap.spans,
+            cap.metrics,
+            command=args.command,
+            meta={
+                "argv": list(argv) if argv is not None else sys.argv[1:],
+                "machine": perlmutter_like(
+                    noise_sigma=getattr(args, "noise", 0.01)
+                ).name,
+            },
+        )
+        print(f"archived run {rec.run_id} to {rec.path}")
     if want_metrics:
         print(obs.render_metrics(cap.metrics))
     return 0

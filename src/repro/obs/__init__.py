@@ -8,20 +8,60 @@ The shared observability substrate for the whole search/serve stack:
   orchestrator's per-stage walls in ``SuiteReport``/
   ``TransferMatrixResult`` are views over these.
 * ``obs.add / gauge / observe`` — always-on counters, gauges, and
-  histograms; snapshots merge across processes exactly like
-  ``execute_plan`` merges task results, and their counter digests are
-  bit-stable between serial and sharded runs.
+  histograms (reservoir-bounded); snapshots merge across processes
+  exactly like ``execute_plan`` merges task results, and their counter
+  digests are bit-stable between serial and sharded runs.
 * ``obs.capture(trace=True)`` / ``write_trace`` / ``read_trace`` /
   ``render_trace`` — JSONL export and the ``repro trace`` ASCII view.
+* ``RunArchive`` / ``resolve_trace`` — persisted, self-describing run
+  bundles (``--archive DIR``) behind an append-only index.
+* ``aggregate_spans`` / ``critical_path`` / ``hotspots`` /
+  ``diff_runs`` — the read side: per-span-path analytics and the
+  threshold-gated run diff CI and ``repro trace --diff`` gate on.
+* ``progress_scope`` + worker heartbeats — throttled stderr progress
+  lines with ETA for long serial and sharded runs (``--progress``).
 * ``obs.log`` — the structured stdlib logger all library code uses
   instead of printing.
 """
 
+from repro.obs.analyze import (
+    CriticalStep,
+    PathStats,
+    aggregate_spans,
+    critical_path,
+    hotspots,
+    render_analysis,
+)
+from repro.obs.archive import (
+    ARCHIVE_VERSION,
+    RunArchive,
+    RunRecord,
+    git_revision,
+    resolve_trace,
+)
+from repro.obs.diff import (
+    CounterDelta,
+    DiffThresholds,
+    PathDelta,
+    QuantileDelta,
+    RunDiff,
+    diff_runs,
+    render_diff,
+)
+from repro.obs.gate import bench_json_to_trace
 from repro.obs.logs import configure_logging, log
 from repro.obs.metrics import (
+    RESERVOIR_CAP,
     MetricsRegistry,
     MetricsSnapshot,
     summarize_histogram,
+)
+from repro.obs.progress import (
+    PLAN_PROGRESS_COUNTERS,
+    SEARCH_PROGRESS_COUNTERS,
+    HeartbeatWriter,
+    ProgressMeter,
+    read_heartbeats,
 )
 from repro.obs.render import render_metrics, render_span_tree, render_trace
 from repro.obs.runtime import (
@@ -31,6 +71,12 @@ from repro.obs.runtime import (
     gauge,
     metrics_snapshot,
     observe,
+    progress_active,
+    progress_enabled,
+    progress_heartbeat_path,
+    progress_poll,
+    progress_poll_interval,
+    progress_scope,
     reset,
     span,
     stage,
@@ -48,25 +94,56 @@ from repro.obs.trace_io import (
 )
 
 __all__ = [
+    "ARCHIVE_VERSION",
+    "PLAN_PROGRESS_COUNTERS",
+    "RESERVOIR_CAP",
+    "SEARCH_PROGRESS_COUNTERS",
+    "CounterDelta",
+    "CriticalStep",
+    "DiffThresholds",
+    "HeartbeatWriter",
     "MetricsRegistry",
     "MetricsSnapshot",
+    "PathDelta",
+    "PathStats",
+    "ProgressMeter",
+    "QuantileDelta",
+    "RunArchive",
+    "RunDiff",
+    "RunRecord",
     "SpanRecord",
     "TraceData",
     "TraceSchemaError",
     "Tracer",
     "absorb",
     "add",
+    "aggregate_spans",
+    "bench_json_to_trace",
     "capture",
     "configure_logging",
+    "critical_path",
+    "diff_runs",
     "gauge",
+    "git_revision",
+    "hotspots",
     "log",
     "metrics_snapshot",
     "observe",
+    "progress_active",
+    "progress_enabled",
+    "progress_heartbeat_path",
+    "progress_poll",
+    "progress_poll_interval",
+    "progress_scope",
+    "read_heartbeats",
     "read_trace",
+    "render_analysis",
+    "render_diff",
     "render_metrics",
     "render_span_tree",
     "render_trace",
     "reset",
+    "resolve_trace",
     "span",
     "stage",
     "summarize_histogram",

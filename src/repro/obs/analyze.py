@@ -1,0 +1,213 @@
+"""Trace analytics: per-span-path aggregation, hotspots, critical path.
+
+A *span path* is the ``/``-joined chain of span names from a root down
+to a span (``plan.execute/task:spmv[scale=0.025]/stage:search:random``).
+Paths are pure functions of the instrumented code and the workload
+labels — never of pids, timestamps, or completion order — so the same
+run configuration always produces the same path set.  That stability is
+what makes traces *comparable*: :func:`repro.obs.diff.diff_runs` lines
+two runs up path by path, and CI gates on the per-path deltas.
+
+Three read-side primitives over a :class:`~repro.obs.span.SpanRecord`
+forest:
+
+* :func:`aggregate_spans` — count / total wall / self wall / max per
+  path.  Self wall is the span's duration minus its children's (clamped
+  at zero: a parent whose children ran *in parallel* on shard workers
+  legitimately sums its children past its own wall).
+* :func:`critical_path` — the root-to-leaf chain that bounds the run's
+  wall time.  At every level the walk descends into the child with the
+  largest duration: sibling spans under ``plan.execute`` are shard tasks
+  that ran concurrently, so the longest child — not the sum — is the
+  binding constraint.
+* :func:`hotspots` — top-N paths by self wall, the table to read first
+  when a run got slower.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.obs.span import SpanRecord
+from repro.obs.trace_io import TraceData
+from repro.textutil import format_table
+
+__all__ = [
+    "CriticalStep",
+    "PathStats",
+    "aggregate_spans",
+    "critical_path",
+    "hotspots",
+    "render_analysis",
+]
+
+
+@dataclass
+class PathStats:
+    """Aggregated wall-time statistics for one span path."""
+
+    path: str
+    count: int = 0
+    #: Sum of span durations at this path (parallel occurrences sum).
+    total: float = 0.0
+    #: Sum of (duration - children's durations), clamped at zero per span.
+    self_total: float = 0.0
+    max: float = 0.0
+
+    def add(self, rec: SpanRecord) -> None:
+        self.count += 1
+        self.total += rec.duration
+        self.max = max(self.max, rec.duration)
+        child_wall = sum(c.duration for c in rec.children)
+        self.self_total += max(0.0, rec.duration - child_wall)
+
+
+def aggregate_spans(roots: Sequence[SpanRecord]) -> Dict[str, PathStats]:
+    """Per-span-path statistics over a forest, keyed by path."""
+    stats: Dict[str, PathStats] = {}
+
+    def visit(rec: SpanRecord, prefix: str) -> None:
+        path = f"{prefix}/{rec.name}" if prefix else rec.name
+        entry = stats.get(path)
+        if entry is None:
+            entry = stats[path] = PathStats(path=path)
+        entry.add(rec)
+        for child in rec.children:
+            visit(child, path)
+
+    for root in roots:
+        visit(root, "")
+    return stats
+
+
+def hotspots(
+    roots: Sequence[SpanRecord], n: int = 10
+) -> List[PathStats]:
+    """The ``n`` span paths with the most *self* wall time."""
+    ranked = sorted(
+        aggregate_spans(roots).values(),
+        key=lambda s: (-s.self_total, s.path),
+    )
+    return ranked[: max(0, n)]
+
+
+@dataclass(frozen=True)
+class CriticalStep:
+    """One span on the critical path."""
+
+    path: str
+    name: str
+    duration: float
+    #: Fraction of the chain root's duration this span accounts for.
+    fraction: float
+    #: Siblings this span was chosen over (parallel shard tasks, etc.).
+    n_siblings: int = 0
+
+
+def critical_path(roots: Sequence[SpanRecord]) -> List[CriticalStep]:
+    """Longest root-to-leaf chain, honoring shard parallelism.
+
+    Starting from the longest root, descend at every level into the
+    child with the largest duration.  Because sibling spans (the task
+    spans grafted under ``plan.execute``) may have executed concurrently
+    in worker processes, the max child — not the sum of children — is
+    what bounds the parent's wall, so this chain is the sequence of
+    spans a faster run must shorten.
+    """
+    if not roots:
+        return []
+    rec = max(roots, key=lambda r: (r.duration, r.name))
+    total = rec.duration
+    n_siblings = len(roots) - 1
+    steps: List[CriticalStep] = []
+    prefix = ""
+    while True:
+        path = f"{prefix}/{rec.name}" if prefix else rec.name
+        steps.append(
+            CriticalStep(
+                path=path,
+                name=rec.name,
+                duration=rec.duration,
+                fraction=(rec.duration / total) if total > 0 else 0.0,
+                n_siblings=n_siblings,
+            )
+        )
+        if not rec.children:
+            return steps
+        prefix = path
+        n_siblings = len(rec.children) - 1
+        rec = max(rec.children, key=lambda c: (c.duration, c.name))
+
+
+# ----------------------------------------------------------------------
+def _fmt_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds * 1e6:.0f}us"
+
+
+def render_analysis(data: TraceData, top: int = 10) -> str:
+    """``repro trace --analyze``: aggregation, hotspots, critical path."""
+    stats = aggregate_spans(data.spans)
+    lines = [
+        f"trace analysis: {data.n_spans()} spans, "
+        f"{len(stats)} distinct span paths"
+    ]
+    if not stats:
+        return lines[0]
+
+    by_total = sorted(stats.values(), key=lambda s: (-s.total, s.path))
+    lines.append("")
+    lines.append(f"span paths by total wall (top {top}):")
+    lines += format_table(
+        ("path", "count", "total", "self", "max"),
+        [
+            (
+                s.path,
+                str(s.count),
+                _fmt_seconds(s.total),
+                _fmt_seconds(s.self_total),
+                _fmt_seconds(s.max),
+            )
+            for s in by_total[:top]
+        ],
+    )
+
+    lines.append("")
+    lines.append(f"hotspots by self wall (top {top}):")
+    lines += format_table(
+        ("path", "count", "self", "total"),
+        [
+            (
+                s.path,
+                str(s.count),
+                _fmt_seconds(s.self_total),
+                _fmt_seconds(s.total),
+            )
+            for s in hotspots(data.spans, n=top)
+        ],
+    )
+
+    steps = critical_path(data.spans)
+    lines.append("")
+    lines.append("critical path (longest concurrent-aware chain):")
+    lines += format_table(
+        ("span", "wall", "of root", "over"),
+        [
+            (
+                step.name,
+                _fmt_seconds(step.duration),
+                f"{100.0 * step.fraction:.0f}%",
+                (
+                    f"{step.n_siblings} sibling(s)"
+                    if step.n_siblings
+                    else "-"
+                ),
+            )
+            for step in steps
+        ],
+    )
+    return "\n".join(lines)

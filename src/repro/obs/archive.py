@@ -1,0 +1,259 @@
+"""RunArchive: persisted, self-describing bundles of instrumented runs.
+
+Layout under an archive root::
+
+    root/
+      index.jsonl            # one line per run: id, command, created
+      <run_id>/
+        meta.json            # schema/trace versions, argv, git sha, ...
+        trace.jsonl          # spans + metrics (repro.obs.trace_io)
+
+Every bundle is self-describing — ``meta.json`` pins the archive schema
+version, the trace schema version, the git revision, the CLI argv, and
+the machine preset the run used — so a bundle downloaded from a CI
+artifact months later still diffs cleanly against a fresh run.  The
+index is append-only JSONL: concurrent runs appending to the same
+archive interleave whole lines, and readers tolerate (skip) torn ones.
+
+:func:`resolve_trace` is the CLI's one entry point for "give me a
+trace": it accepts a bare trace file, a run-bundle directory, or an
+archive root (which resolves to the archive's most recent run).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs.metrics import MetricsSnapshot
+from repro.obs.span import SpanRecord
+from repro.obs.trace_io import (
+    TRACE_VERSION,
+    TraceData,
+    TraceSchemaError,
+    read_trace,
+    write_trace,
+)
+
+__all__ = [
+    "ARCHIVE_VERSION",
+    "RunArchive",
+    "RunRecord",
+    "git_revision",
+    "resolve_trace",
+]
+
+ARCHIVE_VERSION = 1
+
+_INDEX = "index.jsonl"
+_META = "meta.json"
+_TRACE = "trace.jsonl"
+
+
+def git_revision(cwd: Optional[str] = None) -> Optional[str]:
+    """Best-effort ``git rev-parse HEAD``; None outside a checkout."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if proc.returncode != 0:
+        return None
+    sha = proc.stdout.strip()
+    return sha or None
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One archived run: its id, bundle directory, and metadata."""
+
+    run_id: str
+    path: str
+    command: str
+    created: str
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def trace_path(self) -> str:
+        return os.path.join(self.path, _TRACE)
+
+    @property
+    def meta_path(self) -> str:
+        return os.path.join(self.path, _META)
+
+    def load(self) -> TraceData:
+        """Parse the bundle's trace, folding ``meta.json`` into meta."""
+        data = read_trace(self.trace_path)
+        for key, value in self.meta.items():
+            data.meta.setdefault(key, value)
+        return data
+
+
+class RunArchive:
+    """An indexed directory of archived runs."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+
+    @property
+    def index_path(self) -> str:
+        return os.path.join(self.root, _INDEX)
+
+    # -- write path ----------------------------------------------------
+    def _new_run_id(self, command: str, when: datetime) -> str:
+        stamp = when.strftime("%Y%m%dT%H%M%SZ")
+        base = f"{command}-{stamp}-p{os.getpid()}"
+        run_id, n = base, 1
+        while os.path.exists(os.path.join(self.root, run_id)):
+            n += 1
+            run_id = f"{base}-{n}"
+        return run_id
+
+    def record(
+        self,
+        spans: Sequence[SpanRecord],
+        metrics: Optional[MetricsSnapshot] = None,
+        *,
+        command: str,
+        meta: Optional[Dict[str, object]] = None,
+        run_id: Optional[str] = None,
+    ) -> RunRecord:
+        """Persist one run as a new bundle and index it."""
+        now = datetime.now(timezone.utc)
+        created = now.isoformat(timespec="seconds")
+        if run_id is None:
+            run_id = self._new_run_id(command, now)
+        bundle = os.path.join(self.root, run_id)
+        os.makedirs(bundle, exist_ok=True)
+
+        full_meta: Dict[str, object] = {
+            "schema_version": ARCHIVE_VERSION,
+            "trace_version": TRACE_VERSION,
+            "run_id": run_id,
+            "command": command,
+            "created": created,
+            "git_sha": git_revision(),
+        }
+        full_meta.update(meta or {})
+        with open(
+            os.path.join(bundle, _META), "w", encoding="utf-8"
+        ) as fh:
+            json.dump(full_meta, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+        write_trace(
+            os.path.join(bundle, _TRACE),
+            spans,
+            metrics,
+            meta={"command": command, "run_id": run_id},
+        )
+
+        entry = {"run_id": run_id, "command": command, "created": created}
+        with open(self.index_path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(entry, sort_keys=True) + "\n")
+
+        return RunRecord(
+            run_id=run_id,
+            path=bundle,
+            command=command,
+            created=created,
+            meta=full_meta,
+        )
+
+    # -- read path -----------------------------------------------------
+    def runs(self) -> List[RunRecord]:
+        """All indexed runs, oldest first; torn/stale lines skipped."""
+        out: List[RunRecord] = []
+        if not os.path.exists(self.index_path):
+            return out
+        with open(self.index_path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn concurrent append
+                run_id = entry.get("run_id")
+                if not isinstance(run_id, str):
+                    continue
+                bundle = os.path.join(self.root, run_id)
+                if not os.path.isdir(bundle):
+                    continue  # indexed but deleted on disk
+                out.append(
+                    RunRecord(
+                        run_id=run_id,
+                        path=bundle,
+                        command=str(entry.get("command", "")),
+                        created=str(entry.get("created", "")),
+                        meta=self._read_meta(bundle),
+                    )
+                )
+        return out
+
+    @staticmethod
+    def _read_meta(bundle: str) -> Dict[str, object]:
+        try:
+            with open(
+                os.path.join(bundle, _META), "r", encoding="utf-8"
+            ) as fh:
+                meta = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            return {}
+        return meta if isinstance(meta, dict) else {}
+
+    def get(self, run_id: str) -> RunRecord:
+        for rec in self.runs():
+            if rec.run_id == run_id:
+                return rec
+        raise KeyError(f"run {run_id!r} not in archive {self.root}")
+
+    def latest(self, command: Optional[str] = None) -> Optional[RunRecord]:
+        """Most recently *indexed* run (optionally for one command)."""
+        candidates = [
+            rec
+            for rec in self.runs()
+            if command is None or rec.command == command
+        ]
+        return candidates[-1] if candidates else None
+
+    def load(self, run_id: str) -> TraceData:
+        return self.get(run_id).load()
+
+
+def resolve_trace(path: str) -> TraceData:
+    """Load a trace from a file, a run bundle, or an archive root."""
+    if os.path.isfile(path):
+        return read_trace(path)
+    if os.path.isdir(path):
+        if os.path.isfile(os.path.join(path, _TRACE)):
+            run_id = os.path.basename(os.path.normpath(path))
+            rec = RunRecord(
+                run_id=run_id,
+                path=path,
+                command="",
+                created="",
+                meta=RunArchive._read_meta(path),
+            )
+            return rec.load()
+        if os.path.isfile(os.path.join(path, _INDEX)):
+            latest = RunArchive(path).latest()
+            if latest is None:
+                raise TraceSchemaError(f"{path}: archive has no runs")
+            return latest.load()
+        raise TraceSchemaError(
+            f"{path}: directory is neither a run bundle ({_TRACE}) "
+            f"nor an archive root ({_INDEX})"
+        )
+    raise TraceSchemaError(f"{path}: no such trace file or archive")

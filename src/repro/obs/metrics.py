@@ -1,11 +1,21 @@
 """Counters, gauges, and histograms with a process-safe merge protocol.
 
 The registry is deliberately dumb and fast: counters are plain dict adds,
-histograms append raw observations.  Cross-process safety comes from the
+histograms feed a bounded reservoir.  Cross-process safety comes from the
 same protocol ``execute_plan`` uses for task results — each worker runs
 against its *own* fresh registry, ships an immutable
 :class:`MetricsSnapshot` back on the task result, and the parent merges
 snapshots in task order.  Nothing is shared, so nothing needs locks.
+
+Histogram memory is bounded: each series keeps at most
+:data:`RESERVOIR_CAP` samples via Algorithm-R reservoir sampling, seeded
+per series name (``crc32``), so long-lived processes (a serving loop
+observing ``advisor.recommend_s`` millions of times) stay flat while two
+runs of the same deterministic observation sequence still produce the
+same retained sample set and therefore the same quantiles.  Below the
+cap the reservoir is a plain append-ordered list, which is the regime
+every short-lived CLI run lives in — snapshots, diffs, and JSONL
+round-trips are unchanged there.
 
 ``MetricsSnapshot.digest()`` hashes the *counters only*, sorted by name.
 Counters count deterministic events (schedules enumerated, subtrees cut,
@@ -19,10 +29,41 @@ from __future__ import annotations
 
 import hashlib
 import json
+import random
+import zlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import Dict, Mapping, Sequence, Tuple
 
-__all__ = ["MetricsRegistry", "MetricsSnapshot", "summarize_histogram"]
+__all__ = [
+    "RESERVOIR_CAP",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "summarize_histogram",
+]
+
+#: Maximum raw samples retained per histogram series.
+RESERVOIR_CAP = 4096
+
+
+class _Reservoir:
+    """Algorithm-R reservoir, seeded by series name for determinism."""
+
+    __slots__ = ("cap", "seen", "values", "_rng")
+
+    def __init__(self, name: str, cap: int = RESERVOIR_CAP) -> None:
+        self.cap = cap
+        self.seen = 0
+        self.values: list = []
+        self._rng = random.Random(zlib.crc32(name.encode("utf-8")))
+
+    def observe(self, value: float) -> None:
+        self.seen += 1
+        if len(self.values) < self.cap:
+            self.values.append(value)
+            return
+        slot = self._rng.randrange(self.seen)
+        if slot < self.cap:
+            self.values[slot] = value
 
 
 def summarize_histogram(values: Sequence[float]) -> Dict[str, float]:
@@ -70,8 +111,11 @@ class MetricsSnapshot:
 
         Both snapshots must come from the same registry: counters
         subtract, histograms drop the prefix already present in
-        ``before`` (registries are append-only, so earlier observations
-        are a strict prefix of later ones).
+        ``before``.  Below :data:`RESERVOIR_CAP` a series is append-only
+        and earlier observations are a strict prefix of later ones; once
+        the reservoir starts replacing samples the prefix property no
+        longer holds, so the full current series is kept instead of a
+        (meaningless) positional tail.
         """
         counters = {}
         for name, value in self.counters.items():
@@ -80,8 +124,11 @@ class MetricsSnapshot:
                 counters[name] = delta
         histograms = {}
         for name, values in self.histograms.items():
-            seen = len(before.histograms.get(name, ()))
-            tail = values[seen:]
+            prior = tuple(before.histograms.get(name, ()))
+            if tuple(values[: len(prior)]) == prior:
+                tail = values[len(prior) :]
+            else:
+                tail = values
             if tail:
                 histograms[name] = tail
         return MetricsSnapshot(
@@ -121,7 +168,7 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._counters: Dict[str, float] = {}
         self._gauges: Dict[str, float] = {}
-        self._histograms: Dict[str, List[float]] = {}
+        self._histograms: Dict[str, _Reservoir] = {}
 
     # -- write path ----------------------------------------------------
     def add(self, name: str, value: float = 1) -> None:
@@ -131,14 +178,19 @@ class MetricsRegistry:
         self._gauges[name] = value
 
     def observe(self, name: str, value: float) -> None:
-        self._histograms.setdefault(name, []).append(value)
+        reservoir = self._histograms.get(name)
+        if reservoir is None:
+            reservoir = self._histograms[name] = _Reservoir(name)
+        reservoir.observe(value)
 
     # -- read / merge path ---------------------------------------------
     def snapshot(self) -> MetricsSnapshot:
         return MetricsSnapshot(
             counters=dict(self._counters),
             gauges=dict(self._gauges),
-            histograms={k: tuple(v) for k, v in self._histograms.items()},
+            histograms={
+                k: tuple(r.values) for k, r in self._histograms.items()
+            },
         )
 
     def merge_snapshot(self, snap: MetricsSnapshot) -> None:
@@ -148,4 +200,5 @@ class MetricsRegistry:
         for name, value in snap.gauges.items():
             self.gauge(name, value)
         for name, values in snap.histograms.items():
-            self._histograms.setdefault(name, []).extend(values)
+            for value in values:
+                self.observe(name, value)

@@ -1,0 +1,252 @@
+"""Live progress for long runs: worker heartbeats + a stderr meter.
+
+Two halves, glued together by the ambient obs state
+(:mod:`repro.obs.runtime`):
+
+* **Workers** install a :class:`HeartbeatWriter` as their counter
+  ticker.  Every counter bump may (throttled) rewrite one small JSON
+  file — ``task-<index>.json`` in a directory the parent owns — with
+  the worker's current counters.  Writes are atomic (tmp +
+  ``os.replace``) and failure-tolerant: a progress heartbeat must never
+  kill a worker.
+* **The parent** installs a :class:`ProgressMeter`.  Its ``done`` count
+  is the sum of the parent registry's own counter deltas (serial work)
+  plus :func:`read_heartbeats` over the worker files (sharded work in
+  flight).  Those two sources never overlap because worker snapshots
+  are only absorbed into the parent registry *after* every task
+  completes — at which point :meth:`ProgressMeter.finish` switches to
+  the registry alone for the exact 100% line.
+
+Progress totals come from ``DesignSpace.count()`` — the denominator is
+exact, so the meter ends at precisely 100% and the final line's
+numerator equals ``schedules evaluated + pruned + cut`` (the identity
+the acceptance tests pin).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from typing import Callable, Dict, Iterable, Optional, TextIO, Tuple
+
+from repro.obs.metrics import MetricsRegistry, MetricsSnapshot
+
+__all__ = [
+    "PLAN_PROGRESS_COUNTERS",
+    "SEARCH_PROGRESS_COUNTERS",
+    "HeartbeatWriter",
+    "ProgressMeter",
+    "read_heartbeats",
+]
+
+#: Progress numerator for schedule sweeps: every leaf the enumeration
+#: retired, whether evaluated, skipped by a block filter, or cut with
+#: its subtree (= evaluated + pruned + cut by the search accounting).
+SEARCH_PROGRESS_COUNTERS: Tuple[str, ...] = (
+    "space.schedules_enumerated",
+    "space.leaves_cut",
+)
+
+#: Progress numerator for plan execution: completed tasks.
+PLAN_PROGRESS_COUNTERS: Tuple[str, ...] = ("plan.tasks_completed",)
+
+_HEARTBEAT_PREFIX = "task-"
+_HEARTBEAT_SUFFIX = ".json"
+
+
+def heartbeat_filename(index: int) -> str:
+    return f"{_HEARTBEAT_PREFIX}{index}{_HEARTBEAT_SUFFIX}"
+
+
+class HeartbeatWriter:
+    """Worker-side: periodically dump counters to one atomic file."""
+
+    def __init__(
+        self,
+        path: str,
+        interval: float = 0.5,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.path = path
+        self.interval = interval
+        self._clock = clock
+        self._last_write = -1.0
+
+    def tick(self, registry: MetricsRegistry) -> None:
+        """Throttled write; called on every counter bump."""
+        now = self._clock()
+        if (
+            self._last_write >= 0
+            and now - self._last_write < self.interval
+        ):
+            return
+        self._write(registry, now)
+
+    def flush(self, registry: MetricsRegistry) -> None:
+        """Unthrottled write; called once when the task finishes."""
+        self._write(registry, self._clock())
+
+    def _write(self, registry: MetricsRegistry, now: float) -> None:
+        self._last_write = now
+        payload = {
+            "pid": os.getpid(),
+            "counters": dict(registry.snapshot().counters),
+        }
+        tmp = f"{self.path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, sort_keys=True)
+            os.replace(tmp, self.path)
+        except OSError:
+            # The heartbeat channel is best-effort; never fail the task.
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+
+def read_heartbeats(directory: str) -> Dict[str, float]:
+    """Sum counters across every heartbeat file in ``directory``.
+
+    Tolerant by construction: missing directory, vanished files, and
+    half-written JSON all contribute nothing.
+    """
+    totals: Dict[str, float] = {}
+    try:
+        names = os.listdir(directory)
+    except OSError:
+        return totals
+    for name in names:
+        if not (
+            name.startswith(_HEARTBEAT_PREFIX)
+            and name.endswith(_HEARTBEAT_SUFFIX)
+        ):
+            continue
+        try:
+            with open(
+                os.path.join(directory, name), "r", encoding="utf-8"
+            ) as fh:
+                payload = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            continue
+        counters = payload.get("counters")
+        if not isinstance(counters, dict):
+            continue
+        for key, value in counters.items():
+            if isinstance(value, (int, float)):
+                totals[key] = totals.get(key, 0) + value
+    return totals
+
+
+def _fmt_eta(seconds: float) -> str:
+    seconds = max(0.0, seconds)
+    if seconds >= 3600:
+        return f"{seconds / 3600:.1f}h"
+    if seconds >= 60:
+        return f"{int(seconds) // 60}m{int(seconds) % 60:02d}s"
+    return f"{seconds:.0f}s"
+
+
+class ProgressMeter:
+    """Parent-side throttled stderr progress line with ETA.
+
+    ``done`` is monotone by construction (``max`` against the last
+    report) so racy heartbeat reads can never walk the line backwards.
+    """
+
+    def __init__(
+        self,
+        total: int,
+        *,
+        label: str = "progress",
+        counters: Iterable[str] = SEARCH_PROGRESS_COUNTERS,
+        stream: Optional[TextIO] = None,
+        interval: float = 0.5,
+        heartbeat_dir: Optional[str] = None,
+        baseline: Optional[MetricsSnapshot] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.total = max(0, int(total))
+        self.label = label
+        self.counters = tuple(counters)
+        self.stream = stream if stream is not None else sys.stderr
+        self.interval = interval
+        self.heartbeat_dir = heartbeat_dir
+        self.baseline = baseline or MetricsSnapshot()
+        self._clock = clock
+        self._started = clock()
+        self._last_emit = -1.0
+        self._last_done = 0
+        self.n_lines = 0
+
+    # -- accounting ----------------------------------------------------
+    def _registry_done(self, registry: MetricsRegistry) -> float:
+        snap = registry.snapshot()
+        return sum(
+            snap.counter(name) - self.baseline.counter(name)
+            for name in self.counters
+        )
+
+    def current_done(self, registry: MetricsRegistry) -> int:
+        done = self._registry_done(registry)
+        if self.heartbeat_dir is not None:
+            beats = read_heartbeats(self.heartbeat_dir)
+            done += sum(beats.get(name, 0) for name in self.counters)
+        done = int(done)
+        self._last_done = max(self._last_done, done)
+        return self._last_done
+
+    # -- rendering -----------------------------------------------------
+    def _line(self, done: int, final: bool) -> str:
+        if self.total > 0:
+            frac = min(1.0, done / self.total)
+            pct = f"{100.0 * frac:5.1f}%"
+        else:
+            frac, pct = 1.0, "  ?  "
+        elapsed = self._clock() - self._started
+        if final or frac >= 1.0:
+            eta = "done"
+        elif done > 0 and elapsed > 0:
+            eta = "eta " + _fmt_eta(elapsed * (1.0 - frac) / frac)
+        else:
+            eta = "eta --"
+        return f"{self.label}: {pct} ({done}/{self.total}) {eta}"
+
+    def _emit(self, done: int, final: bool) -> None:
+        line = self._line(done, final)
+        is_tty = getattr(self.stream, "isatty", lambda: False)()
+        if is_tty:
+            end = "\n" if final else "\r"
+            self.stream.write(f"\x1b[2K{line}{end}")
+        else:
+            self.stream.write(line + "\n")
+        try:
+            self.stream.flush()
+        except (OSError, ValueError):
+            pass
+        self.n_lines += 1
+
+    # -- hooks ---------------------------------------------------------
+    def tick(self, registry: MetricsRegistry) -> None:
+        """Counter-bump hook (ambient ``obs.add``); throttled."""
+        now = self._clock()
+        if (
+            self._last_emit >= 0
+            and now - self._last_emit < self.interval
+        ):
+            return
+        self._last_emit = now
+        self._emit(self.current_done(registry), final=False)
+
+    def poll(self, registry: MetricsRegistry) -> None:
+        """Wait-loop hook: re-read heartbeats even with no local bump."""
+        self.tick(registry)
+
+    def finish(self, registry: MetricsRegistry) -> int:
+        """Final 100% line from the registry alone (post-absorb)."""
+        done = int(self._registry_done(registry))
+        self._last_done = max(self._last_done, done)
+        self._emit(self._last_done, final=True)
+        return self._last_done

@@ -35,6 +35,13 @@ def _fmt_attrs(rec: SpanRecord) -> str:
     return f"  [{body}]"
 
 
+def _sibling_order(spans: Sequence[SpanRecord]) -> List[SpanRecord]:
+    # Siblings arrive in absorb order (task completion is racy under a
+    # shard pool); start time is what actually happened.  Starts are
+    # process-local, so pid then name break cross-worker ties stably.
+    return sorted(spans, key=lambda s: (s.start, s.pid, s.name))
+
+
 def render_span_tree(
     roots: Sequence[SpanRecord], width: int = 24
 ) -> List[str]:
@@ -49,7 +56,7 @@ def render_span_tree(
             bar_n = max(1, min(width, round(width * rec.duration / total)))
         bar = "#" * bar_n + " " * (width - bar_n)
         entries.append((prefix + rec.name, rec, bar))
-        kids = rec.children
+        kids = _sibling_order(rec.children)
         for i, child in enumerate(kids):
             last = i == len(kids) - 1
             visit(
@@ -59,7 +66,7 @@ def render_span_tree(
                 total,
             )
 
-    for root in roots:
+    for root in _sibling_order(roots):
         visit(root, "", "", root.duration)
 
     if not entries:

@@ -25,10 +25,19 @@ task payloads.
 
 from __future__ import annotations
 
+import os
+import shutil
+import tempfile
 import time
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, TextIO, Tuple
 
 from repro.obs.metrics import MetricsRegistry, MetricsSnapshot
+from repro.obs.progress import (
+    SEARCH_PROGRESS_COUNTERS,
+    HeartbeatWriter,
+    ProgressMeter,
+    heartbeat_filename,
+)
 from repro.obs.span import SpanRecord, Tracer
 
 __all__ = [
@@ -37,7 +46,12 @@ __all__ = [
     "capture",
     "gauge",
     "metrics_snapshot",
-    "observe",
+    "progress_active",
+    "progress_enabled",
+    "progress_heartbeat_path",
+    "progress_poll",
+    "progress_poll_interval",
+    "progress_scope",
     "reset",
     "span",
     "stage",
@@ -48,12 +62,17 @@ __all__ = [
 
 
 class _ObsState:
-    __slots__ = ("tracer", "metrics", "stage_log")
+    __slots__ = ("tracer", "metrics", "stage_log", "ticker", "progress")
 
     def __init__(self) -> None:
         self.tracer: Optional[Tracer] = None
         self.metrics: MetricsRegistry = MetricsRegistry()
         self.stage_log: Optional[List[Tuple[str, float]]] = None
+        #: Counter-bump hook: a ProgressMeter (parent) or HeartbeatWriter
+        #: (worker).  Called from :func:`add`, so it must be cheap.
+        self.ticker: Optional[object] = None
+        #: The active :class:`progress_scope`, parent process only.
+        self.progress: Optional["progress_scope"] = None
 
 
 _STATE = _ObsState()
@@ -64,6 +83,8 @@ def reset() -> None:
     _STATE.tracer = None
     _STATE.metrics = MetricsRegistry()
     _STATE.stage_log = None
+    _STATE.ticker = None
+    _STATE.progress = None
 
 
 # ---------------------------------------------------------------------------
@@ -72,6 +93,9 @@ def reset() -> None:
 
 def add(name: str, value: float = 1) -> None:
     _STATE.metrics.add(name, value)
+    ticker = _STATE.ticker
+    if ticker is not None:
+        ticker.tick(_STATE.metrics)
 
 
 def gauge(name: str, value: float) -> None:
@@ -137,6 +161,116 @@ def span(name: str, **attrs: object):
 
 def tracing_active() -> bool:
     return _STATE.tracer is not None
+
+
+# ---------------------------------------------------------------------------
+# progress
+
+
+class progress_scope:
+    """Live progress for one long operation (``--progress``).
+
+    Installs a :class:`~repro.obs.progress.ProgressMeter` as the ambient
+    counter ticker so serial counter bumps update the stderr line, and
+    owns a temporary heartbeat directory so sharded workers can report
+    through :func:`progress_heartbeat_path` /
+    :class:`~repro.obs.progress.HeartbeatWriter`.  On clean exit the
+    meter prints its exact 100% line from the post-absorb registry;
+    ``.done`` then holds the final numerator.  With ``enabled=False``
+    the scope is inert — call sites keep one code path.
+    """
+
+    def __init__(
+        self,
+        total: int,
+        *,
+        label: str = "progress",
+        counters: Iterable[str] = SEARCH_PROGRESS_COUNTERS,
+        stream: Optional[TextIO] = None,
+        interval: float = 0.5,
+        enabled: bool = True,
+    ) -> None:
+        self.enabled = enabled
+        self.total = total
+        self.label = label
+        self.counters = tuple(counters)
+        self.stream = stream
+        self.interval = interval
+        self.meter: Optional[ProgressMeter] = None
+        self.heartbeat_dir: Optional[str] = None
+        self.done = 0
+
+    def __enter__(self) -> "progress_scope":
+        if not self.enabled:
+            return self
+        self._prev_ticker = _STATE.ticker
+        self._prev_progress = _STATE.progress
+        self.heartbeat_dir = tempfile.mkdtemp(prefix="repro-progress-")
+        self.meter = ProgressMeter(
+            self.total,
+            label=self.label,
+            counters=self.counters,
+            stream=self.stream,
+            interval=self.interval,
+            heartbeat_dir=self.heartbeat_dir,
+            baseline=_STATE.metrics.snapshot(),
+        )
+        _STATE.ticker = self.meter
+        _STATE.progress = self
+        return self
+
+    def __exit__(self, exc_type: object, *exc: object) -> None:
+        if not self.enabled:
+            return
+        _STATE.ticker = self._prev_ticker
+        _STATE.progress = self._prev_progress
+        if exc_type is None and self.meter is not None:
+            self.done = self.meter.finish(_STATE.metrics)
+        if self.heartbeat_dir is not None:
+            shutil.rmtree(self.heartbeat_dir, ignore_errors=True)
+            self.heartbeat_dir = None
+
+    def heartbeat_path(self, index: int) -> Optional[str]:
+        if self.heartbeat_dir is None:
+            return None
+        return os.path.join(self.heartbeat_dir, heartbeat_filename(index))
+
+
+def progress_enabled() -> bool:
+    """True when a ticker is installed (meter here, heartbeat in workers).
+
+    Hot paths use this to turn on accounting that only progress needs
+    (e.g. counting leaves under cut subtrees), so disabled runs pay
+    nothing.
+    """
+    return _STATE.ticker is not None
+
+
+def progress_active() -> Optional[progress_scope]:
+    return _STATE.progress
+
+
+def progress_heartbeat_path(index: int) -> Optional[str]:
+    """Heartbeat file for shipped task ``index``, or None without progress."""
+    scope = _STATE.progress
+    if scope is None:
+        return None
+    return scope.heartbeat_path(index)
+
+
+def progress_poll() -> None:
+    """Refresh the progress line from worker heartbeats (wait loops)."""
+    scope = _STATE.progress
+    if scope is not None and scope.meter is not None:
+        scope.meter.poll(_STATE.metrics)
+
+
+def progress_poll_interval() -> Optional[float]:
+    """Wait-loop timeout so heartbeats surface between task completions."""
+    scope = _STATE.progress
+    if scope is not None and scope.meter is not None:
+        return scope.meter.interval
+    return None
 
 
 # ---------------------------------------------------------------------------
@@ -259,26 +393,48 @@ class worker_capture:
     so a pooled worker process — which may run many tasks back to back —
     never leaks metrics between tasks.  After exit, ``.spans`` and
     ``.snapshot`` are the picklable payloads to ship on the TaskResult.
+
+    ``heartbeat`` (a file path from the parent's
+    :func:`progress_heartbeat_path`) installs a
+    :class:`~repro.obs.progress.HeartbeatWriter` as the ticker for the
+    task's duration and force-flushes it on exit.  The ticker/progress
+    slots are *always* overridden — a forked worker inherits the
+    parent's ProgressMeter in its stale state copy, and ticking that
+    from a worker would corrupt the parent-side accounting.
     """
 
-    def __init__(self, trace: bool = False) -> None:
+    def __init__(
+        self, trace: bool = False, heartbeat: Optional[str] = None
+    ) -> None:
         self.trace = trace
+        self.heartbeat = heartbeat
         self.spans: Tuple[SpanRecord, ...] = ()
         self.snapshot = MetricsSnapshot()
 
     def __enter__(self) -> "worker_capture":
         self._prev_tracer = _STATE.tracer
         self._prev_metrics = _STATE.metrics
+        self._prev_ticker = _STATE.ticker
+        self._prev_progress = _STATE.progress
         _STATE.tracer = Tracer() if self.trace else None
         _STATE.metrics = MetricsRegistry()
+        _STATE.ticker = (
+            HeartbeatWriter(self.heartbeat) if self.heartbeat else None
+        )
+        _STATE.progress = None
         return self
 
     def __exit__(self, *exc: object) -> None:
         if self.trace and _STATE.tracer is not None:
             self.spans = _STATE.tracer.finished_roots()
+        ticker = _STATE.ticker
+        if isinstance(ticker, HeartbeatWriter):
+            ticker.flush(_STATE.metrics)
         self.snapshot = _STATE.metrics.snapshot()
         _STATE.tracer = self._prev_tracer
         _STATE.metrics = self._prev_metrics
+        _STATE.ticker = self._prev_ticker
+        _STATE.progress = self._prev_progress
 
 
 def absorb(

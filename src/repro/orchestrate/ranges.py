@@ -95,6 +95,7 @@ def run_range_sharded_search(
     store_path: Optional[str] = None,
     shard_workers: int = 0,
     start_method: Optional[str] = None,
+    progress: bool = False,
 ) -> RangeShardedSearch:
     """Exhaustively sweep one workload's space as ``n_shards`` ranges.
 
@@ -103,6 +104,11 @@ def run_range_sharded_search(
     :class:`SearchResult` payloads in task order.  The merged result is
     bit-identical to ``ExhaustiveSearch(...).run()`` on the whole space
     (guided runs: identical kept samples; counters are shard sums).
+
+    ``progress=True`` wraps execution in an :func:`obs.progress_scope`
+    over the exact ``space.count()`` denominator: shard workers flush
+    heartbeat counters mid-task, and the stderr line tracks enumeration
+    positions retired (enumerated + cut) with an ETA.
     """
     t0 = time.perf_counter()
     space = DesignSpace(build_workload(spec), n_streams=n_streams)
@@ -135,9 +141,12 @@ def run_range_sharded_search(
         for i, r in enumerate(ranges)
     )
     plan = ExecutionPlan(machine=machine, tasks=tasks)
-    run: PlanRun = execute_plan(
-        plan, shard_workers=shard_workers, start_method=start_method
-    )
+    with obs.progress_scope(
+        total, label=f"search {spec.family}", enabled=progress
+    ):
+        run: PlanRun = execute_plan(
+            plan, shard_workers=shard_workers, start_method=start_method
+        )
     merged = SearchResult(strategy="exhaustive")
     for task_result in run.results:
         shard: SearchResult = task_result.payload  # type: ignore[assignment]

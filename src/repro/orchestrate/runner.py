@@ -326,7 +326,10 @@ def execute_task(machine: MachineConfig, task: WorkloadTask) -> TaskResult:
 
 
 def _execute_task_shipped(
-    machine: MachineConfig, task: WorkloadTask, observe: bool = False
+    machine: MachineConfig,
+    task: WorkloadTask,
+    observe: bool = False,
+    heartbeat_path: Optional[str] = None,
 ) -> TaskResult:
     """Worker-side entry: run the task, then make the result picklable.
 
@@ -339,9 +342,12 @@ def _execute_task_shipped(
     Telemetry crosses the boundary the same way: the task runs against a
     fresh worker-local registry (and tracer, when the parent traces —
     ``observe``), whose snapshot and span subtrees ship home on the
-    result for :func:`repro.obs.absorb` in ``execute_plan``.
+    result for :func:`repro.obs.absorb` in ``execute_plan``.  With a
+    ``heartbeat_path`` (parent runs under ``--progress``) the worker
+    additionally flushes throttled counter heartbeats to that file so
+    the parent's meter can see in-flight work before absorption.
     """
-    with obs.worker_capture(trace=observe) as cap:
+    with obs.worker_capture(trace=observe, heartbeat=heartbeat_path) as cap:
         result = execute_task(machine, task)
     payload = result.payload
     if getattr(payload, "program", None) is not None:
@@ -390,7 +396,10 @@ def execute_plan(
         else:
             shard_workers = 0
             method = None
-            results = [execute_task(plan.machine, task) for task in plan.tasks]
+            results = []
+            for task in plan.tasks:
+                results.append(execute_task(plan.machine, task))
+                obs.add("plan.tasks_completed")
         results.sort(key=lambda r: r.index)
         # Merge shipped worker telemetry in task-index order — the same
         # deterministic merge discipline the payloads themselves get.
@@ -434,19 +443,36 @@ def _execute_sharded(
                         plan.machine,
                         task,
                         obs.tracing_active(),
+                        obs.progress_heartbeat_path(task.index),
                     )
                     in_flight[future] = index
                     del pending[index]
 
         submit_ready()
+        # Under --progress the wait times out at the heartbeat cadence so
+        # worker counter updates surface between task completions.
+        poll_timeout = obs.progress_poll_interval()
         while in_flight:
             completed, _ = wait(
-                list(in_flight), return_when=FIRST_COMPLETED
+                list(in_flight),
+                timeout=poll_timeout,
+                return_when=FIRST_COMPLETED,
             )
+            obs.progress_poll()
             for future in completed:
                 index = in_flight.pop(future)
                 results.append(future.result())  # re-raises task errors
                 done.add(index)
+                # The result now carries this task's counters; drop its
+                # heartbeat file so the meter never counts both once the
+                # snapshot is absorbed (monotone max smooths the gap).
+                beat = obs.progress_heartbeat_path(index)
+                if beat is not None:
+                    try:
+                        os.unlink(beat)
+                    except OSError:
+                        pass
+                obs.add("plan.tasks_completed")
             submit_ready()
     if pending:  # pragma: no cover - guarded by ExecutionPlan validation
         raise WorkloadError(

@@ -207,6 +207,9 @@ class ScheduleBlock:
     ``n_subtrees_cut`` counts whole subtrees a ``keep_prefix`` predicate
     cut before expansion while this block filled (their schedules were
     never even enumerated — branch-and-bound, not filtering).
+    ``n_leaves_cut`` is the number of enumeration positions those cut
+    subtrees spanned — populated only when leaf counting is on (range
+    limits or live progress), zero otherwise.
     """
 
     index: int
@@ -214,6 +217,7 @@ class ScheduleBlock:
     cursor: EnumerationCursor = EnumerationCursor()
     n_skipped: int = 0
     n_subtrees_cut: int = 0
+    n_leaves_cut: int = 0
 
     def __len__(self) -> int:
         return len(self.schedules)
@@ -231,6 +235,8 @@ def _record_block_metrics(block: "ScheduleBlock") -> None:
         obs.add("space.schedules_skipped", block.n_skipped)
     if block.n_subtrees_cut:
         obs.add("space.subtrees_cut", block.n_subtrees_cut)
+    if block.n_leaves_cut:
+        obs.add("space.leaves_cut", block.n_leaves_cut)
 
 
 @dataclass
@@ -401,7 +407,11 @@ class DesignSpace:
         if cursor is not None and cursor.exhausted:
             return
         after = cursor.path if cursor is not None else ()
-        cuts = _CutLog(count_leaves=limit is not None)
+        # Leaf counting costs a completion-count DP per cut, so it stays
+        # off unless a range limit needs exact positions or a progress
+        # meter needs every retired position in its numerator.
+        count_leaves = limit is not None or obs.progress_enabled()
+        cuts = _CutLog(count_leaves=count_leaves)
         stream = self._stream(after, keep_prefix=keep_prefix, cuts=cuts)
         produced = 0
         ended = False
@@ -425,6 +435,7 @@ class DesignSpace:
 
         index = 0
         cut_base = 0
+        leaf_base = 0
         pending = pull()
         while pending is not None:
             block = ScheduleBlock(index=index)
@@ -438,6 +449,8 @@ class DesignSpace:
                 pending = pull()
             block.n_subtrees_cut = cuts.n_subtrees - cut_base
             cut_base = cuts.n_subtrees
+            block.n_leaves_cut = cuts.n_leaves - leaf_base
+            leaf_base = cuts.n_leaves
             block.cursor = EnumerationCursor(
                 path=last_path, exhausted=pending is None and ended
             )
@@ -451,6 +464,7 @@ class DesignSpace:
                 index=0,
                 cursor=EnumerationCursor(path=after, exhausted=ended),
                 n_subtrees_cut=cuts.n_subtrees,
+                n_leaves_cut=cuts.n_leaves,
             )
             _record_block_metrics(block)
             yield block

@@ -383,6 +383,7 @@ class SuiteRunner:
         shard_workers: int = 0,
         block_size: Optional[int] = None,
         store_path: Optional[str] = None,
+        progress: bool = False,
     ) -> None:
         self.suite = suite
         self.machine = machine if machine is not None else perlmutter_like()
@@ -394,6 +395,8 @@ class SuiteRunner:
         #: Advisor artifact store directory; cross-workload suite runs
         #: publish their trained outputs there (:mod:`repro.advisor`).
         self.store_path = store_path
+        #: Live stderr progress over completed plan tasks (``--progress``).
+        self.progress = progress
 
     # ------------------------------------------------------------------
     def run(self) -> SuiteReport:
@@ -421,7 +424,15 @@ class SuiteRunner:
             shard_workers=self.shard_workers,
         )
         metrics_before = obs.metrics_snapshot()
-        run = execute_plan(plan, shard_workers=self.shard_workers)
+        # Suite progress counts whole tasks: the denominator is exact and
+        # task completions are the granularity sharded suites observe.
+        with obs.progress_scope(
+            len(plan.tasks),
+            label=f"suite {suite.name}",
+            counters=obs.PLAN_PROGRESS_COUNTERS,
+            enabled=self.progress,
+        ):
+            run = execute_plan(plan, shard_workers=self.shard_workers)
         delta = obs.metrics_snapshot().diff(metrics_before)
         cells: List[SuiteCell] = [
             cell
@@ -511,6 +522,7 @@ def run_suite(
     shard_workers: int = 0,
     block_size: Optional[int] = None,
     store_path: Optional[str] = None,
+    progress: bool = False,
 ) -> SuiteReport:
     """Convenience: look up a built-in suite by name and run it."""
     return SuiteRunner(
@@ -522,4 +534,5 @@ def run_suite(
         shard_workers=shard_workers,
         block_size=block_size,
         store_path=store_path,
+        progress=progress,
     ).run()

@@ -1,0 +1,143 @@
+"""RunArchive bundles: record/index/load, latest, resolve_trace."""
+
+import json
+import os
+
+import pytest
+
+from repro import obs
+from repro.obs import (
+    ARCHIVE_VERSION,
+    RunArchive,
+    TraceSchemaError,
+    git_revision,
+    resolve_trace,
+)
+from repro.obs.trace_io import TRACE_VERSION
+
+
+def _run_spans():
+    with obs.capture(trace=True) as cap:
+        with obs.span("plan.execute"):
+            with obs.span("eval.batch"):
+                pass
+        obs.add("eval.schedules", 7)
+    return cap
+
+
+def test_record_writes_self_describing_bundle(tmp_path):
+    cap = _run_spans()
+    archive = RunArchive(str(tmp_path / "arch"))
+    rec = archive.record(
+        cap.spans, cap.metrics, command="suite", meta={"argv": ["suite"]}
+    )
+
+    assert os.path.isfile(rec.trace_path)
+    assert os.path.isfile(rec.meta_path)
+    with open(rec.meta_path) as fh:
+        meta = json.load(fh)
+    assert meta["schema_version"] == ARCHIVE_VERSION
+    assert meta["trace_version"] == TRACE_VERSION
+    assert meta["command"] == "suite"
+    assert meta["run_id"] == rec.run_id
+    assert meta["argv"] == ["suite"]
+    assert "created" in meta and "git_sha" in meta
+
+
+def test_record_load_round_trip(tmp_path):
+    cap = _run_spans()
+    archive = RunArchive(str(tmp_path / "arch"))
+    rec = archive.record(cap.spans, cap.metrics, command="search")
+
+    data = rec.load()
+    assert data.n_spans() == cap.n_spans
+    assert data.metrics.counter("eval.schedules") == 7
+    # meta.json keys fold into the trace meta without clobbering the
+    # trace header's own command/run_id.
+    assert data.meta["command"] == "search"
+    assert data.meta["run_id"] == rec.run_id
+    assert data.meta["schema_version"] == ARCHIVE_VERSION
+
+
+def test_runs_ordered_and_latest_filters_by_command(tmp_path):
+    cap = _run_spans()
+    archive = RunArchive(str(tmp_path / "arch"))
+    a = archive.record(cap.spans, command="suite", run_id="run-a")
+    b = archive.record(cap.spans, command="search", run_id="run-b")
+    c = archive.record(cap.spans, command="suite", run_id="run-c")
+
+    assert [r.run_id for r in archive.runs()] == ["run-a", "run-b", "run-c"]
+    assert archive.latest().run_id == c.run_id
+    assert archive.latest("search").run_id == b.run_id
+    assert archive.latest("transfer") is None
+    assert archive.get("run-a").run_id == a.run_id
+    with pytest.raises(KeyError):
+        archive.get("nope")
+
+
+def test_run_id_collision_dedupes(tmp_path):
+    cap = _run_spans()
+    archive = RunArchive(str(tmp_path / "arch"))
+    ids = {archive.record(cap.spans, command="suite").run_id for _ in range(3)}
+    assert len(ids) == 3
+
+
+def test_index_tolerates_torn_lines_and_deleted_bundles(tmp_path):
+    import shutil
+
+    cap = _run_spans()
+    archive = RunArchive(str(tmp_path / "arch"))
+    archive.record(cap.spans, command="suite", run_id="keep")
+    archive.record(cap.spans, command="suite", run_id="gone")
+    shutil.rmtree(os.path.join(archive.root, "gone"))
+    with open(archive.index_path, "a") as fh:
+        fh.write('{"run_id": "torn", "comm')  # torn concurrent append
+
+    assert [r.run_id for r in archive.runs()] == ["keep"]
+
+
+def test_resolve_trace_plain_file(tmp_path):
+    from repro.obs import write_trace
+
+    cap = _run_spans()
+    path = str(tmp_path / "t.jsonl")
+    write_trace(path, cap.spans, cap.metrics)
+    assert resolve_trace(path).n_spans() == cap.n_spans
+
+
+def test_resolve_trace_bundle_dir_and_archive_root(tmp_path):
+    cap = _run_spans()
+    root = str(tmp_path / "arch")
+    archive = RunArchive(root)
+    archive.record(cap.spans, command="suite", run_id="first")
+    rec = archive.record(cap.spans, command="suite", run_id="second")
+
+    from_bundle = resolve_trace(rec.path)
+    assert from_bundle.meta["run_id"] == "second"
+    # An archive root resolves to its most recent run.
+    from_root = resolve_trace(root)
+    assert from_root.meta["run_id"] == "second"
+
+
+def test_resolve_trace_rejects_non_traces(tmp_path):
+    with pytest.raises(TraceSchemaError, match="no such trace"):
+        resolve_trace(str(tmp_path / "missing"))
+    empty = tmp_path / "plain-dir"
+    empty.mkdir()
+    with pytest.raises(TraceSchemaError, match="neither a run bundle"):
+        resolve_trace(str(empty))
+    bare = RunArchive(str(tmp_path / "bare"))
+    open(bare.index_path, "w").close()  # archive root, zero runs
+    with pytest.raises(TraceSchemaError, match="no runs"):
+        resolve_trace(bare.root)
+
+
+def test_git_revision_inside_checkout():
+    sha = git_revision(cwd=os.path.dirname(os.path.dirname(__file__)))
+    # Running from the repo checkout this is a 40-char sha; under an
+    # exported tarball it is None.  Both are contract-valid.
+    assert sha is None or (len(sha) == 40 and set(sha) <= set("0123456789abcdef"))
+
+
+def test_git_revision_outside_checkout(tmp_path):
+    assert git_revision(cwd=str(tmp_path)) is None

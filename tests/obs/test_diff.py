@@ -1,0 +1,145 @@
+"""diff_runs gating: wall thresholds, counter tolerance, quantiles."""
+
+from repro.obs import (
+    DiffThresholds,
+    MetricsRegistry,
+    SpanRecord,
+    TraceData,
+    diff_runs,
+    render_diff,
+)
+
+
+def _trace(walls=None, counters=None, hist=None):
+    """TraceData with one root span per (name, wall) pair."""
+    spans = tuple(
+        SpanRecord(name=name, start=0.0, duration=wall, pid=1, attrs={})
+        for name, wall in (walls or {}).items()
+    )
+    registry = MetricsRegistry()
+    for name, value in (counters or {}).items():
+        registry.add(name, value)
+    for name, values in (hist or {}).items():
+        for v in values:
+            registry.observe(name, v)
+    return TraceData(spans=spans, metrics=registry.snapshot())
+
+
+def test_identical_runs_are_ok():
+    a = _trace({"search": 1.0}, {"evals": 16})
+    diff = diff_runs(a, _trace({"search": 1.0}, {"evals": 16}))
+    assert diff.ok
+    assert diff.counters == []
+    assert diff.n_shared_paths() == 1
+
+
+def test_wall_regression_beyond_threshold_flags():
+    a = _trace({"search": 1.0})
+    b = _trace({"search": 1.30})
+    diff = diff_runs(a, b, DiffThresholds(max_wall_delta=0.25))
+    (delta,) = [p for p in diff.paths if p.regressed]
+    assert delta.path == "search"
+    assert abs(delta.ratio - 1.30) < 1e-12
+    assert not diff.ok
+    assert "search" in diff.regressions()[0]
+
+
+def test_wall_growth_within_threshold_passes():
+    diff = diff_runs(
+        _trace({"search": 1.0}),
+        _trace({"search": 1.2}),
+        DiffThresholds(max_wall_delta=0.25),
+    )
+    assert diff.ok
+
+
+def test_min_wall_floor_ignores_noise_spans():
+    # 3x on a 1ms span is scheduler jitter, not a regression.
+    diff = diff_runs(
+        _trace({"tiny": 0.001}),
+        _trace({"tiny": 0.003}),
+        DiffThresholds(max_wall_delta=0.25, min_wall_s=0.005),
+    )
+    assert diff.ok
+    # Dropping the floor flags it.
+    diff = diff_runs(
+        _trace({"tiny": 0.001}),
+        _trace({"tiny": 0.003}),
+        DiffThresholds(max_wall_delta=0.25, min_wall_s=0.0),
+    )
+    assert not diff.ok
+
+
+def test_structural_paths_reported_but_never_wall_regressed():
+    diff = diff_runs(_trace({"old": 1.0}), _trace({"new": 1.0}))
+    by_path = {p.path: p for p in diff.paths}
+    assert by_path["old"].current is None
+    assert by_path["new"].baseline is None
+    assert not by_path["old"].regressed and not by_path["new"].regressed
+    assert diff.n_shared_paths() == 0
+
+
+def test_counter_drift_fails_at_zero_tolerance():
+    diff = diff_runs(
+        _trace(counters={"evals": 16}), _trace(counters={"evals": 17})
+    )
+    (delta,) = diff.counters
+    assert delta.regressed and delta.delta == 1
+    assert not diff.ok
+
+
+def test_counter_appear_disappear_fails_at_zero_tolerance():
+    diff = diff_runs(
+        _trace(counters={"evals": 16}),
+        _trace(counters={"evals": 16, "memo_hits": 3}),
+    )
+    (delta,) = diff.counters
+    assert delta.name == "memo_hits"
+    assert delta.baseline is None and delta.regressed
+
+
+def test_counter_tolerance_loosens_gate():
+    thr = DiffThresholds(counter_tolerance=0.10)
+    # 5% drift passes, 20% drift fails, appearing counters pass.
+    assert diff_runs(
+        _trace(counters={"hits": 100}), _trace(counters={"hits": 105}), thr
+    ).ok
+    assert not diff_runs(
+        _trace(counters={"hits": 100}), _trace(counters={"hits": 120}), thr
+    ).ok
+    assert diff_runs(
+        _trace(counters={}), _trace(counters={"hits": 3}), thr
+    ).ok
+
+
+def test_quantile_deltas_informational_by_default():
+    a = _trace(hist={"lat": [1.0] * 10})
+    b = _trace(hist={"lat": [2.0] * 10})
+    diff = diff_runs(a, b)
+    assert diff.quantiles and not any(q.regressed for q in diff.quantiles)
+    assert diff.ok
+
+
+def test_quantile_gate_when_threshold_set():
+    a = _trace(hist={"lat": [1.0] * 10})
+    b = _trace(hist={"lat": [2.0] * 10})
+    diff = diff_runs(a, b, DiffThresholds(max_quantile_delta=0.5))
+    assert any(q.regressed for q in diff.quantiles)
+    assert not diff.ok
+    assert any("histogram" in msg for msg in diff.regressions())
+
+
+def test_render_diff_pass_and_fail_shapes():
+    ok = render_diff(
+        diff_runs(_trace({"s": 1.0}, {"n": 1}), _trace({"s": 1.0}, {"n": 1}))
+    )
+    assert "counters: identical" in ok
+    assert ok.rstrip().endswith("RESULT: ok")
+
+    bad = render_diff(
+        diff_runs(
+            _trace({"s": 1.0}, {"n": 1}), _trace({"s": 2.0}, {"n": 2})
+        )
+    )
+    assert "REGRESSED" in bad
+    assert "RESULT: 2 regression(s)" in bad

@@ -1,0 +1,143 @@
+"""bench_json_to_trace + compare_bench: CI's gate on pytest-benchmark JSON."""
+
+import json
+import os
+import sys
+
+import pytest
+
+from repro.obs import (
+    DiffThresholds,
+    TraceSchemaError,
+    bench_json_to_trace,
+    diff_runs,
+)
+
+
+def _bench_json(path, means):
+    payload = {
+        "benchmarks": [
+            {
+                "fullname": name,
+                "stats": {"mean": mean, "rounds": 5},
+            }
+            for name, mean in means.items()
+        ]
+    }
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+def test_bench_json_to_trace_one_root_span_per_benchmark(tmp_path):
+    path = _bench_json(
+        tmp_path / "b.json",
+        {"bench_a.py::test_x": 0.5, "bench_b.py::test_y": 0.25},
+    )
+    data = bench_json_to_trace(path)
+    assert [s.name for s in data.spans] == [
+        "bench_a.py::test_x",
+        "bench_b.py::test_y",
+    ]
+    assert data.spans[0].duration == 0.5
+    assert data.meta["source"] == "pytest-benchmark"
+    assert not data.metrics.counters
+
+
+def test_bench_json_to_trace_pattern_filter_and_bad_rows(tmp_path):
+    payload = {
+        "benchmarks": [
+            {"fullname": "bench_keep.py::t", "stats": {"mean": 0.1}},
+            {"fullname": "bench_drop.py::t", "stats": {"mean": 0.1}},
+            {"fullname": "bench_keep.py::no_stats"},
+            {"stats": {"mean": 0.1}},
+            {"fullname": "bench_keep.py::bad_mean", "stats": {"mean": "x"}},
+        ]
+    }
+    path = tmp_path / "b.json"
+    path.write_text(json.dumps(payload))
+    data = bench_json_to_trace(str(path), pattern="keep")
+    assert [s.name for s in data.spans] == ["bench_keep.py::t"]
+
+
+def test_bench_json_to_trace_rejects_garbage(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text("not json")
+    with pytest.raises(TraceSchemaError, match="not a benchmark JSON"):
+        bench_json_to_trace(str(bad))
+    empty = tmp_path / "empty.json"
+    empty.write_text("{}")
+    with pytest.raises(TraceSchemaError, match="no 'benchmarks' array"):
+        bench_json_to_trace(str(empty))
+
+
+def test_injected_slowdown_flagged_by_ci_thresholds(tmp_path):
+    """A 2x per-stage slowdown must trip the exact gate CI runs."""
+    baseline = bench_json_to_trace(
+        _bench_json(
+            tmp_path / "base.json",
+            {"bench_sharding.py::suite": 1.0, "bench_guided.py::bnb": 0.4},
+        )
+    )
+    slowed = bench_json_to_trace(
+        _bench_json(
+            tmp_path / "cur.json",
+            {"bench_sharding.py::suite": 2.0, "bench_guided.py::bnb": 0.4},
+        )
+    )
+    # Same thresholds compare_bench.py passes in CI.
+    diff = diff_runs(
+        baseline, slowed, DiffThresholds(max_wall_delta=0.25, min_wall_s=0.0)
+    )
+    flagged = [p.path for p in diff.paths if p.regressed]
+    assert flagged == ["bench_sharding.py::suite"]
+    assert not diff.ok
+
+
+def _compare_bench():
+    bench_dir = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+        "benchmarks",
+    )
+    sys.path.insert(0, bench_dir)
+    try:
+        import compare_bench
+    finally:
+        sys.path.remove(bench_dir)
+    return compare_bench
+
+
+def test_compare_bench_passes_within_budget(tmp_path, capsys):
+    cb = _compare_bench()
+    base_dir = tmp_path / "baseline"
+    base_dir.mkdir()
+    _bench_json(base_dir / "BENCH_old.json", {"bench_sharding.py::t": 1.0})
+    cur = _bench_json(tmp_path / "BENCH_new.json", {"bench_sharding.py::t": 1.1})
+    rc = cb.main(
+        ["--current", cur, "--baseline-dir", str(base_dir)]
+    )
+    assert rc == 0
+    assert "within budget" in capsys.readouterr().out
+
+
+def test_compare_bench_fails_on_regression(tmp_path, capsys):
+    cb = _compare_bench()
+    base_dir = tmp_path / "baseline"
+    base_dir.mkdir()
+    _bench_json(base_dir / "BENCH_old.json", {"bench_sharding.py::t": 1.0})
+    cur = _bench_json(tmp_path / "BENCH_new.json", {"bench_sharding.py::t": 2.0})
+    rc = cb.main(["--current", cur, "--baseline-dir", str(base_dir)])
+    assert rc == 1
+    assert "REGRESSION" in capsys.readouterr().out
+
+
+def test_compare_bench_skips_without_baseline(tmp_path, capsys):
+    cb = _compare_bench()
+    cur = _bench_json(tmp_path / "BENCH_new.json", {"bench_sharding.py::t": 1.0})
+    rc = cb.main(
+        ["--current", cur, "--baseline-dir", str(tmp_path / "missing")]
+    )
+    assert rc == 0
+    assert "skipping comparison" in capsys.readouterr().out
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    assert cb.main(["--current", cur, "--baseline-dir", str(empty)]) == 0

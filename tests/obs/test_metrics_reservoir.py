@@ -1,0 +1,102 @@
+"""Bounded histogram reservoirs: cap, determinism, quantile stability."""
+
+from repro.obs import RESERVOIR_CAP, MetricsRegistry, summarize_histogram
+from repro.obs.metrics import _Reservoir
+
+
+def test_reservoir_caps_retained_samples():
+    registry = MetricsRegistry()
+    n = RESERVOIR_CAP + 10_000
+    for i in range(n):
+        registry.observe("lat", float(i))
+    values = registry.snapshot().histograms["lat"]
+    assert len(values) == RESERVOIR_CAP
+    reservoir = registry._histograms["lat"]
+    assert reservoir.seen == n
+
+
+def test_below_cap_is_plain_append_order():
+    registry = MetricsRegistry()
+    for v in (3.0, 1.0, 2.0):
+        registry.observe("lat", v)
+    assert registry.snapshot().histograms["lat"] == (3.0, 1.0, 2.0)
+
+
+def test_reservoir_deterministic_across_runs():
+    def run():
+        registry = MetricsRegistry()
+        for i in range(3 * RESERVOIR_CAP):
+            registry.observe("advisor.recommend_s", i * 0.001)
+        return registry.snapshot().histograms["advisor.recommend_s"]
+
+    assert run() == run()
+
+
+def test_reservoir_seeded_per_series_name():
+    a, b = _Reservoir("series-a", cap=8), _Reservoir("series-b", cap=8)
+    for i in range(1000):
+        a.observe(float(i))
+        b.observe(float(i))
+    # Same stream, different names: replacement choices differ.
+    assert a.values != b.values
+    assert a.seen == b.seen == 1000
+
+
+def test_quantiles_stable_over_uniform_stream():
+    """Nearest-rank quantiles of the capped sample track the stream."""
+    registry = MetricsRegistry()
+    n = 5 * RESERVOIR_CAP
+    for i in range(n):
+        registry.observe("lat", i / n)  # uniform on [0, 1)
+    summary = summarize_histogram(registry.snapshot().histograms["lat"])
+    assert summary["count"] == RESERVOIR_CAP
+    # Pinned values: the seed is the series name, so this exact sample
+    # set — and therefore these exact quantiles — never drifts.
+    assert abs(summary["p50"] - 0.5) < 0.03
+    assert abs(summary["p95"] - 0.95) < 0.03
+    assert abs(summary["p99"] - 0.99) < 0.03
+
+
+def test_diff_prefix_semantics_below_cap():
+    registry = MetricsRegistry()
+    registry.observe("lat", 1.0)
+    before = registry.snapshot()
+    registry.observe("lat", 2.0)
+    delta = registry.snapshot().diff(before)
+    assert delta.histograms["lat"] == (2.0,)
+
+
+def test_diff_falls_back_to_full_series_past_cap():
+    registry = MetricsRegistry()
+    for i in range(RESERVOIR_CAP):
+        registry.observe("lat", float(i))
+    before = registry.snapshot()
+    # Push replacements: the retained list is no longer append-only, so
+    # positional tails would be meaningless — diff keeps the full series.
+    for i in range(RESERVOIR_CAP):
+        registry.observe("lat", float(-i))
+    after = registry.snapshot()
+    assert tuple(after.histograms["lat"][: RESERVOIR_CAP]) != tuple(
+        before.histograms["lat"]
+    )
+    delta = after.diff(before)
+    assert delta.histograms["lat"] == after.histograms["lat"]
+
+
+def test_merge_snapshot_feeds_reservoir():
+    from repro.obs import MetricsSnapshot
+
+    registry = MetricsRegistry()
+    registry.merge_snapshot(
+        MetricsSnapshot(histograms={"lat": tuple(float(i) for i in range(10))})
+    )
+    assert len(registry.snapshot().histograms["lat"]) == 10
+    # Merging more than the cap still stays bounded.
+    registry.merge_snapshot(
+        MetricsSnapshot(
+            histograms={
+                "lat": tuple(float(i) for i in range(2 * RESERVOIR_CAP))
+            }
+        )
+    )
+    assert len(registry.snapshot().histograms["lat"]) == RESERVOIR_CAP
