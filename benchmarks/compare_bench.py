@@ -32,7 +32,7 @@ sys.path.insert(
 from repro.obs import DiffThresholds, bench_json_to_trace, diff_runs  # noqa: E402
 
 DEFAULT_PATTERN = (
-    r"branch_and_bound|guided|enumeration|sharding|trace_analyze"
+    r"branch_and_bound|guided|enumeration|sharding|trace_analyze|sim_batch"
 )
 
 

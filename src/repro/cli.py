@@ -186,6 +186,7 @@ def _cmd_suite(args) -> str:
         block_size=args.block_size,
         store_path=args.store,
         progress=args.progress,
+        sim_backend=args.sim_backend,
     )
     json_path = args.json or f"repro-suite-{args.name}.json"
     out = report.ascii_table()
@@ -225,6 +226,7 @@ def _cmd_transfer(args) -> str:
         cache_path=args.cache,
         shard_workers=args.shard_workers,
         block_size=args.block_size,
+        sim_backend=args.sim_backend,
     )
     out = result.report()
     json_path = args.json or "repro-transfer.json"
@@ -296,6 +298,7 @@ def _train_store(args, store, machine) -> list:
         cache_path=args.cache,
         shard_workers=args.shard_workers,
         block_size=args.block_size,
+        sim_backend=args.sim_backend,
     )
     return publish_artifacts(
         store,
@@ -460,6 +463,7 @@ def _cmd_search(args) -> str:
             store_path=args.store if args.guided else None,
             shard_workers=args.shard_workers,
             progress=args.progress,
+            sim_backend=args.sim_backend,
         )
         result = sharded.result
         wall = time.perf_counter() - t0
@@ -483,6 +487,7 @@ def _cmd_search(args) -> str:
             MeasurementConfig(),
             workers=args.workers,
             cache=MeasurementCache(args.cache) if args.cache else None,
+            sim_backend=args.sim_backend,
         )
         try:
             if args.strategy == "exhaustive":
@@ -667,6 +672,24 @@ def _add_sharding_options(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_sim_backend_option(parser: argparse.ArgumentParser) -> None:
+    """Simulation-backend knob for the measuring commands."""
+    parser.add_argument(
+        "--sim-backend",
+        dest="sim_backend",
+        type=str,
+        default="auto",
+        choices=("reference", "batch", "auto"),
+        help=(
+            "simulation backend: 'reference' interprets each schedule on "
+            "the discrete-event engine; 'batch' compiles the program once "
+            "and replays schedule blocks as array sweeps (bit-identical "
+            "results); 'auto' (default) uses batch wherever the compiled "
+            "context supports the program and falls back otherwise"
+        ),
+    )
+
+
 def _add_obs_options(parser: argparse.ArgumentParser) -> None:
     """Run-telemetry flags (repro.obs) for the long-running commands."""
     parser.add_argument(
@@ -782,6 +805,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common_options(p)
     _add_sharding_options(p)
+    _add_sim_backend_option(p)
     _add_obs_options(p)
     p.add_argument(
         "--progress",
@@ -832,6 +856,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common_options(p)
     _add_sharding_options(p)
+    _add_sim_backend_option(p)
     _add_obs_options(p)
 
     p = sub.add_parser(
@@ -877,6 +902,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common_options(p)
     _add_sharding_options(p)
+    _add_sim_backend_option(p)
     _add_obs_options(p)
 
     p = sub.add_parser(
@@ -943,6 +969,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common_options(p)
     _add_sharding_options(p)
+    _add_sim_backend_option(p)
     _add_obs_options(p)
     p.add_argument(
         "--progress",

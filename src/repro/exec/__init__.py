@@ -10,7 +10,9 @@ pieces compose:
   :class:`~repro.sim.measure.Benchmarker` protocol one schedule at a
   time.
 * :class:`ParallelEvaluator` — the same semantics on a
-  ``multiprocessing`` worker pool; every worker owns a private simulator.
+  ``multiprocessing`` worker pool; every worker owns a private simulator
+  (and, under the batch ``sim_backend``, one compiled replay context
+  built in the pool initializer and reused across tasks).
 * :class:`MeasurementCache` — a persistent SQLite store keyed by
   canonical fingerprints of (program, machine, measurement config,
   sample offset) × schedule, so repeated runs never re-simulate a known

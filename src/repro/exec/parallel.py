@@ -39,11 +39,18 @@ from repro.exec.cache import MeasurementCache, context_fingerprint
 from repro.exec.evaluator import Evaluator, SerialEvaluator
 from repro.platform.machine import MachineConfig
 from repro.schedule.schedule import Schedule
+from repro.sim.batch import CompiledContext, compile_count, resolve_backend
 from repro.sim.executor import ScheduleExecutor
 from repro.sim.measure import Benchmarker, Measurement, MeasurementConfig
 
 #: Per-worker benchmarker, created once by :func:`_init_worker`.
 _WORKER_BENCH: Optional[Benchmarker] = None
+#: Per-worker compiled replay context — also built exactly once, in the
+#: pool initializer, and reused across every chunk/task the worker runs.
+_WORKER_REPLAYER: Optional[CompiledContext] = None
+#: Compiles performed by *this* worker process (regression hook: must be
+#: one per worker, never one per task).
+_WORKER_COMPILES: int = 0
 
 
 def _init_worker(
@@ -51,15 +58,46 @@ def _init_worker(
     machine: MachineConfig,
     config: MeasurementConfig,
     sample_offset: int,
+    sim_backend: str = "reference",
 ) -> None:
-    global _WORKER_BENCH
+    global _WORKER_BENCH, _WORKER_REPLAYER, _WORKER_COMPILES
+    compiles_before = compile_count()
     executor = ScheduleExecutor(program, machine)
     _WORKER_BENCH = Benchmarker(executor, config, sample_offset=sample_offset)
+    _WORKER_REPLAYER = None
+    if sim_backend == "batch":
+        # Parent resolved "auto" already; only the concrete backend
+        # arrives here.  obs counters recorded in this process are never
+        # shipped home — the parent does the metrics accounting.
+        _, _WORKER_REPLAYER = resolve_backend(
+            sim_backend, program, machine, config, sample_offset=sample_offset
+        )
+    _WORKER_COMPILES = compile_count() - compiles_before
 
 
 def _measure_one(schedule: Schedule) -> Measurement:
     assert _WORKER_BENCH is not None, "worker pool not initialized"
     return _WORKER_BENCH.measure(schedule)
+
+
+def _measure_chunk(schedules: List[Schedule]) -> List[Measurement]:
+    """Measure one dispatched chunk with the worker's warm state.
+
+    Chunks (not single schedules) are the dispatch unit so the replay
+    backend gets a real batch dimension per sweep.
+    """
+    assert _WORKER_BENCH is not None, "worker pool not initialized"
+    if _WORKER_REPLAYER is not None:
+        results, _, _ = _WORKER_REPLAYER.measure_into(
+            _WORKER_BENCH, schedules, backend="batch"
+        )
+        return results
+    return [_WORKER_BENCH.measure(s) for s in schedules]
+
+
+def _worker_compile_stats(_: object = None) -> tuple:
+    """(pid, compiles done by this worker) — warm-start regression probe."""
+    return (os.getpid(), _WORKER_COMPILES)
 
 
 def build_evaluator(
@@ -71,6 +109,7 @@ def build_evaluator(
     cache: Optional[MeasurementCache] = None,
     benchmarker: Optional[Benchmarker] = None,
     sample_offset: int = 0,
+    sim_backend: str = "auto",
 ) -> Evaluator:
     """Construct the configured evaluation backend in one place.
 
@@ -78,7 +117,10 @@ def build_evaluator(
     :class:`~repro.exec.evaluator.SerialEvaluator` wrapping
     ``benchmarker`` (or a fresh one).  Call sites that offer a
     workers/cache knob (pipeline, workbench) share this logic so the
-    two backends cannot drift.
+    two backends cannot drift.  ``sim_backend`` defaults to ``"auto"``
+    here (batch replay wherever the compiled context supports the
+    program) while the raw evaluator constructors keep their
+    ``"reference"`` default.
     """
     if workers > 1:
         return ParallelEvaluator(
@@ -88,6 +130,7 @@ def build_evaluator(
             n_workers=workers,
             cache=cache,
             sample_offset=sample_offset,
+            sim_backend=sim_backend,
         )
     if benchmarker is None:
         benchmarker = Benchmarker(
@@ -95,7 +138,7 @@ def build_evaluator(
             config,
             sample_offset=sample_offset,
         )
-    return SerialEvaluator(benchmarker, cache=cache)
+    return SerialEvaluator(benchmarker, cache=cache, sim_backend=sim_backend)
 
 
 class ParallelEvaluator(Evaluator):
@@ -121,6 +164,12 @@ class ParallelEvaluator(Evaluator):
     chunksize:
         Schedules per worker task; defaults to a heuristic that spreads
         each batch roughly four tasks per worker.
+    sim_backend:
+        ``"reference"`` (default), ``"batch"``, or ``"auto"``.  The
+        parent resolves ``"auto"`` with its own compiled context (also
+        used for metrics accounting, since worker registries are never
+        shipped home) and each worker then compiles its replay context
+        exactly once, in the pool initializer.
     """
 
     def __init__(
@@ -134,6 +183,7 @@ class ParallelEvaluator(Evaluator):
         sample_offset: int = 0,
         start_method: Optional[str] = None,
         chunksize: Optional[int] = None,
+        sim_backend: str = "reference",
     ) -> None:
         if n_workers is not None and n_workers < 1:
             raise ValueError("n_workers must be >= 1")
@@ -148,6 +198,9 @@ class ParallelEvaluator(Evaluator):
             start_method = "fork" if "fork" in methods else methods[0]
         self.start_method = start_method
         self.chunksize = chunksize
+        self.sim_backend, self._compiled = resolve_backend(
+            sim_backend, program, machine, config, sample_offset=sample_offset
+        )
         self._context = context_fingerprint(program, machine, config, sample_offset)
         self._memo: Dict[str, Measurement] = {}
         self._pool: Optional[ProcessPoolExecutor] = None
@@ -173,13 +226,19 @@ class ParallelEvaluator(Evaluator):
                     self.machine,
                     self.config,
                     self.sample_offset,
+                    self.sim_backend,
                 ),
             )
         return self._pool
 
     # ------------------------------------------------------------------
     def evaluate_batch(self, schedules: Sequence[Schedule]) -> List[Measurement]:
-        with obs.span("eval.batch", n=len(schedules), backend="parallel"):
+        with obs.span(
+            "eval.batch",
+            n=len(schedules),
+            backend="parallel",
+            sim=self.sim_backend,
+        ):
             sims_before = self._n_simulations
             fps = [s.fingerprint() for s in schedules]
             pending: Dict[str, Schedule] = {
@@ -193,6 +252,17 @@ class ParallelEvaluator(Evaluator):
                     self._memo[fp] = m
                     del pending[fp]
             if pending:
+                if self._compiled is not None:
+                    # Workers do the replaying, but their metrics
+                    # registries are never shipped home — count the
+                    # partition here, where the snapshot lives.
+                    n_replayed = sum(
+                        1 for s in pending.values() if self._compiled.supports(s)
+                    )
+                    if n_replayed:
+                        obs.add("sim.batch_replays", n_replayed)
+                    if len(pending) - n_replayed:
+                        obs.add("sim.fallbacks", len(pending) - n_replayed)
                 fresh = self._dispatch(list(pending.values()))
                 if self.cache is not None:
                     self.cache.put_many(self._context, fresh.items())
@@ -204,7 +274,11 @@ class ParallelEvaluator(Evaluator):
     def _dispatch(self, schedules: List[Schedule]) -> Dict[str, Measurement]:
         pool = self._ensure_pool()
         chunksize = self.chunksize or max(1, len(schedules) // (4 * self.n_workers))
-        results = list(pool.map(_measure_one, schedules, chunksize=chunksize))
+        chunks = [
+            schedules[i : i + chunksize]
+            for i in range(0, len(schedules), chunksize)
+        ]
+        results = [m for chunk in pool.map(_measure_chunk, chunks) for m in chunk]
         fresh: Dict[str, Measurement] = {}
         for schedule, m in zip(schedules, results):
             fresh[schedule.fingerprint()] = m

@@ -188,6 +188,7 @@ def _run_suite_cells(machine: MachineConfig, task: WorkloadTask) -> object:
             task.measurement,
             workers=task.workers,
             cache=cache,
+            sim_backend=task.sim_backend,
         )
         try:
             for strat_name in task.strategies:
@@ -234,6 +235,7 @@ def _run_workload_rules(machine: MachineConfig, task: WorkloadTask) -> object:
         cache_path=task.cache_path,
         program=program,
         block_size=task.block_size,
+        sim_backend=task.sim_backend,
     )
     try:
         with obs.stage("enumerate"):
@@ -284,6 +286,7 @@ def _run_search_range(machine: MachineConfig, task: WorkloadTask) -> object:
             task.measurement,
             workers=task.workers,
             cache=cache,
+            sim_backend=task.sim_backend,
         )
         try:
             with obs.stage("search"):

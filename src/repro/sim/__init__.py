@@ -8,11 +8,20 @@ a deterministic discrete-event simulator with
 * an MPI network engine with message matching and an α-β transfer model
   (:mod:`repro.sim.network`),
 * a schedule executor that interprets a bound operation sequence per rank
-  (:mod:`repro.sim.executor`), and
+  (:mod:`repro.sim.executor`),
+* a compiled batch backend that replays whole schedule blocks as numpy
+  array sweeps, bit-identical to the reference engine
+  (:mod:`repro.sim.batch`), and
 * timeline tracing and a numeric-payload context for end-to-end
   verification (:mod:`repro.sim.trace`, :mod:`repro.sim.semantics`).
 """
 
+from repro.sim.batch import (
+    SIM_BACKENDS,
+    CompiledContext,
+    compile_context,
+    resolve_backend,
+)
 from repro.sim.engine import AllOf, AnyOf, Environment, Event, Process, Timeout
 from repro.sim.executor import ScheduleExecutor, SimResult
 from repro.sim.measure import Benchmarker, Measurement, MeasurementConfig
@@ -23,6 +32,8 @@ __all__ = [
     "AllOf",
     "AnyOf",
     "Benchmarker",
+    "compile_context",
+    "CompiledContext",
     "Environment",
     "Event",
     "Gantt",
@@ -32,7 +43,9 @@ __all__ = [
     "PayloadContext",
     "Process",
     "RankContext",
+    "resolve_backend",
     "ScheduleExecutor",
+    "SIM_BACKENDS",
     "SimResult",
     "Timeout",
     "Trace",

@@ -1,0 +1,476 @@
+"""Compiled batch simulation backend.
+
+The reference engine (:mod:`repro.sim.engine` + :class:`ScheduleExecutor`)
+re-instantiates a discrete-event loop — one Python generator per op and
+per stream — for every single schedule it simulates, even though the
+program DAG, machine preset, and measurement protocol are fixed for an
+entire sweep.  This module compiles that fixed ``(program, machine,
+MeasurementConfig)`` context **once** into flat structure-of-arrays form
+and then replays whole schedule blocks through an array sweep: one numpy
+operation per schedule position per rank, vectorized over the batch
+dimension.
+
+Bit-identity contract
+---------------------
+
+Replayed measurements are bit-identical to the reference engine, not
+merely close.  Within one rank the engine's timing arithmetic reduces to
+IEEE-exact ``(+, max)`` recurrences over a small state vector — the CPU
+clock ``t``, per-stream clocks, and per-event fire times:
+
+* CPU op           ``t += dur``
+* GPU op           ``t += launch; clock[s] = max(clock[s], t) + kdur``
+* event record     ``t += dur; p = max(clock[s], t); ev[e] = p;``
+                   ``clock[s] = p``
+* event sync       ``t += dur; t = max(t, ev[e])``
+* stream wait      ``t += dur; clock[s] = max(clock[s], t, ev[e]) +``
+                   ``cross_gpu_extra`` (other-device events only)
+* program end      ``finish = max(t, max_s clock[s])``  (device sync)
+
+These are insensitive to event-loop tie ordering, so evaluating them as
+numpy float64 column sweeps reproduces the engine bit for bit.  Noise is
+a pure function of ``(seed, sample, rank, op name)`` — schedule
+independent — so jittered duration tables are precomputed per sample and
+shared by every schedule in the block.
+
+What falls back
+---------------
+
+Anything whose timing is *not* a per-rank recurrence goes to the
+reference engine, transparently and counted in metrics
+(``sim.fallbacks``):
+
+* programs with MPI actions (cross-rank NIC-channel occupancy depends on
+  event tie order at equal timestamps) — a compile-time check;
+* schedules that use an event before (or without) recording it, record
+  an event twice, reference unknown ops or out-of-range streams, or
+  contain artificial START/END vertices — per-schedule
+  :meth:`CompiledContext.supports` checks, which also preserve the
+  reference engine's error behaviour for degenerate schedules.
+
+``ActionKind.NOOP`` actions have zero timing effect and stay on the
+batch path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import obs
+from repro.dag.program import Program
+from repro.dag.vertex import ActionKind, OpKind
+from repro.platform.costs import CostModel
+from repro.platform.machine import MachineConfig
+from repro.schedule.schedule import Schedule
+from repro.sim.measure import Benchmarker, Measurement, MeasurementConfig
+
+#: Backend names accepted by the exec layer's ``sim_backend`` knob.
+SIM_BACKENDS = ("reference", "batch", "auto")
+
+_CPU = 0
+_GPU = 1
+_RECORD = 2
+_SYNC = 3
+_WAIT = 4
+
+_KIND_CODE = {
+    OpKind.CPU: _CPU,
+    OpKind.GPU: _GPU,
+    OpKind.EVENT_RECORD: _RECORD,
+    OpKind.EVENT_SYNC: _SYNC,
+    OpKind.STREAM_WAIT: _WAIT,
+}
+
+_N_COMPILES = 0
+
+
+def compile_count() -> int:
+    """Process-global number of :func:`compile_context` calls (test hook)."""
+    return _N_COMPILES
+
+
+class _Pack:
+    """One schedule block packed to ``[B, L]`` arrays in position order.
+
+    ``vid`` indexes the compiled per-sample duration tables and is only
+    meaningful for program (CPU/GPU) ops; sync ops — typically inserted
+    by the design space's sync plan, so not program vertices at all —
+    carry their rank- and sample-independent call overhead directly in
+    ``dur``.  Rows shorter than ``L`` are padded with kind ``-1`` (never
+    the case for schedules of one design space, but packing stays
+    defensive).
+    """
+
+    __slots__ = ("kind", "vid", "sid", "eid", "dur", "n_events")
+
+    def __init__(
+        self,
+        kind: np.ndarray,
+        vid: np.ndarray,
+        sid: np.ndarray,
+        eid: np.ndarray,
+        dur: np.ndarray,
+        n_events: int,
+    ) -> None:
+        self.kind = kind
+        self.vid = vid
+        self.sid = sid
+        self.eid = eid
+        self.dur = dur
+        self.n_events = n_events
+
+
+class CompiledContext:
+    """A ``(program, machine, MeasurementConfig)`` context compiled for replay.
+
+    Construction is cheap relative to one simulation sweep but not free;
+    build it once per process (see ``SerialEvaluator`` /
+    ``ParallelEvaluator``) and reuse it across blocks.  ``ok`` is the
+    compile-time capability verdict; when ``False``, ``reason`` names the
+    unsupported feature and :meth:`supports` rejects every schedule.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        machine: MachineConfig,
+        config: MeasurementConfig = MeasurementConfig(),
+        *,
+        sample_offset: int = 0,
+    ) -> None:
+        self.program = program
+        self.machine = machine
+        self.config = config
+        self.sample_offset = sample_offset
+        self.n_ranks = machine.n_ranks
+        self.n_streams = machine.n_streams
+        self.n_gpus = machine.n_gpus
+        self._noise = machine.noise
+        cross = machine.gpu.cross_gpu_sync_extra_s
+        # The engine only pays the penalty when it is strictly positive.
+        self._cross_extra = cross if cross > 0 else 0.0
+        self._sync_dur = {
+            _RECORD: machine.gpu.event_record_s,
+            _SYNC: machine.gpu.event_sync_overhead_s,
+            _WAIT: machine.gpu.stream_wait_overhead_s,
+        }
+
+        self._vertices = tuple(program.schedulable_vertices())
+        self._by_name = {v.name: v for v in self._vertices}
+        self._vid = {v.name: j for j, v in enumerate(self._vertices)}
+
+        self.ok = True
+        self.reason = ""
+        if program.n_ranks != machine.n_ranks:
+            self.ok = False
+            self.reason = "rank-mismatch"
+        else:
+            for v in self._vertices:
+                if v.action is not None and v.action.kind is not ActionKind.NOOP:
+                    # Cross-rank NIC occupancy depends on event tie order.
+                    self.ok = False
+                    self.reason = "mpi-comm"
+                    break
+
+        cost = CostModel(machine)
+        self._launch = cost.launch_overhead()
+        n_v = len(self._vertices)
+        self._base = np.zeros((self.n_ranks, n_v))
+        if self.ok:
+            for r in range(self.n_ranks):
+                for j, v in enumerate(self._vertices):
+                    self._base[r, j] = cost.base_duration(program, v, r)
+        # Per-sample jittered duration tables: adv = CPU-side advance of
+        # each op (CPU duration / GPU launch / sync-call overhead), kdur =
+        # GPU kernel duration.  Noise keys are schedule-independent, so
+        # one table per absolute sample index serves every schedule.
+        self._tables: Dict[Optional[int], Tuple[np.ndarray, np.ndarray]] = {}
+
+    # ------------------------------------------------------------------
+    def unsupported_reason(self, schedule: Schedule) -> Optional[str]:
+        """Why ``schedule`` cannot be replayed, or ``None`` if it can.
+
+        Beyond the compile-time verdict this enforces the single-forward-
+        sweep requirement (every event recorded at an earlier schedule
+        position than its uses) and rejects exactly the degenerate
+        schedules the reference engine errors or deadlocks on, so the
+        fallback path preserves reference behaviour.
+        """
+        if not self.ok:
+            return self.reason
+        recorded = set()
+        for op in schedule.ops:
+            code = _KIND_CODE.get(op.vertex.kind)
+            if code is None:
+                return f"op-kind:{op.vertex.kind.value}"
+            known = self._by_name.get(op.name)
+            if known is not None:
+                if known != op.vertex:
+                    return f"op-mismatch:{op.name}"
+            elif code in (_CPU, _GPU):
+                # Program ops must come from the compiled program; sync
+                # ops are inserted by the design space and priced from
+                # machine scalars alone.
+                return f"unknown-op:{op.name}"
+            if op.stream is not None and not 0 <= op.stream < self.n_streams:
+                return f"stream-out-of-range:{op.stream}"
+            if code == _RECORD:
+                if op.event in recorded:
+                    return f"event-rerecord:{op.event}"
+                recorded.add(op.event)
+            elif code in (_SYNC, _WAIT) and op.event not in recorded:
+                return f"event-before-record:{op.event}"
+        return None
+
+    def supports(self, schedule: Schedule) -> bool:
+        return self.unsupported_reason(schedule) is None
+
+    # ------------------------------------------------------------------
+    def _pack(self, schedules: Sequence[Schedule]) -> _Pack:
+        n_rows = len(schedules)
+        n_cols = max(len(s) for s in schedules)
+        kind = np.full((n_rows, n_cols), -1, dtype=np.int64)
+        vid = np.zeros((n_rows, n_cols), dtype=np.int64)
+        sid = np.zeros((n_rows, n_cols), dtype=np.int64)
+        eid = np.zeros((n_rows, n_cols), dtype=np.int64)
+        dur = np.zeros((n_rows, n_cols))
+        events: Dict[str, int] = {}
+        for b, s in enumerate(schedules):
+            for i, op in enumerate(s.ops):
+                code = _KIND_CODE[op.vertex.kind]
+                kind[b, i] = code
+                if code in (_CPU, _GPU):
+                    vid[b, i] = self._vid[op.name]
+                else:
+                    d = op.vertex.duration
+                    if d is None:
+                        d = self._sync_dur[code]
+                    # Engine advances on strictly positive durations only.
+                    dur[b, i] = d if d > 0 else 0.0
+                if op.stream is not None:
+                    sid[b, i] = op.stream
+                if op.event is not None:
+                    eid[b, i] = events.setdefault(op.event, len(events))
+        return _Pack(kind, vid, sid, eid, dur, max(len(events), 1))
+
+    def _sample_tables(self, sample: int) -> Tuple[np.ndarray, np.ndarray]:
+        key: Optional[int] = sample if self._noise.enabled else None
+        tables = self._tables.get(key)
+        if tables is None:
+            noise = self._noise
+            adv = np.zeros_like(self._base)
+            kdur = np.zeros_like(self._base)
+            for r in range(self.n_ranks):
+                for j, v in enumerate(self._vertices):
+                    base = self._base[r, j]
+                    if v.kind is OpKind.CPU:
+                        adv[r, j] = noise.jitter(base, sample, r, v.name)
+                    elif v.kind is OpKind.GPU:
+                        adv[r, j] = noise.jitter(
+                            self._launch, sample, r, v.name, "launch"
+                        )
+                        kdur[r, j] = noise.jitter(base, sample, r, v.name)
+                    else:
+                        adv[r, j] = base  # sync-call overheads: no jitter
+            # The engine advances only on strictly positive durations;
+            # clamping keeps a (pathological) negative explicit duration
+            # from advancing time backwards.
+            tables = (np.maximum(adv, 0.0), np.maximum(kdur, 0.0))
+            self._tables[key] = tables
+        return tables
+
+    def _replay(self, pack: _Pack, rows: np.ndarray, sample: int) -> np.ndarray:
+        """Per-rank finish times, shape ``[len(rows), n_ranks]``."""
+        adv_t, kdur_t = self._sample_tables(sample)
+        kind = pack.kind[rows]
+        vid = pack.vid[rows]
+        sid = pack.sid[rows]
+        eid = pack.eid[rows]
+        dur = pack.dur[rows]
+        n_rows, n_cols = kind.shape
+        out = np.empty((n_rows, self.n_ranks))
+        for r in range(self.n_ranks):
+            adv = adv_t[r]
+            kdur = kdur_t[r]
+            t = np.zeros(n_rows)
+            clock = np.zeros((n_rows, self.n_streams))
+            ev_time = np.zeros((n_rows, pack.n_events))
+            ev_src = np.zeros((n_rows, pack.n_events), dtype=np.int64)
+            for i in range(n_cols):
+                k = kind[:, i]
+                sel = np.nonzero((k == _CPU) | (k == _GPU))[0]
+                if sel.size:
+                    t[sel] += adv[vid[sel, i]]
+                sel = np.nonzero(k >= _RECORD)[0]
+                if sel.size:
+                    t[sel] += dur[sel, i]
+                sel = np.nonzero(k == _GPU)[0]
+                if sel.size:
+                    s = sid[sel, i]
+                    start = np.maximum(clock[sel, s], t[sel])
+                    clock[sel, s] = start + kdur[vid[sel, i]]
+                sel = np.nonzero(k == _RECORD)[0]
+                if sel.size:
+                    s = sid[sel, i]
+                    e = eid[sel, i]
+                    proc = np.maximum(clock[sel, s], t[sel])
+                    ev_time[sel, e] = proc
+                    ev_src[sel, e] = s
+                    clock[sel, s] = proc
+                sel = np.nonzero(k == _SYNC)[0]
+                if sel.size:
+                    e = eid[sel, i]
+                    t[sel] = np.maximum(t[sel], ev_time[sel, e])
+                sel = np.nonzero(k == _WAIT)[0]
+                if sel.size:
+                    s = sid[sel, i]
+                    e = eid[sel, i]
+                    resume = np.maximum(
+                        np.maximum(clock[sel, s], t[sel]), ev_time[sel, e]
+                    )
+                    if self.n_gpus > 1 and self._cross_extra > 0:
+                        resume = resume + np.where(
+                            ev_src[sel, e] % self.n_gpus != s % self.n_gpus,
+                            self._cross_extra,
+                            0.0,
+                        )
+                    clock[sel, s] = resume
+            out[:, r] = np.maximum(t, clock.max(axis=1))
+        return out
+
+    # ------------------------------------------------------------------
+    def measure_block(self, schedules: Sequence[Schedule]) -> List[Measurement]:
+        """Measure a block of supported schedules (paper §III-C3 protocol).
+
+        Mirrors ``Benchmarker.measure`` exactly — same sample order, same
+        break conditions, same accumulation order — with an active-row
+        mask over the block instead of a per-schedule loop.  Callers must
+        have verified :meth:`supports` for every schedule.
+        """
+        if not schedules:
+            return []
+        pack = self._pack(schedules)
+        n_rows = len(schedules)
+        cfg = self.config
+        noise_on = self._noise.enabled
+        acc = np.zeros((n_rows, self.n_ranks))
+        n = np.zeros(n_rows, dtype=np.int64)
+        active = np.ones(n_rows, dtype=bool)
+        sample = 0
+        while True:
+            rows = np.nonzero(active)[0]
+            per_rank = self._replay(pack, rows, self.sample_offset + sample)
+            acc[rows] += per_rank
+            n[rows] += 1
+            sample += 1
+            n_rows_active = n[rows]
+            stop = n_rows_active >= cfg.max_samples
+            if not noise_on:
+                stop |= n_rows_active >= cfg.min_samples
+            stop |= (n_rows_active >= cfg.min_samples) & (
+                acc[rows].max(axis=1) >= cfg.target_time_s
+            )
+            active[rows[stop]] = False
+            if not active.any():
+                break
+        results = []
+        for b in range(n_rows):
+            n_b = int(n[b])
+            per = tuple(float(acc[b, r] / n_b) for r in range(self.n_ranks))
+            results.append(
+                Measurement(time=max(per), n_samples=n_b, per_rank_time=per)
+            )
+        return results
+
+    def measure_into(
+        self,
+        benchmarker: Benchmarker,
+        schedules: Sequence[Schedule],
+        backend: str = "batch",
+    ) -> Tuple[List[Measurement], int, int]:
+        """Measure ``schedules`` through ``benchmarker``'s memo via replay.
+
+        Un-memoized supported schedules are replayed in one block and
+        seeded into the memo (with reference-equivalent ``n_simulations``
+        accounting); unsupported ones fall back to
+        ``benchmarker.measure``.  Returns ``(results, n_replayed,
+        n_fallbacks)`` so callers can do their own metrics accounting —
+        this function does not touch ``obs`` counters (it also runs
+        inside pool workers whose registries are never shipped home).
+        """
+        todo: List[Schedule] = []
+        n_fallbacks = 0
+        seen = set()
+        for s in schedules:
+            fp = s.fingerprint()
+            if fp in seen:
+                continue
+            seen.add(fp)
+            if benchmarker.cached(s, backend=backend) is not None:
+                continue
+            if self.supports(s):
+                todo.append(s)
+            else:
+                n_fallbacks += 1
+        for s, m in zip(todo, self.measure_block(todo)):
+            benchmarker.seed_cache(s, m, backend=backend)
+            benchmarker.n_simulations += m.n_samples
+        results = [benchmarker.measure(s, backend=backend) for s in schedules]
+        return results, len(todo), n_fallbacks
+
+
+def resolve_backend(
+    sim_backend: str,
+    program: Program,
+    machine: MachineConfig,
+    config: MeasurementConfig = MeasurementConfig(),
+    *,
+    sample_offset: int = 0,
+    needs_reference: bool = False,
+) -> Tuple[str, Optional["CompiledContext"]]:
+    """Resolve a ``sim_backend`` knob to ``(backend, compiled context)``.
+
+    ``"auto"`` compiles the context and picks ``"batch"`` when it is
+    usable, ``"reference"`` otherwise.  An explicit ``"batch"`` keeps the
+    (possibly unusable) context so every schedule takes the counted
+    per-schedule fallback path.  ``needs_reference`` is for callers whose
+    executor uses features replay cannot produce (trace collection,
+    payload execution) — they always resolve to the reference engine.
+    """
+    if sim_backend not in SIM_BACKENDS:
+        raise ValueError(
+            f"unknown sim backend {sim_backend!r}; expected one of {SIM_BACKENDS}"
+        )
+    if sim_backend == "reference" or needs_reference:
+        return "reference", None
+    ctx = compile_context(program, machine, config, sample_offset=sample_offset)
+    if ctx.ok or sim_backend == "batch":
+        return "batch", ctx
+    return "reference", None
+
+
+def compile_context(
+    program: Program,
+    machine: MachineConfig,
+    config: MeasurementConfig = MeasurementConfig(),
+    *,
+    sample_offset: int = 0,
+) -> CompiledContext:
+    """Compile a replay context; timed and counted in ``obs``.
+
+    ``sim.compile_s`` observes the compile wall; ``sim.compiled_contexts``
+    counts *usable* contexts (``ctx.ok``) so the metric reads as "how many
+    batch-capable contexts this run built".
+    """
+    global _N_COMPILES
+    _N_COMPILES += 1
+    with obs.stage("sim.compile") as st:
+        ctx = CompiledContext(
+            program, machine, config, sample_offset=sample_offset
+        )
+    obs.observe("sim.compile_s", st.duration)
+    if ctx.ok:
+        obs.add("sim.compiled_contexts")
+    return ctx

@@ -97,6 +97,7 @@ def pipeline_for_spec(
     cache_path: Optional[str] = None,
     program: Optional[Program] = None,
     block_size: Optional[int] = None,
+    sim_backend: str = "auto",
 ) -> DesignRulePipeline:
     """Exhaustive design-rule pipeline for one workload spec.
 
@@ -118,6 +119,7 @@ def pipeline_for_spec(
             strategy="exhaustive",
             workers=workers,
             cache_path=cache_path,
+            sim_backend=sim_backend,
             **kwargs,
         ),
     )
@@ -154,6 +156,7 @@ def workload_rules(
     workers: int = 0,
     cache_path: Optional[str] = None,
     block_size: Optional[int] = None,
+    sim_backend: str = "auto",
 ) -> WorkloadRules:
     """Run the exhaustive pipeline on ``spec`` and reduce to rules +
     fast/slow labeled schedule classes."""
@@ -167,6 +170,7 @@ def workload_rules(
         cache_path=cache_path,
         program=program,
         block_size=block_size,
+        sim_backend=sim_backend,
     )
     try:
         result = pipe.run()
@@ -200,6 +204,7 @@ def run_rules_plan(
     cache_path: Optional[str] = None,
     shard_workers: int = 0,
     block_size: Optional[int] = None,
+    sim_backend: str = "auto",
 ):
     """Per-workload exhaustive pipelines as an orchestrate plan.
 
@@ -224,6 +229,7 @@ def run_rules_plan(
         workers=workers,
         cache_path=cache_path,
         block_size=block_size,
+        sim_backend=sim_backend,
     )
     run = execute_plan(plan, shard_workers=shard_workers)
     return [restore_rules_payload(r) for r in run.results], run
@@ -239,6 +245,7 @@ def rules_for_specs(
     cache_path: Optional[str] = None,
     shard_workers: int = 0,
     block_size: Optional[int] = None,
+    sim_backend: str = "auto",
 ) -> List[WorkloadRules]:
     """Run the exhaustive pipeline on every spec (the shared front half of
     the satisfaction table and the transfer matrix)."""
@@ -251,6 +258,7 @@ def rules_for_specs(
         cache_path=cache_path,
         shard_workers=shard_workers,
         block_size=block_size,
+        sim_backend=sim_backend,
     )
     return per_workload
 
@@ -265,6 +273,7 @@ def run_cross_workload(
     cache_path: Optional[str] = None,
     shard_workers: int = 0,
     block_size: Optional[int] = None,
+    sim_backend: str = "auto",
 ) -> CrossWorkloadResult:
     """Score every workload's fastest-class rules on every other workload."""
     if len(specs) < 2:
@@ -278,5 +287,6 @@ def run_cross_workload(
         cache_path=cache_path,
         shard_workers=shard_workers,
         block_size=block_size,
+        sim_backend=sim_backend,
     )
     return score_cross_workload(per_workload)

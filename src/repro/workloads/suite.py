@@ -291,6 +291,16 @@ class SuiteReport:
                 f"{cache_stats['misses']} misses "
                 f"({cache_stats['lock_retries']} lock retries)"
             )
+        sim_stats = self.metrics.get("sim") if self.metrics else None
+        if sim_stats and (
+            sim_stats["batch_replays"] or sim_stats["fallbacks"]
+        ):
+            lines.append(
+                f"Sim backend {sim_stats['backend']!r}: "
+                f"{sim_stats['batch_replays']} batch replays / "
+                f"{sim_stats['fallbacks']} reference fallbacks "
+                f"({sim_stats['compiled_contexts']} compiled contexts)"
+            )
         if self.published:
             lines.append(
                 f"Published {len(self.published)} advisor artifacts "
@@ -384,6 +394,7 @@ class SuiteRunner:
         block_size: Optional[int] = None,
         store_path: Optional[str] = None,
         progress: bool = False,
+        sim_backend: str = "auto",
     ) -> None:
         self.suite = suite
         self.machine = machine if machine is not None else perlmutter_like()
@@ -397,6 +408,9 @@ class SuiteRunner:
         self.store_path = store_path
         #: Live stderr progress over completed plan tasks (``--progress``).
         self.progress = progress
+        #: Simulation backend for every task evaluator
+        #: (``reference`` | ``batch`` | ``auto``).
+        self.sim_backend = sim_backend
 
     # ------------------------------------------------------------------
     def run(self) -> SuiteReport:
@@ -416,6 +430,7 @@ class SuiteRunner:
             cache_path=self.cache_path,
             seed=self.seed,
             block_size=self.block_size,
+            sim_backend=self.sim_backend,
         )
         obs.log.info(
             "suite.run",
@@ -449,7 +464,15 @@ class SuiteRunner:
                     "hits": int(delta.counter("cache.hits")),
                     "misses": int(delta.counter("cache.misses")),
                     "lock_retries": int(delta.counter("cache.lock_retries")),
-                }
+                },
+                "sim": {
+                    "backend": self.sim_backend,
+                    "batch_replays": int(delta.counter("sim.batch_replays")),
+                    "fallbacks": int(delta.counter("sim.fallbacks")),
+                    "compiled_contexts": int(
+                        delta.counter("sim.compiled_contexts")
+                    ),
+                },
             },
         )
         if suite.cross_workload_rules:
@@ -523,6 +546,7 @@ def run_suite(
     block_size: Optional[int] = None,
     store_path: Optional[str] = None,
     progress: bool = False,
+    sim_backend: str = "auto",
 ) -> SuiteReport:
     """Convenience: look up a built-in suite by name and run it."""
     return SuiteRunner(
@@ -535,4 +559,5 @@ def run_suite(
         block_size=block_size,
         store_path=store_path,
         progress=progress,
+        sim_backend=sim_backend,
     ).run()

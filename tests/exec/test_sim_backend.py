@@ -1,0 +1,102 @@
+"""Evaluator-level contracts of the ``sim_backend`` knob.
+
+Covers the warm-start guarantee (one compile per worker process, never
+per task), the backend-keyed in-memory memo (mixed-backend sessions can
+never alias), measurement-config validation, and parallel batch-vs-
+reference bit-identity.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exec import ParallelEvaluator, SerialEvaluator
+from repro.exec.parallel import _worker_compile_stats
+from repro.platform import noiseless, perlmutter_like
+from repro.schedule.space import DesignSpace
+from repro.sim.executor import ScheduleExecutor
+from repro.sim.measure import Benchmarker, Measurement, MeasurementConfig
+from repro.workloads import WorkloadSpec, build_workload
+
+CFG = MeasurementConfig(max_samples=1)
+
+
+@pytest.fixture(scope="module")
+def layered():
+    program = build_workload(
+        WorkloadSpec("layered_random", {"layers": 3, "width": 2, "edge_p": 0.5})
+    )
+    machine = noiseless(perlmutter_like()).with_ranks(program.n_ranks)
+    return program, machine
+
+
+def _random_schedules(program, n, seed=11):
+    space = DesignSpace(program, n_streams=2)
+    rng = np.random.default_rng(seed)
+    out = []
+    while len(out) < n:
+        s = space.random_schedule(rng)
+        if s is not None:
+            out.append(s)
+    return out
+
+
+def test_worker_compiles_once_not_per_task(layered):
+    """Regression: the compiled context is built in the pool initializer —
+    compile count stays one per worker however many tasks are dispatched."""
+    program, machine = layered
+    with ParallelEvaluator(
+        program,
+        machine,
+        CFG,
+        n_workers=2,
+        sim_backend="batch",
+        chunksize=1,  # many tiny tasks: per-task compiles would show up
+    ) as ev:
+        for seed in range(3):
+            ev.evaluate_batch(_random_schedules(program, 8, seed=seed))
+        pool = ev._ensure_pool()
+        stats = set(pool.map(_worker_compile_stats, range(32), chunksize=1))
+    per_pid = dict(stats)
+    assert len(per_pid) == len(stats), "a worker recompiled between tasks"
+    assert set(per_pid.values()) == {1}
+
+
+def test_parallel_batch_bit_identical_to_serial_reference(layered):
+    program, machine = layered
+    cfg = MeasurementConfig(max_samples=2)
+    noisy = perlmutter_like(noise_sigma=0.01).with_ranks(program.n_ranks)
+    schedules = _random_schedules(program, 24)
+    serial = SerialEvaluator(
+        Benchmarker(ScheduleExecutor(program, noisy), cfg),
+        sim_backend="reference",
+    )
+    ref = serial.evaluate_batch(schedules)
+    with ParallelEvaluator(
+        program, noisy, cfg, n_workers=2, sim_backend="auto"
+    ) as ev:
+        assert ev.sim_backend == "batch"
+        assert ev.evaluate_batch(schedules) == ref
+        assert ev.n_simulations == serial.n_simulations
+
+
+def test_memo_is_backend_keyed(layered):
+    """Mixed-backend sessions must never alias memo entries."""
+    program, machine = layered
+    bench = Benchmarker(ScheduleExecutor(program, machine), CFG)
+    (s,) = _random_schedules(program, 1)
+    m_ref = bench.measure(s)
+    assert bench.cached(s) == m_ref
+    assert bench.cached(s, backend="batch") is None
+    fake = Measurement(time=1.0, n_samples=1, per_rank_time=(1.0,))
+    bench.seed_cache(s, fake, backend="batch")
+    assert bench.cached(s) == m_ref  # reference entry untouched
+    assert bench.cached(s, backend="batch") == fake
+    assert bench.measure(s, backend="batch") == fake
+
+
+def test_measurement_config_rejects_nonpositive_target():
+    with pytest.raises(ValueError, match="target_time_s"):
+        MeasurementConfig(target_time_s=0.0)
+    with pytest.raises(ValueError, match="target_time_s"):
+        MeasurementConfig(target_time_s=-1.0)
+    assert MeasurementConfig(target_time_s=1e-9).target_time_s == 1e-9
