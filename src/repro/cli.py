@@ -561,11 +561,18 @@ def _cmd_trace(args) -> str:
     directories, or archive roots (``--archive DIR``; resolves to the
     archive's latest run).  ``--diff BASELINE CURRENT`` gates on the
     thresholds and exits nonzero on any regression — the same gate CI
-    and ``benchmarks/compare_bench.py`` use.
+    and ``benchmarks/compare_bench.py`` use.  ``--analyze --json`` emits
+    the analysis tables as machine-readable JSON (the history store's
+    ingestion format); ``--export-perfetto OUT.json`` lowers the trace
+    to Chrome/Perfetto trace-event JSON for ``ui.perfetto.dev``.
     """
+    import json as json_mod
+
     from repro.obs import (
         DiffThresholds,
+        analysis_to_dict,
         diff_runs,
+        export_perfetto,
         render_analysis,
         render_diff,
         render_trace,
@@ -600,9 +607,129 @@ def _cmd_trace(args) -> str:
             "repro trace renders one trace (use --diff to compare two)"
         )
     data = resolve_trace(args.paths[0])
+    lines = []
+    if args.export_perfetto:
+        n_events = export_perfetto(data, args.export_perfetto)
+        lines.append(
+            f"perfetto trace with {n_events} events written to "
+            f"{args.export_perfetto} (open in ui.perfetto.dev)"
+        )
     if args.analyze:
-        return render_analysis(data, top=args.top)
-    return render_trace(data, width=args.width)
+        if args.json:
+            payload = json_mod.dumps(
+                analysis_to_dict(data), indent=2, sort_keys=True
+            )
+            if args.json == "-":
+                lines.append(payload)
+            else:
+                with open(args.json, "w", encoding="utf-8") as fh:
+                    fh.write(payload + "\n")
+                lines.append(f"analysis JSON written to {args.json}")
+                lines.append(render_analysis(data, top=args.top))
+        else:
+            lines.append(render_analysis(data, top=args.top))
+    elif not lines:
+        lines.append(render_trace(data, width=args.width))
+    return "\n".join(lines)
+
+
+def _cmd_obs(args) -> str:
+    """``repro obs history ingest|show|gate`` — the cross-run trend store."""
+    import os as os_mod
+
+    from repro.obs import HistoryStore, detect_regressions
+
+    store = HistoryStore(args.store)
+    if args.obs_command != "history":  # pragma: no cover - argparse gates
+        raise SystemExit(f"unknown obs command {args.obs_command!r}")
+
+    if args.history_command == "ingest":
+        lines = []
+        total = 0
+        for source in args.sources:
+            if os_mod.path.isdir(source):
+                if not os_mod.path.isfile(
+                    os_mod.path.join(source, "index.jsonl")
+                ):
+                    raise SystemExit(
+                        f"{source}: not an archive root (no index.jsonl)"
+                    )
+                added = store.ingest_archive(source)
+            elif source.endswith(".json"):
+                added = store.ingest_bench(
+                    source, sha=args.sha or "", pattern=args.bench_pattern
+                )
+            else:
+                raise SystemExit(
+                    f"{source}: expected an archive directory or a "
+                    "pytest-benchmark .json file"
+                )
+            lines.append(f"ingested {source}: {added} points")
+            total += added
+        lines.append(
+            f"history store {store.path}: +{total} points, "
+            f"{len(store.run_ids())} runs total"
+        )
+        return "\n".join(lines)
+
+    if args.history_command == "show":
+        groups = store.series()
+        if args.series:
+            groups = {
+                name: pts
+                for name, pts in groups.items()
+                if args.series in name
+            }
+        if not groups:
+            return f"history store {store.path}: no matching series"
+        lines = [
+            f"history store {store.path}: {len(groups)} series, "
+            f"{len(store.run_ids())} runs"
+        ]
+        for name in sorted(groups):
+            points = groups[name][-max(1, args.last):]
+            values = " ".join(f"{p.value:.6g}" for p in points)
+            lines.append(
+                f"  {name} ({len(groups[name])} points): {values}"
+            )
+        return "\n".join(lines)
+
+    if args.history_command == "gate":
+        prefixes = (
+            tuple(args.prefix)
+            if args.prefix
+            else ("span:", "bench:", "hist:")
+        )
+        regressions = detect_regressions(
+            store,
+            window=args.window,
+            mad_k=args.mad_k,
+            min_rel=args.min_rel,
+            min_points=args.min_points,
+            prefixes=prefixes,
+        )
+        n_series = len(store.series())
+        if not regressions:
+            return (
+                f"history gate: OK ({n_series} series, no trend "
+                f"regressions; series under {args.min_points} points "
+                "are warn-only)"
+            )
+        report = "\n".join(
+            "  " + r.describe() for r in regressions
+        )
+        print(
+            f"history gate: {len(regressions)} trend regression(s) "
+            f"across {n_series} series:\n{report}"
+        )
+        raise SystemExit(
+            "history gate failed: "
+            + ", ".join(r.series for r in regressions)
+        )
+
+    raise SystemExit(  # pragma: no cover - argparse gates
+        f"unknown history command {args.history_command!r}"
+    )
 
 
 def _add_experiment_options(parser: argparse.ArgumentParser) -> None:
@@ -724,6 +851,17 @@ def _add_obs_options(parser: argparse.ArgumentParser) -> None:
             "argv, machine preset) as a self-describing bundle under "
             "DIR; inspect or compare with `repro trace DIR "
             "[--analyze|--diff]`"
+        ),
+    )
+    parser.add_argument(
+        "--telemetry",
+        dest="telemetry",
+        action="store_true",
+        help=(
+            "sample per-process resources (CPU, RSS, GC; tracemalloc "
+            "peak with REPRO_TELEMETRY_MALLOC=1) across the run and "
+            "every shard worker; samples land in the trace/archive and "
+            "surface in `repro trace --analyze` resource columns"
         ),
     )
 
@@ -1073,6 +1211,151 @@ def build_parser() -> argparse.ArgumentParser:
             "this fraction (default: informational only)"
         ),
     )
+    p.add_argument(
+        "--json",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help=(
+            "--analyze: also write the tables as machine-readable JSON "
+            "to PATH ('-' prints JSON instead of tables; this is the "
+            "`repro obs history` ingestion format)"
+        ),
+    )
+    p.add_argument(
+        "--export-perfetto",
+        dest="export_perfetto",
+        type=str,
+        default=None,
+        metavar="OUT.json",
+        help=(
+            "lower the trace (spans across pids, counters, resource "
+            "samples) to Chrome/Perfetto trace-event JSON at OUT.json; "
+            "open in ui.perfetto.dev"
+        ),
+    )
+
+    p = sub.add_parser(
+        "obs",
+        help=(
+            "observability stores: `repro obs history ingest|show|gate` "
+            "accumulates per-metric time series across runs and gates "
+            "on rolling median + MAD trend breaks"
+        ),
+    )
+    obs_sub = p.add_subparsers(
+        dest="obs_command", required=True, metavar="store"
+    )
+    hist = obs_sub.add_parser(
+        "history",
+        help="cross-run per-metric time series + trend regression gate",
+    )
+    hist_sub = hist.add_subparsers(
+        dest="history_command", required=True, metavar="action"
+    )
+
+    hp = hist_sub.add_parser(
+        "ingest",
+        help=(
+            "index archive roots (--archive DIR) and/or pytest-benchmark "
+            "JSON files into the store (idempotent per run id)"
+        ),
+    )
+    hp.add_argument("store", help="history store directory")
+    hp.add_argument(
+        "sources",
+        nargs="+",
+        metavar="SOURCE",
+        help="archive root directories and/or BENCH_*.json files",
+    )
+    hp.add_argument(
+        "--sha",
+        type=str,
+        default=None,
+        help="git sha to stamp on benchmark points (archives carry their own)",
+    )
+    hp.add_argument(
+        "--bench-pattern",
+        dest="bench_pattern",
+        type=str,
+        default=None,
+        metavar="REGEX",
+        help="only ingest benchmarks whose fullname matches REGEX",
+    )
+
+    hp = hist_sub.add_parser(
+        "show", help="print stored series and their recent values"
+    )
+    hp.add_argument("store", help="history store directory")
+    hp.add_argument(
+        "--series",
+        type=str,
+        default=None,
+        metavar="SUBSTR",
+        help="only series whose name contains SUBSTR",
+    )
+    hp.add_argument(
+        "--last",
+        type=int,
+        default=8,
+        metavar="N",
+        help="values per series to print (default 8)",
+    )
+
+    hp = hist_sub.add_parser(
+        "gate",
+        help=(
+            "exit nonzero when any series' newest point breaks its "
+            "rolling median + MAD trend band (series with fewer than "
+            "--min-points runs are skipped: warn-only until a baseline "
+            "accumulates)"
+        ),
+    )
+    hp.add_argument("store", help="history store directory")
+    hp.add_argument(
+        "--window",
+        type=int,
+        default=8,
+        metavar="N",
+        help="baseline window: median/MAD over the last N prior points",
+    )
+    hp.add_argument(
+        "--mad-k",
+        dest="mad_k",
+        type=float,
+        default=4.0,
+        metavar="K",
+        help="band half-width in scaled-MAD units (default 4.0)",
+    )
+    hp.add_argument(
+        "--min-rel",
+        dest="min_rel",
+        type=float,
+        default=0.10,
+        metavar="FRAC",
+        help=(
+            "relative floor: never flag below median * (1 + FRAC) "
+            "(default 0.10)"
+        ),
+    )
+    hp.add_argument(
+        "--min-points",
+        dest="min_points",
+        type=int,
+        default=5,
+        metavar="N",
+        help="series with fewer points are skipped (default 5)",
+    )
+    hp.add_argument(
+        "--prefix",
+        action="append",
+        default=None,
+        metavar="PREFIX",
+        help=(
+            "series-name prefixes to gate on (repeatable; default "
+            "span:, bench:, hist:)"
+        ),
+    )
     return parser
 
 
@@ -1133,6 +1416,8 @@ def _dispatch(args) -> str:
         return _cmd_search(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "obs":
+        return _cmd_obs(args)
     return _COMMANDS[args.command][0](args)
 
 
@@ -1144,13 +1429,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     trace_path = getattr(args, "trace", None)
     want_metrics = getattr(args, "metrics", False)
     archive_dir = getattr(args, "archive", None)
-    if trace_path is None and not want_metrics and archive_dir is None:
+    telemetry = getattr(args, "telemetry", False)
+    if (
+        trace_path is None
+        and not want_metrics
+        and archive_dir is None
+        and not telemetry
+    ):
         print(_dispatch(args))
         return 0
     # Archiving implies span capture: a bundle without spans can't be
     # critical-path-analyzed or wall-diffed later.
     with obs.capture(
-        trace=trace_path is not None or archive_dir is not None
+        trace=trace_path is not None or archive_dir is not None,
+        telemetry=telemetry,
     ) as cap:
         out = _dispatch(args)
     print(out)
@@ -1160,6 +1452,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             cap.spans,
             metrics=cap.metrics,
             meta={"command": args.command},
+            samples=cap.resources,
         )
         print(f"trace with {n_spans} spans written to {trace_path}")
     if archive_dir is not None:
@@ -1175,8 +1468,16 @@ def main(argv: Optional[List[str]] = None) -> int:
                     noise_sigma=getattr(args, "noise", 0.01)
                 ).name,
             },
+            samples=cap.resources,
         )
         print(f"archived run {rec.run_id} to {rec.path}")
+    if telemetry:
+        rss = cap.metrics.gauges.get("telemetry.rss_max_bytes", 0.0)
+        cpu = cap.metrics.gauges.get("telemetry.cpu_s", 0.0)
+        print(
+            f"telemetry: {len(cap.resources)} resource samples, "
+            f"peak rss {rss / (1024 * 1024):.0f}MB, cpu {cpu:.2f}s"
+        )
     if want_metrics:
         print(obs.render_metrics(cap.metrics))
     return 0

@@ -100,6 +100,18 @@ def _worker_compile_stats(_: object = None) -> tuple:
     return (os.getpid(), _WORKER_COMPILES)
 
 
+def _worker_resource_probe(_: object = None):
+    """One :class:`ResourceSample` of this eval-pool worker (telemetry).
+
+    Inner pool workers have no sampler of their own (worker registries
+    are never shipped home), so the parent probes them once at pool
+    shutdown to catch each worker's peak-ish footprint.
+    """
+    from repro.obs.telemetry import sample_now
+
+    return sample_now(path="eval.worker")
+
+
 def build_evaluator(
     program: Program,
     machine: MachineConfig,
@@ -286,8 +298,41 @@ class ParallelEvaluator(Evaluator):
         return fresh
 
     # ------------------------------------------------------------------
+    def _probe_worker_resources(self) -> None:
+        """Best-effort RSS probe of each pool worker before shutdown.
+
+        Dispatches enough probe tasks to likely hit every worker, dedups
+        by pid, and folds one sample per worker into the ambient sampler
+        (path ``eval.worker``) plus an ``eval.pool_rss_max_bytes`` gauge.
+        Telemetry must never fail an evaluation, hence the broad except.
+        """
+        if self._pool is None or not obs.telemetry_active():
+            return
+        try:
+            probes = list(
+                self._pool.map(
+                    _worker_resource_probe,
+                    range(4 * self.n_workers),
+                    chunksize=1,
+                )
+            )
+            by_pid = {}
+            for rec in probes:
+                prev = by_pid.get(rec.pid)
+                if prev is None or rec.rss_bytes > prev.rss_bytes:
+                    by_pid[rec.pid] = rec
+            if by_pid:
+                obs.absorb(resources=tuple(by_pid.values()))
+                obs.gauge(
+                    "eval.pool_rss_max_bytes",
+                    float(max(r.rss_bytes for r in by_pid.values())),
+                )
+        except Exception:
+            pass
+
     def close(self) -> None:
         if self._pool is not None:
+            self._probe_worker_resources()
             self._pool.shutdown(wait=True, cancel_futures=True)
             self._pool = None
 

@@ -20,6 +20,14 @@ The shared observability substrate for the whole search/serve stack:
   threshold-gated run diff CI and ``repro trace --diff`` gate on.
 * ``progress_scope`` + worker heartbeats — throttled stderr progress
   lines with ETA for long serial and sharded runs (``--progress``).
+* ``TelemetrySampler`` / ``resource_stats`` / ``worker_stats`` —
+  ``--telemetry`` resource sampling (CPU, RSS, GC) attributed to span
+  paths and worker pids, riding heartbeats and ``TaskResult`` payloads.
+* ``to_perfetto`` / ``export_perfetto`` — lower any archived trace to
+  Chrome/Perfetto trace-event JSON (``--export-perfetto``).
+* ``HistoryStore`` / ``detect_regressions`` — cross-run per-metric time
+  series with a rolling median + MAD trend gate
+  (``repro obs history ingest|show|gate``).
 * ``obs.log`` — the structured stdlib logger all library code uses
   instead of printing.
 """
@@ -27,10 +35,15 @@ The shared observability substrate for the whole search/serve stack:
 from repro.obs.analyze import (
     CriticalStep,
     PathStats,
+    ResourceStats,
+    WorkerStats,
     aggregate_spans,
+    analysis_to_dict,
     critical_path,
     hotspots,
     render_analysis,
+    resource_stats,
+    worker_stats,
 )
 from repro.obs.archive import (
     ARCHIVE_VERSION,
@@ -48,7 +61,14 @@ from repro.obs.diff import (
     diff_runs,
     render_diff,
 )
+from repro.obs.export import check_perfetto, export_perfetto, to_perfetto
 from repro.obs.gate import bench_json_to_trace
+from repro.obs.history import (
+    HistoryPoint,
+    HistoryStore,
+    Regression,
+    detect_regressions,
+)
 from repro.obs.logs import configure_logging, log
 from repro.obs.metrics import (
     RESERVOIR_CAP,
@@ -62,6 +82,7 @@ from repro.obs.progress import (
     HeartbeatWriter,
     ProgressMeter,
     read_heartbeats,
+    read_heartbeats_full,
 )
 from repro.obs.render import render_metrics, render_span_tree, render_trace
 from repro.obs.runtime import (
@@ -81,11 +102,21 @@ from repro.obs.runtime import (
     span,
     stage,
     task_scope,
+    telemetry_active,
+    telemetry_sampler,
     tracing_active,
     worker_capture,
 )
 from repro.obs.span import SpanRecord, Tracer, walk_spans
+from repro.obs.telemetry import (
+    ResourceSample,
+    TelemetrySampler,
+    malloc_tracking_enabled,
+    read_resources,
+    sample_now,
+)
 from repro.obs.trace_io import (
+    SUPPORTED_VERSIONS,
     TraceData,
     TraceSchemaError,
     read_trace,
@@ -98,35 +129,48 @@ __all__ = [
     "PLAN_PROGRESS_COUNTERS",
     "RESERVOIR_CAP",
     "SEARCH_PROGRESS_COUNTERS",
+    "SUPPORTED_VERSIONS",
     "CounterDelta",
     "CriticalStep",
     "DiffThresholds",
     "HeartbeatWriter",
+    "HistoryPoint",
+    "HistoryStore",
     "MetricsRegistry",
     "MetricsSnapshot",
     "PathDelta",
     "PathStats",
     "ProgressMeter",
     "QuantileDelta",
+    "Regression",
+    "ResourceSample",
+    "ResourceStats",
     "RunArchive",
     "RunDiff",
     "RunRecord",
     "SpanRecord",
+    "TelemetrySampler",
     "TraceData",
     "TraceSchemaError",
     "Tracer",
+    "WorkerStats",
     "absorb",
     "add",
     "aggregate_spans",
+    "analysis_to_dict",
     "bench_json_to_trace",
     "capture",
+    "check_perfetto",
     "configure_logging",
     "critical_path",
+    "detect_regressions",
     "diff_runs",
+    "export_perfetto",
     "gauge",
     "git_revision",
     "hotspots",
     "log",
+    "malloc_tracking_enabled",
     "metrics_snapshot",
     "observe",
     "progress_active",
@@ -136,6 +180,8 @@ __all__ = [
     "progress_poll_interval",
     "progress_scope",
     "read_heartbeats",
+    "read_heartbeats_full",
+    "read_resources",
     "read_trace",
     "render_analysis",
     "render_diff",
@@ -144,13 +190,19 @@ __all__ = [
     "render_trace",
     "reset",
     "resolve_trace",
+    "resource_stats",
+    "sample_now",
     "span",
     "stage",
     "summarize_histogram",
     "task_scope",
+    "telemetry_active",
+    "telemetry_sampler",
+    "to_perfetto",
     "tracing_active",
     "validate_trace",
     "walk_spans",
     "worker_capture",
+    "worker_stats",
     "write_trace",
 ]

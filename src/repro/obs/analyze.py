@@ -27,19 +27,26 @@ forest:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.obs.span import SpanRecord
+from repro.obs.metrics import summarize_histogram
+from repro.obs.span import SpanRecord, walk_spans
+from repro.obs.telemetry import ResourceSample
 from repro.obs.trace_io import TraceData
 from repro.textutil import format_table
 
 __all__ = [
     "CriticalStep",
     "PathStats",
+    "ResourceStats",
+    "WorkerStats",
     "aggregate_spans",
+    "analysis_to_dict",
     "critical_path",
     "hotspots",
     "render_analysis",
+    "resource_stats",
+    "worker_stats",
 ]
 
 
@@ -141,12 +148,194 @@ def critical_path(roots: Sequence[SpanRecord]) -> List[CriticalStep]:
 
 
 # ----------------------------------------------------------------------
+# resource attribution (telemetry samples)
+
+
+@dataclass
+class ResourceStats:
+    """Resource usage attributed to one span path (and its subtree).
+
+    CPU counters in a :class:`ResourceSample` are cumulative, so a
+    path's CPU is the sum over each (pid, path-prefix) group of
+    ``last.cpu_s - first.cpu_s``; wall is the matching timestamp delta,
+    which makes ``cpu_pct`` a real utilization (can exceed 100 on a
+    multi-threaded span).
+    """
+
+    path: str
+    n_samples: int = 0
+    rss_max_bytes: int = 0
+    cpu_s: float = 0.0
+    wall_s: float = 0.0
+
+    @property
+    def cpu_pct(self) -> float:
+        if self.wall_s <= 0:
+            return 0.0
+        return 100.0 * self.cpu_s / self.wall_s
+
+
+def _path_prefixes(path: str) -> List[str]:
+    parts = path.split("/")
+    return ["/".join(parts[: i + 1]) for i in range(len(parts))]
+
+
+def resource_stats(
+    samples: Sequence[ResourceSample],
+) -> Dict[str, ResourceStats]:
+    """Attribute telemetry samples to span paths, keyed by path.
+
+    Every sample credits *all* prefixes of its span path (a sample taken
+    inside ``a/b/c`` is evidence about ``a`` and ``a/b`` too), so parent
+    rows aggregate their subtree the same way span wall totals do.
+    """
+    groups: Dict[Tuple[int, str], List[ResourceSample]] = {}
+    for rec in samples:
+        if not rec.path:
+            continue
+        for prefix in _path_prefixes(rec.path):
+            groups.setdefault((rec.pid, prefix), []).append(rec)
+
+    stats: Dict[str, ResourceStats] = {}
+    for (_pid, prefix), series in groups.items():
+        series.sort(key=lambda s: s.ts)
+        entry = stats.get(prefix)
+        if entry is None:
+            entry = stats[prefix] = ResourceStats(path=prefix)
+        entry.n_samples += len(series)
+        entry.rss_max_bytes = max(
+            entry.rss_max_bytes, max(s.rss_bytes for s in series)
+        )
+        entry.cpu_s += max(0.0, series[-1].cpu_s - series[0].cpu_s)
+        entry.wall_s += max(0.0, series[-1].ts - series[0].ts)
+    return stats
+
+
+@dataclass
+class WorkerStats:
+    """One worker process's share of a sharded run."""
+
+    pid: int
+    n_tasks: int = 0
+    busy_s: float = 0.0
+    window_s: float = 0.0
+    rss_max_bytes: int = 0
+    cpu_s: float = 0.0
+    #: (start, end) of each task span, on the rebased parent clock.
+    intervals: Tuple[Tuple[float, float], ...] = ()
+
+    @property
+    def utilization(self) -> float:
+        if self.window_s <= 0:
+            return 0.0
+        return min(1.0, self.busy_s / self.window_s)
+
+
+def _execute_window(
+    roots: Sequence[SpanRecord],
+) -> Optional[Tuple[float, float]]:
+    """(start, end) of the outermost ``plan.execute`` span, if any."""
+    best: Optional[SpanRecord] = None
+    for rec in walk_spans(roots):
+        if rec.name == "plan.execute" and (
+            best is None or rec.duration > best.duration
+        ):
+            best = rec
+    if best is None:
+        return None
+    return best.start, best.start + best.duration
+
+
+def worker_stats(data: TraceData) -> List[WorkerStats]:
+    """Per-pid utilization over the ``plan.execute`` window.
+
+    Task spans absorbed from workers are rebased onto the parent clock,
+    so their (start, end) intervals are directly comparable with the
+    parent's ``plan.execute`` window; the gap between busy and window is
+    pool idle time (startup skew, straggler tails).
+    """
+    own_pid = None
+    if data.spans:
+        own_pid = data.spans[0].pid
+    window = _execute_window(data.spans)
+    by_pid: Dict[int, List[SpanRecord]] = {}
+    for rec in walk_spans(data.spans):
+        if rec.name.startswith("task:") and rec.pid != own_pid:
+            by_pid.setdefault(rec.pid, []).append(rec)
+
+    rss_by_pid: Dict[int, int] = {}
+    cpu_by_pid: Dict[int, float] = {}
+    for pid in by_pid:
+        series = sorted(
+            (s for s in data.samples if s.pid == pid),
+            key=lambda s: s.ts,
+        )
+        if series:
+            rss_by_pid[pid] = max(s.rss_bytes for s in series)
+            cpu_by_pid[pid] = max(
+                0.0, series[-1].cpu_s - series[0].cpu_s
+            )
+
+    out: List[WorkerStats] = []
+    for pid, recs in sorted(by_pid.items()):
+        intervals = tuple(
+            sorted((r.start, r.start + r.duration) for r in recs)
+        )
+        if window is not None:
+            window_s = window[1] - window[0]
+        else:
+            window_s = max(e for _, e in intervals) - min(
+                s for s, _ in intervals
+            )
+        out.append(
+            WorkerStats(
+                pid=pid,
+                n_tasks=len(recs),
+                busy_s=sum(r.duration for r in recs),
+                window_s=window_s,
+                rss_max_bytes=rss_by_pid.get(pid, 0),
+                cpu_s=cpu_by_pid.get(pid, 0.0),
+                intervals=intervals,
+            )
+        )
+    return out
+
+
+def _timeline(
+    intervals: Sequence[Tuple[float, float]],
+    window: Tuple[float, float],
+    width: int = 40,
+) -> str:
+    """ASCII busy/idle bar: ``#`` where any task overlaps the bin."""
+    start, end = window
+    span = end - start
+    if span <= 0 or width <= 0:
+        return ""
+    cells = []
+    for i in range(width):
+        lo = start + span * i / width
+        hi = start + span * (i + 1) / width
+        busy = any(s < hi and e > lo for s, e in intervals)
+        cells.append("#" if busy else ".")
+    return "".join(cells)
+
+
+# ----------------------------------------------------------------------
 def _fmt_seconds(seconds: float) -> str:
     if seconds >= 1.0:
         return f"{seconds:.2f}s"
     if seconds >= 1e-3:
         return f"{seconds * 1e3:.1f}ms"
     return f"{seconds * 1e6:.0f}us"
+
+
+def _fmt_bytes(n: float) -> str:
+    n = float(n)
+    for unit in ("B", "KB", "MB", "GB"):
+        if n < 1024 or unit == "GB":
+            return f"{n:.0f}{unit}" if unit == "B" else f"{n:.1f}{unit}"
+        n /= 1024
+    return f"{n:.1f}GB"
 
 
 def render_analysis(data: TraceData, top: int = 10) -> str:
@@ -210,4 +399,126 @@ def render_analysis(data: TraceData, top: int = 10) -> str:
             for step in steps
         ],
     )
+
+    if data.samples:
+        res = sorted(
+            resource_stats(data.samples).values(),
+            key=lambda r: (-r.rss_max_bytes, r.path),
+        )
+        lines.append("")
+        lines.append(
+            f"resources by span path ({len(data.samples)} samples, "
+            f"top {top}):"
+        )
+        lines += format_table(
+            ("path", "samples", "max rss", "cpu", "cpu%"),
+            [
+                (
+                    r.path,
+                    str(r.n_samples),
+                    _fmt_bytes(r.rss_max_bytes),
+                    _fmt_seconds(r.cpu_s),
+                    f"{r.cpu_pct:.0f}%",
+                )
+                for r in res[:top]
+            ],
+        )
+
+        workers = worker_stats(data)
+        if workers:
+            window = _execute_window(data.spans)
+            lines.append("")
+            lines.append("worker utilization (plan.execute window):")
+            lines += format_table(
+                ("pid", "tasks", "busy", "util", "max rss", "timeline"),
+                [
+                    (
+                        str(w.pid),
+                        str(w.n_tasks),
+                        _fmt_seconds(w.busy_s),
+                        f"{100.0 * w.utilization:.0f}%",
+                        _fmt_bytes(w.rss_max_bytes),
+                        (
+                            _timeline(w.intervals, window)
+                            if window is not None
+                            else ""
+                        ),
+                    )
+                    for w in workers
+                ],
+            )
     return "\n".join(lines)
+
+
+def analysis_to_dict(data: TraceData, top: int = 0) -> Dict[str, object]:
+    """``repro trace --analyze --json``: the tables as one JSON object.
+
+    The same aggregates :func:`render_analysis` prints, machine-readable
+    — this is the payload :meth:`repro.obs.history.HistoryStore.\
+ingest_analysis` indexes, so key names here are a compatibility
+    surface.  ``top=0`` (default) emits every path.
+    """
+    stats = sorted(
+        aggregate_spans(data.spans).values(),
+        key=lambda s: (-s.total, s.path),
+    )
+    if top > 0:
+        stats = stats[:top]
+    res = sorted(
+        resource_stats(data.samples).values(),
+        key=lambda r: (-r.rss_max_bytes, r.path),
+    )
+    return {
+        "n_spans": data.n_spans(),
+        "n_samples": len(data.samples),
+        "meta": dict(data.meta),
+        "paths": [
+            {
+                "path": s.path,
+                "count": s.count,
+                "total_s": s.total,
+                "self_s": s.self_total,
+                "max_s": s.max,
+            }
+            for s in stats
+        ],
+        "critical_path": [
+            {
+                "path": step.path,
+                "name": step.name,
+                "duration_s": step.duration,
+                "fraction": step.fraction,
+                "n_siblings": step.n_siblings,
+            }
+            for step in critical_path(data.spans)
+        ],
+        "counters": dict(data.metrics.counters),
+        "gauges": dict(data.metrics.gauges),
+        "histograms": {
+            name: summarize_histogram(values)
+            for name, values in data.metrics.histograms.items()
+        },
+        "resources": [
+            {
+                "path": r.path,
+                "n_samples": r.n_samples,
+                "rss_max_bytes": r.rss_max_bytes,
+                "cpu_s": r.cpu_s,
+                "wall_s": r.wall_s,
+                "cpu_pct": r.cpu_pct,
+            }
+            for r in res
+        ],
+        "workers": [
+            {
+                "pid": w.pid,
+                "n_tasks": w.n_tasks,
+                "busy_s": w.busy_s,
+                "window_s": w.window_s,
+                "utilization": w.utilization,
+                "rss_max_bytes": w.rss_max_bytes,
+                "cpu_s": w.cpu_s,
+            }
+            for w in worker_stats(data)
+        ],
+    }

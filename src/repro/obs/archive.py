@@ -31,6 +31,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.obs.metrics import MetricsSnapshot
 from repro.obs.span import SpanRecord
+from repro.obs.telemetry import ResourceSample
 from repro.obs.trace_io import (
     TRACE_VERSION,
     TraceData,
@@ -127,6 +128,7 @@ class RunArchive:
         command: str,
         meta: Optional[Dict[str, object]] = None,
         run_id: Optional[str] = None,
+        samples: Sequence[ResourceSample] = (),
     ) -> RunRecord:
         """Persist one run as a new bundle and index it."""
         now = datetime.now(timezone.utc)
@@ -156,6 +158,7 @@ class RunArchive:
             spans,
             metrics,
             meta={"command": command, "run_id": run_id},
+            samples=samples,
         )
 
         entry = {"run_id": run_id, "command": command, "created": created}

@@ -1,0 +1,336 @@
+"""Cross-run history: per-metric time series + trend regression gate.
+
+:class:`HistoryStore` is an append-only JSONL file of
+:class:`HistoryPoint` rows — one scalar per (series, run) — fed from
+two sources:
+
+* archived run bundles (:meth:`ingest_archive` /
+  :meth:`ingest_analysis`), whose per-span-path wall totals become
+  ``span:<path>`` series, counters ``counter:<name>`` series, and
+  histogram quantiles ``hist:<name>:<q>`` series;
+* pytest-benchmark JSON artifacts (:meth:`ingest_bench`, via
+  :func:`repro.obs.gate.bench_json_to_trace`), whose per-benchmark
+  means become ``bench:<fullname>`` series.
+
+Runs are deduplicated by ``run_id``, so re-ingesting the same archive
+is idempotent and CI can cache the store across nightly jobs.
+
+:func:`detect_regressions` is the trend gate pairwise
+:func:`repro.obs.diff.diff_runs` cannot be: for each series it compares
+the newest point against the rolling median of the preceding window and
+flags values beyond ``median + max(k * 1.4826 * MAD, rel_floor,
+abs_floor)`` — robust to outliers in the baseline window, and silent
+(warn-only by construction) until ``min_points`` runs have accumulated.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.obs.gate import bench_json_to_trace
+
+__all__ = [
+    "HistoryPoint",
+    "HistoryStore",
+    "Regression",
+    "detect_regressions",
+]
+
+_HISTORY_FILE = "history.jsonl"
+
+#: Scale factor making the median absolute deviation a consistent
+#: estimator of the standard deviation under normality.
+MAD_SCALE = 1.4826
+
+
+@dataclass(frozen=True)
+class HistoryPoint:
+    """One scalar observation of one series in one run."""
+
+    series: str
+    value: float
+    sha: str = ""
+    ts: float = 0.0
+    run_id: str = ""
+    source: str = ""
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "series": self.series,
+            "value": self.value,
+            "sha": self.sha,
+            "ts": self.ts,
+            "run_id": self.run_id,
+            "source": self.source,
+        }
+
+
+class HistoryStore:
+    """Append-only on-disk store of :class:`HistoryPoint` rows."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+
+    @property
+    def path(self) -> str:
+        return os.path.join(self.root, _HISTORY_FILE)
+
+    # -- raw read/write ------------------------------------------------
+    def append(self, points: Iterable[HistoryPoint]) -> int:
+        n = 0
+        with open(self.path, "a", encoding="utf-8") as fh:
+            for point in points:
+                fh.write(json.dumps(point.to_json(), sort_keys=True) + "\n")
+                n += 1
+        return n
+
+    def load(self) -> List[HistoryPoint]:
+        """All points, file order (= ingestion order); torn lines skipped."""
+        out: List[HistoryPoint] = []
+        try:
+            with open(self.path, "r", encoding="utf-8") as fh:
+                lines = fh.read().splitlines()
+        except OSError:
+            return out
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn concurrent append
+            if not isinstance(obj, dict):
+                continue
+            series = obj.get("series")
+            value = obj.get("value")
+            if not isinstance(series, str) or not isinstance(
+                value, (int, float)
+            ):
+                continue
+            out.append(
+                HistoryPoint(
+                    series=series,
+                    value=float(value),
+                    sha=str(obj.get("sha", "") or ""),
+                    ts=float(obj.get("ts", 0.0) or 0.0),
+                    run_id=str(obj.get("run_id", "") or ""),
+                    source=str(obj.get("source", "") or ""),
+                )
+            )
+        return out
+
+    def run_ids(self) -> List[str]:
+        seen: List[str] = []
+        for point in self.load():
+            if point.run_id and point.run_id not in seen:
+                seen.append(point.run_id)
+        return seen
+
+    def series(self) -> Dict[str, List[HistoryPoint]]:
+        """Points grouped by series name, each sorted by (ts, file order)."""
+        groups: Dict[str, List[HistoryPoint]] = {}
+        for point in self.load():
+            groups.setdefault(point.series, []).append(point)
+        for points in groups.values():
+            points.sort(key=lambda p: p.ts)
+        return groups
+
+    # -- ingestion -----------------------------------------------------
+    def ingest_analysis(
+        self,
+        payload: Dict[str, object],
+        *,
+        sha: str = "",
+        ts: float = 0.0,
+        run_id: str = "",
+        source: str = "",
+    ) -> int:
+        """Index one ``analysis_to_dict`` payload; 0 if run_id is known."""
+        if run_id and run_id in self.run_ids():
+            return 0
+        points: List[HistoryPoint] = []
+
+        def point(series: str, value: float) -> None:
+            points.append(
+                HistoryPoint(
+                    series=series,
+                    value=float(value),
+                    sha=sha,
+                    ts=ts,
+                    run_id=run_id,
+                    source=source,
+                )
+            )
+
+        paths = payload.get("paths")
+        if isinstance(paths, list):
+            for row in paths:
+                if isinstance(row, dict) and isinstance(
+                    row.get("total_s"), (int, float)
+                ):
+                    point(f"span:{row.get('path', '')}", row["total_s"])
+        counters = payload.get("counters")
+        if isinstance(counters, dict):
+            for name, value in counters.items():
+                if isinstance(value, (int, float)):
+                    point(f"counter:{name}", value)
+        histograms = payload.get("histograms")
+        if isinstance(histograms, dict):
+            for name, summary in histograms.items():
+                if not isinstance(summary, dict):
+                    continue
+                for q in ("p50", "p95", "p99"):
+                    if isinstance(summary.get(q), (int, float)):
+                        point(f"hist:{name}:{q}", summary[q])
+        return self.append(points)
+
+    def ingest_archive(self, root: str) -> int:
+        """Ingest every run bundle of an archive; returns points added."""
+        from repro.obs.analyze import analysis_to_dict
+        from repro.obs.archive import RunArchive
+
+        added = 0
+        for rec in RunArchive(root).runs():
+            data = rec.load()
+            meta = rec.meta
+            ts = _parse_created(str(meta.get("created", "") or ""))
+            added += self.ingest_analysis(
+                analysis_to_dict(data),
+                sha=str(meta.get("git_sha", "") or ""),
+                ts=ts,
+                run_id=rec.run_id,
+                source=rec.path,
+            )
+        return added
+
+    def ingest_bench(
+        self,
+        path: str,
+        *,
+        sha: str = "",
+        pattern: Optional[str] = None,
+    ) -> int:
+        """Ingest one pytest-benchmark JSON artifact; points added."""
+        data = bench_json_to_trace(path, pattern)
+        run_id = os.path.basename(path)
+        if run_id in self.run_ids():
+            return 0
+        try:
+            ts = os.path.getmtime(path)
+        except OSError:
+            ts = 0.0
+        points = [
+            HistoryPoint(
+                series=f"bench:{rec.name}",
+                value=rec.duration,
+                sha=sha,
+                ts=ts,
+                run_id=run_id,
+                source=path,
+            )
+            for rec in data.spans
+        ]
+        return self.append(points)
+
+
+def _parse_created(created: str) -> float:
+    """ISO-8601 ``created`` stamp → epoch seconds (0.0 when unparsable)."""
+    from datetime import datetime
+
+    try:
+        return datetime.fromisoformat(created).timestamp()
+    except ValueError:
+        return 0.0
+
+
+# ----------------------------------------------------------------------
+# trend gate
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One series whose newest point broke its rolling trend."""
+
+    series: str
+    value: float
+    median: float
+    threshold: float
+    n_points: int
+    sha: str = ""
+    run_id: str = ""
+
+    @property
+    def ratio(self) -> float:
+        if self.median <= 0:
+            return float("inf")
+        return self.value / self.median
+
+    def describe(self) -> str:
+        return (
+            f"{self.series}: {self.value:.6g} vs rolling median "
+            f"{self.median:.6g} ({self.ratio:.2f}x, threshold "
+            f"{self.threshold:.6g}, n={self.n_points})"
+        )
+
+
+def _median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+def detect_regressions(
+    store: HistoryStore,
+    *,
+    window: int = 8,
+    mad_k: float = 4.0,
+    min_rel: float = 0.10,
+    min_abs: float = 1e-6,
+    min_points: int = 5,
+    prefixes: Tuple[str, ...] = ("span:", "bench:", "hist:"),
+) -> List[Regression]:
+    """Flag series whose newest point exceeds the rolling-trend band.
+
+    For each series with at least ``min_points`` observations, the
+    newest value is compared against the median of the preceding
+    ``window`` points; it regresses when it exceeds ``median +
+    max(mad_k * 1.4826 * MAD, min_rel * median, min_abs)``.  The MAD
+    term adapts the band to each series' noise; the relative and
+    absolute floors keep near-constant series (MAD ~ 0) from flagging
+    on measurement jitter.  Series below ``min_points`` are skipped —
+    the gate is warn-only until a real baseline accumulates.
+    """
+    out: List[Regression] = []
+    for name, points in sorted(store.series().items()):
+        if prefixes and not name.startswith(prefixes):
+            continue
+        if len(points) < min_points:
+            continue
+        newest = points[-1]
+        baseline = [p.value for p in points[:-1]][-window:]
+        med = _median(baseline)
+        mad = _median([abs(v - med) for v in baseline])
+        threshold = med + max(
+            mad_k * MAD_SCALE * mad, min_rel * med, min_abs
+        )
+        if newest.value > threshold:
+            out.append(
+                Regression(
+                    series=name,
+                    value=newest.value,
+                    median=med,
+                    threshold=threshold,
+                    n_points=len(points),
+                    sha=newest.sha,
+                    run_id=newest.run_id,
+                )
+            )
+    return out

@@ -39,6 +39,7 @@ __all__ = [
     "HeartbeatWriter",
     "ProgressMeter",
     "read_heartbeats",
+    "read_heartbeats_full",
 ]
 
 #: Progress numerator for schedule sweeps: every leaf the enumeration
@@ -73,6 +74,10 @@ class HeartbeatWriter:
         self.interval = interval
         self._clock = clock
         self._last_write = -1.0
+        #: Optional zero-arg callable returning a live-resource dict
+        #: (``TelemetrySampler.heartbeat_payload``); set by the capture
+        #: scope when telemetry is on so heartbeats carry RSS/CPU.
+        self.resource_fn: Optional[Callable[[], Dict[str, object]]] = None
 
     def tick(self, registry: MetricsRegistry) -> None:
         """Throttled write; called on every counter bump."""
@@ -96,6 +101,8 @@ class HeartbeatWriter:
         }
         tmp = f"{self.path}.tmp.{os.getpid()}"
         try:
+            if self.resource_fn is not None:
+                payload["resources"] = self.resource_fn()
             with open(tmp, "w", encoding="utf-8") as fh:
                 json.dump(payload, fh, sort_keys=True)
             os.replace(tmp, self.path)
@@ -107,37 +114,69 @@ class HeartbeatWriter:
                 pass
 
 
-def read_heartbeats(directory: str) -> Dict[str, float]:
-    """Sum counters across every heartbeat file in ``directory``.
+def _pid_alive(pid: int) -> bool:
+    """Best-effort liveness probe; unknown states count as alive."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:
+        return True  # e.g. EPERM: exists but not ours
+    return True
+
+
+def read_heartbeats_full(
+    directory: str,
+) -> Tuple[Dict[str, float], Dict[int, Dict[str, object]]]:
+    """Heartbeat counter totals plus per-pid live-resource payloads.
 
     Tolerant by construction: missing directory, vanished files, and
-    half-written JSON all contribute nothing.
+    half-written JSON all contribute nothing.  Heartbeat files whose
+    recorded pid is dead are *reaped* (unlinked and skipped) — a crashed
+    worker's last heartbeat must not count toward progress forever.
+    Files without a usable pid are counted but never reaped.
     """
     totals: Dict[str, float] = {}
+    resources: Dict[int, Dict[str, object]] = {}
     try:
         names = os.listdir(directory)
     except OSError:
-        return totals
+        return totals, resources
     for name in names:
         if not (
             name.startswith(_HEARTBEAT_PREFIX)
             and name.endswith(_HEARTBEAT_SUFFIX)
         ):
             continue
+        full = os.path.join(directory, name)
         try:
-            with open(
-                os.path.join(directory, name), "r", encoding="utf-8"
-            ) as fh:
+            with open(full, "r", encoding="utf-8") as fh:
                 payload = json.load(fh)
         except (OSError, json.JSONDecodeError):
             continue
-        counters = payload.get("counters")
-        if not isinstance(counters, dict):
+        if not isinstance(payload, dict):
             continue
-        for key, value in counters.items():
-            if isinstance(value, (int, float)):
-                totals[key] = totals.get(key, 0) + value
-    return totals
+        pid = payload.get("pid")
+        if isinstance(pid, int) and not _pid_alive(pid):
+            try:
+                os.unlink(full)
+            except OSError:
+                pass
+            continue
+        counters = payload.get("counters")
+        if isinstance(counters, dict):
+            for key, value in counters.items():
+                if isinstance(value, (int, float)):
+                    totals[key] = totals.get(key, 0) + value
+        res = payload.get("resources")
+        if isinstance(pid, int) and isinstance(res, dict):
+            resources[pid] = res
+    return totals, resources
+
+
+def read_heartbeats(directory: str) -> Dict[str, float]:
+    """Sum counters across every live heartbeat file in ``directory``."""
+    return read_heartbeats_full(directory)[0]
 
 
 def _fmt_eta(seconds: float) -> str:
@@ -179,6 +218,7 @@ class ProgressMeter:
         self._started = clock()
         self._last_emit = -1.0
         self._last_done = 0
+        self._last_rss = 0
         self.n_lines = 0
 
     # -- accounting ----------------------------------------------------
@@ -192,8 +232,15 @@ class ProgressMeter:
     def current_done(self, registry: MetricsRegistry) -> int:
         done = self._registry_done(registry)
         if self.heartbeat_dir is not None:
-            beats = read_heartbeats(self.heartbeat_dir)
+            beats, resources = read_heartbeats_full(self.heartbeat_dir)
             done += sum(beats.get(name, 0) for name in self.counters)
+            rss = sum(
+                int(r.get("rss_bytes", 0))
+                for r in resources.values()
+                if isinstance(r.get("rss_bytes"), (int, float))
+            )
+            if rss > 0:
+                self._last_rss = rss
         done = int(done)
         self._last_done = max(self._last_done, done)
         return self._last_done
@@ -208,11 +255,20 @@ class ProgressMeter:
         elapsed = self._clock() - self._started
         if final or frac >= 1.0:
             eta = "done"
-        elif done > 0 and elapsed > 0:
-            eta = "eta " + _fmt_eta(elapsed * (1.0 - frac) / frac)
+        elif done > 0:
+            # Guard the denominator: an instant finish (or a coarse
+            # clock) can report zero elapsed on the first render.
+            rate = done / elapsed if elapsed > 0 else 0.0
+            if rate > 0:
+                eta = "eta " + _fmt_eta((self.total - done) / rate)
+            else:
+                eta = "eta --"
         else:
             eta = "eta --"
-        return f"{self.label}: {pct} ({done}/{self.total}) {eta}"
+        line = f"{self.label}: {pct} ({done}/{self.total}) {eta}"
+        if self._last_rss > 0:
+            line += f" rss {self._last_rss / (1024 * 1024):.0f}MB"
+        return line
 
     def _emit(self, done: int, final: bool) -> None:
         line = self._line(done, final)

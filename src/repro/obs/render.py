@@ -1,10 +1,11 @@
 """ASCII rendering of traces and metrics (``repro trace``, ``--metrics``).
 
 Follows the :class:`repro.sim.trace.Gantt` monospace idioms: fixed-width
-label column, pipe-delimited bars, a scale line up top.  Span start
-offsets are process-local (worker subtrees keep their own epochs), so
-the tree renders nesting + duration — each span's bar is scaled against
-its root's duration — rather than absolute timeline position.
+label column, pipe-delimited bars, a scale line up top.  Worker span
+starts are rebased onto the parent clock at absorb time, but the tree
+still renders nesting + duration — each span's bar is scaled against
+its root's duration — because nesting, not absolute position, is what
+an ASCII tree can show; for a real timeline use ``--export-perfetto``.
 """
 
 from __future__ import annotations
@@ -37,8 +38,8 @@ def _fmt_attrs(rec: SpanRecord) -> str:
 
 def _sibling_order(spans: Sequence[SpanRecord]) -> List[SpanRecord]:
     # Siblings arrive in absorb order (task completion is racy under a
-    # shard pool); start time is what actually happened.  Starts are
-    # process-local, so pid then name break cross-worker ties stably.
+    # shard pool); start time is what actually happened.  Pid then name
+    # break ties stably when two spans started the same instant.
     return sorted(spans, key=lambda s: (s.start, s.pid, s.name))
 
 
@@ -123,15 +124,17 @@ def render_metrics(snapshot: MetricsSnapshot) -> str:
 def render_trace(data: TraceData, width: int = 24) -> str:
     """Full ``repro trace`` output: header, span tree, metrics."""
     meta = " ".join(f"{k}={v}" for k, v in sorted(data.meta.items()))
-    lines = [
+    header = (
         f"trace v{data.version}"
         + (f"  {meta}" if meta else "")
-        + f"  ({data.n_spans()} spans)"
-    ]
+        + f"  ({data.n_spans()} spans"
+    )
+    if data.samples:
+        header += f", {len(data.samples)} resource samples"
+    lines = [header + ")"]
     if data.spans:
         lines.append(
-            "span tree (bars scaled to each root's wall; worker spans "
-            "keep process-local clocks):"
+            "span tree (bars scaled to each root's wall):"
         )
         lines += render_span_tree(data.spans, width=width)
     else:

@@ -39,6 +39,11 @@ from repro.obs.progress import (
     heartbeat_filename,
 )
 from repro.obs.span import SpanRecord, Tracer
+from repro.obs.telemetry import (
+    ResourceSample,
+    TelemetrySampler,
+    malloc_tracking_enabled,
+)
 
 __all__ = [
     "absorb",
@@ -56,13 +61,22 @@ __all__ = [
     "span",
     "stage",
     "task_scope",
+    "telemetry_active",
+    "telemetry_sampler",
     "tracing_active",
     "worker_capture",
 ]
 
 
 class _ObsState:
-    __slots__ = ("tracer", "metrics", "stage_log", "ticker", "progress")
+    __slots__ = (
+        "tracer",
+        "metrics",
+        "stage_log",
+        "ticker",
+        "progress",
+        "telemetry",
+    )
 
     def __init__(self) -> None:
         self.tracer: Optional[Tracer] = None
@@ -73,6 +87,8 @@ class _ObsState:
         self.ticker: Optional[object] = None
         #: The active :class:`progress_scope`, parent process only.
         self.progress: Optional["progress_scope"] = None
+        #: Resource sampler (``--telemetry``), installed by capture scopes.
+        self.telemetry: Optional[TelemetrySampler] = None
 
 
 _STATE = _ObsState()
@@ -80,11 +96,14 @@ _STATE = _ObsState()
 
 def reset() -> None:
     """Drop all ambient state (fresh registry, no tracer). Test helper."""
+    if _STATE.telemetry is not None:
+        _STATE.telemetry.stop()
     _STATE.tracer = None
     _STATE.metrics = MetricsRegistry()
     _STATE.stage_log = None
     _STATE.ticker = None
     _STATE.progress = None
+    _STATE.telemetry = None
 
 
 # ---------------------------------------------------------------------------
@@ -96,6 +115,9 @@ def add(name: str, value: float = 1) -> None:
     ticker = _STATE.ticker
     if ticker is not None:
         ticker.tick(_STATE.metrics)
+    sampler = _STATE.telemetry
+    if sampler is not None and sampler.due():
+        sampler.sample(_open_span_path())
 
 
 def gauge(name: str, value: float) -> None:
@@ -161,6 +183,34 @@ def span(name: str, **attrs: object):
 
 def tracing_active() -> bool:
     return _STATE.tracer is not None
+
+
+# ---------------------------------------------------------------------------
+# telemetry
+
+
+def _open_span_path() -> str:
+    """``/``-joined names of the currently open span stack ("" if none)."""
+    tracer = _STATE.tracer
+    if tracer is None or not tracer._stack:
+        return ""
+    return "/".join(rec.name for rec in tracer._stack)
+
+
+def telemetry_active() -> bool:
+    return _STATE.telemetry is not None
+
+
+def telemetry_sampler() -> Optional[TelemetrySampler]:
+    """The installed resource sampler, or None when telemetry is off."""
+    return _STATE.telemetry
+
+
+def _force_sample() -> None:
+    """Boundary sample (task/stage open+close) so CPU deltas bracket."""
+    sampler = _STATE.telemetry
+    if sampler is not None:
+        sampler.sample(_open_span_path())
 
 
 # ---------------------------------------------------------------------------
@@ -301,11 +351,13 @@ class stage:
             if tracer is not None
             else None
         )
+        _force_sample()
         self._t0 = time.perf_counter()
         return self
 
     def __exit__(self, *exc: object) -> None:
         self.duration = time.perf_counter() - self._t0
+        _force_sample()
         if self._rec is not None and _STATE.tracer is not None:
             _STATE.tracer.close(self._rec)
         if _STATE.stage_log is not None:
@@ -340,11 +392,13 @@ class task_scope:
             if tracer is not None
             else None
         )
+        _force_sample()
         self._t0 = time.perf_counter()
         return self
 
     def __exit__(self, *exc: object) -> None:
         self.duration = time.perf_counter() - self._t0
+        _force_sample()
         _STATE.stage_log = self._prev
         if self._rec is not None and _STATE.tracer is not None:
             _STATE.tracer.close(self._rec)
@@ -361,24 +415,53 @@ class capture:
     ``trace=False``) and ``.metrics`` the :class:`MetricsSnapshot` delta
     of everything recorded — or absorbed from workers — inside the
     block.  Nestable; the previous tracer is restored on exit.
+
+    ``telemetry=True`` additionally installs a
+    :class:`~repro.obs.telemetry.TelemetrySampler` sharing the tracer's
+    epoch; after exit ``.resources`` holds every collected (and
+    absorbed) :class:`ResourceSample` and the registry gains
+    ``telemetry.*`` gauges (peak RSS, CPU seconds) that land in the
+    metrics delta.
     """
 
-    def __init__(self, trace: bool = False) -> None:
+    def __init__(self, trace: bool = False, telemetry: bool = False) -> None:
         self.trace = trace
+        self.telemetry = telemetry
         self.spans: Tuple[SpanRecord, ...] = ()
         self.metrics = MetricsSnapshot()
+        self.resources: Tuple[ResourceSample, ...] = ()
+        self.epoch: Optional[float] = None
 
     def __enter__(self) -> "capture":
         self._before = _STATE.metrics.snapshot()
         self._prev_tracer = _STATE.tracer
+        self._prev_telemetry = _STATE.telemetry
         if self.trace:
             _STATE.tracer = Tracer()
+        if self.telemetry:
+            sampler = TelemetrySampler(
+                epoch=_STATE.tracer.epoch if self.trace else None,
+                malloc=malloc_tracking_enabled(),
+            )
+            _STATE.telemetry = sampler
+            sampler.sample("")  # baseline reading before any work
         return self
 
     def __exit__(self, *exc: object) -> None:
+        sampler = _STATE.telemetry
+        if self.telemetry and sampler is not None:
+            sampler.sample(_open_span_path())
+            sampler.stop()
+            self.resources = tuple(sampler.samples)
+            self.epoch = sampler.epoch
+            for name, value in sampler.summary().items():
+                # Gauges, never counters: counter digests must stay
+                # bit-identical between serial and sharded runs.
+                _STATE.metrics.gauge(f"telemetry.{name}", value)
         if self.trace and _STATE.tracer is not None:
             self.spans = _STATE.tracer.finished_roots()
         _STATE.tracer = self._prev_tracer
+        _STATE.telemetry = self._prev_telemetry
         self.metrics = _STATE.metrics.snapshot().diff(self._before)
 
     @property
@@ -400,33 +483,70 @@ class worker_capture:
     task's duration and force-flushes it on exit.  The ticker/progress
     slots are *always* overridden — a forked worker inherits the
     parent's ProgressMeter in its stale state copy, and ticking that
-    from a worker would corrupt the parent-side accounting.
+    from a worker would corrupt the parent-side accounting.  The
+    telemetry slot is overridden for the same reason: with
+    ``telemetry=True`` a fresh sampler is installed (and its live
+    payload wired onto the heartbeat file), otherwise the inherited
+    stale sampler is masked with None.
+
+    After exit ``.resources`` holds the worker's samples and ``.epoch``
+    the worker-side clock origin, which :func:`absorb` uses to rebase
+    shipped timestamps (and span starts) onto the parent clock.
     """
 
     def __init__(
-        self, trace: bool = False, heartbeat: Optional[str] = None
+        self,
+        trace: bool = False,
+        heartbeat: Optional[str] = None,
+        telemetry: bool = False,
     ) -> None:
         self.trace = trace
         self.heartbeat = heartbeat
+        self.telemetry = telemetry
         self.spans: Tuple[SpanRecord, ...] = ()
         self.snapshot = MetricsSnapshot()
+        self.resources: Tuple[ResourceSample, ...] = ()
+        self.epoch: Optional[float] = None
 
     def __enter__(self) -> "worker_capture":
         self._prev_tracer = _STATE.tracer
         self._prev_metrics = _STATE.metrics
         self._prev_ticker = _STATE.ticker
         self._prev_progress = _STATE.progress
+        self._prev_telemetry = _STATE.telemetry
         _STATE.tracer = Tracer() if self.trace else None
         _STATE.metrics = MetricsRegistry()
-        _STATE.ticker = (
-            HeartbeatWriter(self.heartbeat) if self.heartbeat else None
+        sampler = (
+            TelemetrySampler(
+                epoch=_STATE.tracer.epoch if self.trace else None,
+                malloc=malloc_tracking_enabled(),
+            )
+            if self.telemetry
+            else None
         )
+        _STATE.telemetry = sampler
+        ticker = HeartbeatWriter(self.heartbeat) if self.heartbeat else None
+        if ticker is not None and sampler is not None:
+            ticker.resource_fn = sampler.heartbeat_payload
+        _STATE.ticker = ticker
         _STATE.progress = None
+        if sampler is not None:
+            sampler.sample("")  # baseline reading before any work
         return self
 
     def __exit__(self, *exc: object) -> None:
+        sampler = _STATE.telemetry
+        if self.telemetry and sampler is not None:
+            sampler.sample(_open_span_path())
+            sampler.stop()
+            self.resources = tuple(sampler.samples)
+            self.epoch = sampler.epoch
         if self.trace and _STATE.tracer is not None:
             self.spans = _STATE.tracer.finished_roots()
+            if self.epoch is None:
+                # Ship the clock origin even without telemetry so the
+                # parent can rebase span starts onto its own axis.
+                self.epoch = _STATE.tracer.epoch
         ticker = _STATE.ticker
         if isinstance(ticker, HeartbeatWriter):
             ticker.flush(_STATE.metrics)
@@ -435,19 +555,48 @@ class worker_capture:
         _STATE.metrics = self._prev_metrics
         _STATE.ticker = self._prev_ticker
         _STATE.progress = self._prev_progress
+        _STATE.telemetry = self._prev_telemetry
+
+
+def _shift_span(rec: SpanRecord, shift: float) -> None:
+    """Rebase one span subtree's start times by ``shift`` seconds."""
+    rec.start += shift
+    for child in rec.children:
+        _shift_span(child, shift)
 
 
 def absorb(
     spans: Sequence[SpanRecord] = (),
     snapshot: Optional[MetricsSnapshot] = None,
+    resources: Sequence[ResourceSample] = (),
+    epoch: Optional[float] = None,
 ) -> None:
     """Fold a worker's shipped telemetry into the ambient state.
 
     Metrics merge into the live registry; span subtrees graft under the
     current open span (``plan.execute`` during plan merging), giving one
-    coherent trace tree per run.
+    coherent trace tree per run.  When the worker ships its clock
+    ``epoch``, span starts and sample timestamps are rebased by
+    ``worker_epoch - parent_epoch`` first — ``perf_counter`` is the
+    system-wide monotonic clock on the platforms we run on, so after
+    rebasing one trace holds a single coherent cross-pid timeline.
+    Resource sample paths are grafted under the open span path, the same
+    discipline span subtrees get.
     """
     if snapshot is not None and not snapshot.is_empty():
         _STATE.metrics.merge_snapshot(snapshot)
-    if spans and _STATE.tracer is not None:
-        _STATE.tracer.attach(list(spans))
+    tracer = _STATE.tracer
+    sampler = _STATE.telemetry
+    shift = 0.0
+    if epoch is not None:
+        if tracer is not None:
+            shift = epoch - tracer.epoch
+        elif sampler is not None:
+            shift = epoch - sampler.epoch
+    if spans and tracer is not None:
+        if shift:
+            for root in spans:
+                _shift_span(root, shift)
+        tracer.attach(list(spans))
+    if resources and sampler is not None:
+        sampler.absorb(resources, shift=shift, prefix=_open_span_path())

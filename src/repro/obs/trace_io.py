@@ -1,18 +1,24 @@
-"""JSONL export/import for traces (spans + metrics).
+"""JSONL export/import for traces (spans + metrics + resource samples).
 
 Schema (one JSON object per line):
 
-* line 1 — header: ``{"type": "trace", "version": 1, "meta": {...}}``
+* line 1 — header: ``{"type": "trace", "version": 2, "meta": {...}}``
 * span lines — ``{"type": "span", "id": N, "parent": N|null, "name": ...,
   "start": ..., "dur": ..., "pid": ..., "attrs": {...}}``; ids are
   depth-first preorder, so every parent id precedes its children.
+* sample lines (v2) — ``{"type": "sample", "ts": ..., "pid": ...,
+  "path": ..., "rss": ..., "utime": ..., "stime": ..., "gc": ...,
+  "malloc": N|null}``: one :class:`~repro.obs.telemetry.ResourceSample`
+  recorded under ``--telemetry``.
 * metric lines — ``{"type": "counter"|"gauge", "name": ..., "value": ...}``
   and ``{"type": "hist", "name": ..., "values": [...]}`` (raw samples,
   so quantiles survive the round-trip exactly).
 
-``read_trace(write_trace(...))`` reconstructs the span forest and
-snapshot bit-for-bit; :func:`validate_trace` is the strict reader CI
-runs against ``repro suite --trace`` output.
+``read_trace(write_trace(...))`` reconstructs the span forest, samples,
+and snapshot bit-for-bit; :func:`validate_trace` is the strict reader CI
+runs against ``repro suite --trace`` output.  The reader accepts every
+version in :data:`SUPPORTED_VERSIONS` — v1 files (pre-telemetry) simply
+have no sample lines — and always writes :data:`TRACE_VERSION`.
 """
 
 from __future__ import annotations
@@ -23,8 +29,10 @@ from typing import Dict, Iterator, Optional, Sequence, Tuple
 
 from repro.obs.metrics import MetricsSnapshot
 from repro.obs.span import SpanRecord, walk_spans
+from repro.obs.telemetry import ResourceSample
 
 __all__ = [
+    "SUPPORTED_VERSIONS",
     "TraceData",
     "TraceSchemaError",
     "read_trace",
@@ -32,7 +40,10 @@ __all__ = [
     "write_trace",
 ]
 
-TRACE_VERSION = 1
+TRACE_VERSION = 2
+
+#: Versions :func:`read_trace` accepts (v1 = spans+metrics only).
+SUPPORTED_VERSIONS = (1, 2)
 
 
 class TraceSchemaError(ValueError):
@@ -46,6 +57,7 @@ class TraceData:
     meta: Dict[str, object] = field(default_factory=dict)
     spans: Tuple[SpanRecord, ...] = ()
     metrics: MetricsSnapshot = field(default_factory=MetricsSnapshot)
+    samples: Tuple[ResourceSample, ...] = ()
     version: int = TRACE_VERSION
 
     def walk(self) -> Iterator[SpanRecord]:
@@ -60,6 +72,7 @@ def write_trace(
     spans: Sequence[SpanRecord],
     metrics: Optional[MetricsSnapshot] = None,
     meta: Optional[Dict[str, object]] = None,
+    samples: Sequence[ResourceSample] = (),
 ) -> int:
     """Write a trace file; returns the number of span lines written."""
     n_spans = 0
@@ -94,6 +107,25 @@ def write_trace(
 
         for root in spans:
             emit(root, None)
+
+        for rec in samples:
+            fh.write(
+                json.dumps(
+                    {
+                        "type": "sample",
+                        "ts": rec.ts,
+                        "pid": rec.pid,
+                        "path": rec.path,
+                        "rss": rec.rss_bytes,
+                        "utime": rec.cpu_utime_s,
+                        "stime": rec.cpu_stime_s,
+                        "gc": rec.gc_collections,
+                        "malloc": rec.malloc_peak_bytes,
+                    },
+                    sort_keys=True,
+                )
+                + "\n"
+            )
 
         if metrics is not None:
             for name in sorted(metrics.counters):
@@ -136,6 +168,7 @@ def write_trace(
 
 
 _SPAN_KEYS = {"type", "id", "parent", "name", "start", "dur", "pid", "attrs"}
+_SAMPLE_KEYS = {"type", "ts", "pid", "path", "rss", "utime", "stime", "gc"}
 
 
 def read_trace(path: str) -> TraceData:
@@ -158,7 +191,7 @@ def read_trace(path: str) -> TraceData:
     if header["type"] != "trace":
         raise TraceSchemaError(f"{path}:1: first line must be the trace header")
     version = header.get("version")
-    if version != TRACE_VERSION:
+    if version not in SUPPORTED_VERSIONS:
         raise TraceSchemaError(f"{path}:1: unsupported trace version {version!r}")
     meta = header.get("meta", {})
     if not isinstance(meta, dict):
@@ -166,6 +199,7 @@ def read_trace(path: str) -> TraceData:
 
     roots: list = []
     by_id: Dict[int, SpanRecord] = {}
+    samples: list = []
     counters: Dict[str, float] = {}
     gauges: Dict[str, float] = {}
     histograms: Dict[str, Tuple[float, ...]] = {}
@@ -204,6 +238,32 @@ def read_trace(path: str) -> TraceData:
                     f"unknown parent {parent!r}"
                 )
             by_id[span_id] = rec
+        elif kind == "sample":
+            missing = _SAMPLE_KEYS - obj.keys()
+            if missing:
+                raise TraceSchemaError(
+                    f"{path}:{i + 1}: sample missing keys {sorted(missing)}"
+                )
+            malloc = obj.get("malloc")
+            try:
+                samples.append(
+                    ResourceSample(
+                        ts=float(obj["ts"]),
+                        pid=int(obj["pid"]),
+                        path=str(obj["path"]),
+                        rss_bytes=int(obj["rss"]),
+                        cpu_utime_s=float(obj["utime"]),
+                        cpu_stime_s=float(obj["stime"]),
+                        gc_collections=int(obj["gc"]),
+                        malloc_peak_bytes=(
+                            None if malloc is None else int(malloc)
+                        ),
+                    )
+                )
+            except (TypeError, ValueError) as err:
+                raise TraceSchemaError(
+                    f"{path}:{i + 1}: bad sample line: {err}"
+                ) from err
         elif kind in ("counter", "gauge"):
             name, value = obj.get("name"), obj.get("value")
             if not isinstance(name, str) or not isinstance(value, (int, float)):
@@ -223,7 +283,8 @@ def read_trace(path: str) -> TraceData:
         metrics=MetricsSnapshot(
             counters=counters, gauges=gauges, histograms=histograms
         ),
-        version=TRACE_VERSION,
+        samples=tuple(samples),
+        version=int(version),
     )
 
 

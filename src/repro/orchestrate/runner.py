@@ -35,7 +35,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 from repro import obs
 from repro.errors import WorkloadError
 from repro.exec import MeasurementCache, build_evaluator
-from repro.obs import MetricsSnapshot, SpanRecord
+from repro.obs import MetricsSnapshot, ResourceSample, SpanRecord
 from repro.orchestrate.plan import (
     TASK_SEARCH_RANGE,
     TASK_SUITE_CELLS,
@@ -72,6 +72,12 @@ class TaskResult:
     #: Worker-local metrics snapshot shipped home for parent-side merge
     #: (None for in-process tasks, which hit the live registry directly).
     metrics: Optional[MetricsSnapshot] = None
+    #: Worker-local resource samples (``--telemetry``), shipped home for
+    #: parent-side merge alongside the spans.
+    resources: Tuple[ResourceSample, ...] = ()
+    #: Worker-side clock origin; lets ``obs.absorb`` rebase shipped span
+    #: starts and sample timestamps onto the parent clock.
+    obs_epoch: Optional[float] = None
 
     def timing_dict(self) -> Dict[str, object]:
         return {
@@ -333,6 +339,7 @@ def _execute_task_shipped(
     task: WorkloadTask,
     observe: bool = False,
     heartbeat_path: Optional[str] = None,
+    telemetry: bool = False,
 ) -> TaskResult:
     """Worker-side entry: run the task, then make the result picklable.
 
@@ -350,14 +357,22 @@ def _execute_task_shipped(
     additionally flushes throttled counter heartbeats to that file so
     the parent's meter can see in-flight work before absorption.
     """
-    with obs.worker_capture(trace=observe, heartbeat=heartbeat_path) as cap:
+    with obs.worker_capture(
+        trace=observe, heartbeat=heartbeat_path, telemetry=telemetry
+    ) as cap:
         result = execute_task(machine, task)
     payload = result.payload
     if getattr(payload, "program", None) is not None:
         result = dataclasses.replace(
             result, payload=dataclasses.replace(payload, program=None)
         )
-    return dataclasses.replace(result, spans=cap.spans, metrics=cap.snapshot)
+    return dataclasses.replace(
+        result,
+        spans=cap.spans,
+        metrics=cap.snapshot,
+        resources=cap.resources,
+        obs_epoch=cap.epoch,
+    )
 
 
 def restore_rules_payload(result: TaskResult) -> object:
@@ -407,7 +422,12 @@ def execute_plan(
         # Merge shipped worker telemetry in task-index order — the same
         # deterministic merge discipline the payloads themselves get.
         for result in results:
-            obs.absorb(result.spans, result.metrics)
+            obs.absorb(
+                result.spans,
+                result.metrics,
+                resources=result.resources,
+                epoch=result.obs_epoch,
+            )
     return PlanRun(
         results=results,
         shard_workers=shard_workers,
@@ -447,6 +467,7 @@ def _execute_sharded(
                         task,
                         obs.tracing_active(),
                         obs.progress_heartbeat_path(task.index),
+                        obs.telemetry_active(),
                     )
                     in_flight[future] = index
                     del pending[index]

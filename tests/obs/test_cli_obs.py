@@ -58,7 +58,7 @@ def test_trace_subcommand_renders_tree(tmp_path, capsys):
     capsys.readouterr()
     assert main(["trace", trace]) == 0
     out = capsys.readouterr().out
-    assert out.startswith("trace v1  command=search")
+    assert out.startswith("trace v2  command=search")
     assert "search.exhaustive" in out
     assert "|#" in out  # duration bars
 
@@ -119,3 +119,127 @@ def test_suite_json_reports_cache_metrics(tmp_path, capsys):
     out = capsys.readouterr().out
     payload = json.loads(out[out.index("{") :])
     assert payload["metrics"]["cache"]["hits"] > 0
+
+
+# -- --telemetry + trace --analyze --json + --export-perfetto ----------
+def _telemetry_archive(tmp_path, capsys):
+    archive = str(tmp_path / "archive")
+    argv = SEARCH_ARGV + [
+        "--range-shards",
+        "2",
+        "--shard-workers",
+        "2",
+        "--archive",
+        archive,
+        "--telemetry",
+    ]
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "telemetry:" in out and "resource samples" in out
+    return archive
+
+
+def test_telemetry_flag_archives_resource_samples(tmp_path, capsys):
+    archive = _telemetry_archive(tmp_path, capsys)
+    assert main(["trace", archive, "--analyze"]) == 0
+    out = capsys.readouterr().out
+    assert "resources by span path" in out
+    assert "worker utilization (plan.execute window)" in out
+
+
+def test_trace_analyze_json_reports_worker_resources(tmp_path, capsys):
+    archive = _telemetry_archive(tmp_path, capsys)
+    assert main(["trace", archive, "--analyze", "--json", "-"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["n_samples"] > 0
+    # Acceptance: task spans that ran in worker pids report nonzero RSS.
+    task_rows = [
+        r for r in payload["resources"] if "/task:" in r["path"]
+    ]
+    assert task_rows
+    assert all(r["rss_max_bytes"] > 0 for r in task_rows)
+    assert len(payload["workers"]) == 2
+    assert all(w["rss_max_bytes"] > 0 for w in payload["workers"])
+
+
+def test_trace_analyze_json_to_file(tmp_path, capsys):
+    archive = _telemetry_archive(tmp_path, capsys)
+    out_json = str(tmp_path / "analysis.json")
+    assert main(["trace", archive, "--analyze", "--json", out_json]) == 0
+    out = capsys.readouterr().out
+    assert f"analysis JSON written to {out_json}" in out
+    assert "span paths by total wall" in out  # tables still render
+    assert json.load(open(out_json))["n_spans"] > 0
+
+
+def test_trace_export_perfetto_passes_schema_check(tmp_path, capsys):
+    from repro.obs import check_perfetto
+
+    archive = _telemetry_archive(tmp_path, capsys)
+    out_json = str(tmp_path / "perfetto.json")
+    assert main(["trace", archive, "--export-perfetto", out_json]) == 0
+    out = capsys.readouterr().out
+    assert "perfetto trace with" in out and "ui.perfetto.dev" in out
+    obj = json.load(open(out_json))
+    assert check_perfetto(obj) == []
+    pids = {e["pid"] for e in obj["traceEvents"]}
+    assert len(pids) >= 3  # parent + two shard workers
+
+
+# -- repro obs history --------------------------------------------------
+def _seed_history(tmp_path, walls):
+    from repro.obs import HistoryStore
+
+    store_dir = str(tmp_path / "hist")
+    store = HistoryStore(store_dir)
+    for i, wall in enumerate(walls):
+        store.ingest_analysis(
+            {"paths": [{"path": "plan.execute", "total_s": wall}]},
+            ts=float(i),
+            run_id=f"run-{i}",
+        )
+    return store_dir
+
+
+def test_obs_history_ingest_show_roundtrip(tmp_path, capsys):
+    archive = _telemetry_archive(tmp_path, capsys)
+    store = str(tmp_path / "hist")
+    assert main(["obs", "history", "ingest", store, archive]) == 0
+    out = capsys.readouterr().out
+    assert f"ingested {archive}:" in out
+    assert "runs total" in out
+    # Re-ingesting the same archive is idempotent.
+    assert main(["obs", "history", "ingest", store, archive]) == 0
+    assert "+0 points" in capsys.readouterr().out
+    assert main(["obs", "history", "show", store, "--series", "span:"]) == 0
+    out = capsys.readouterr().out
+    assert "span:plan.execute" in out
+
+
+def test_obs_history_ingest_rejects_non_archive_dir(tmp_path):
+    store = str(tmp_path / "hist")
+    plain = tmp_path / "plain"
+    plain.mkdir()
+    with pytest.raises(SystemExit, match="not an archive root"):
+        main(["obs", "history", "ingest", store, str(plain)])
+
+
+def test_obs_history_gate_fails_naming_regressed_path(tmp_path, capsys):
+    store = _seed_history(
+        tmp_path, [1.0, 1.02, 0.98, 1.01, 0.99, 2.0]
+    )
+    with pytest.raises(SystemExit) as err:
+        main(["obs", "history", "gate", store])
+    assert "history gate failed" in str(err.value)
+    assert "span:plan.execute" in str(err.value)
+    out = capsys.readouterr().out
+    assert "2x" in out or "2.0" in out  # report shows the regression
+
+
+def test_obs_history_gate_passes_without_regression(tmp_path, capsys):
+    store = _seed_history(
+        tmp_path, [1.0, 1.02, 0.98, 1.01, 0.99, 1.01]
+    )
+    assert main(["obs", "history", "gate", store]) == 0
+    out = capsys.readouterr().out
+    assert "history gate: OK" in out and "warn-only" in out

@@ -68,7 +68,7 @@ class TestTrace:
             metrics=MetricsSnapshot(counters={"c": 1}),
         )
         out = render_trace(data)
-        assert out.startswith("trace v1  command=search  (2 spans)")
+        assert out.startswith("trace v2  command=search  (2 spans)")
         assert "root" in out
         assert "counters:" in out
 

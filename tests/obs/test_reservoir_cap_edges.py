@@ -1,0 +1,85 @@
+"""Reservoir behavior exactly at, and just past, RESERVOIR_CAP.
+
+The cap is where histogram semantics change shape: below it the
+reservoir is a plain append-only list (quantiles are exact, snapshot
+diffs are positional tails); past it replacement sampling kicks in
+(quantiles are estimates, diffs fall back to the full series).  These
+tests pin both sides of that boundary.
+"""
+
+from repro.obs import RESERVOIR_CAP, MetricsRegistry, summarize_histogram
+
+
+def _fill(registry, name, n):
+    for i in range(n):
+        registry.observe(name, float(i))
+
+
+def test_quantiles_exact_at_cap():
+    registry = MetricsRegistry()
+    _fill(registry, "lat", RESERVOIR_CAP)
+    values = registry.snapshot().histograms["lat"]
+    # At exactly the cap nothing has been replaced: the retained sample
+    # IS the full series, so quantiles are exact nearest-rank values.
+    assert values == tuple(float(i) for i in range(RESERVOIR_CAP))
+    summary = summarize_histogram(values)
+    assert summary["count"] == RESERVOIR_CAP
+    assert summary["min"] == 0.0
+    assert summary["max"] == float(RESERVOIR_CAP - 1)
+    assert summary["p50"] == float(RESERVOIR_CAP // 2 - 1)
+
+
+def test_quantiles_just_past_cap_stay_close():
+    n = RESERVOIR_CAP + 1
+    registry = MetricsRegistry()
+    _fill(registry, "lat", n)
+    values = registry.snapshot().histograms["lat"]
+    assert len(values) == RESERVOIR_CAP  # one replacement happened
+    summary = summarize_histogram(values)
+    # A single replacement can shift nearest-rank quantiles by at most
+    # a couple of ranks on a linear ramp.
+    assert abs(summary["p50"] - n / 2) <= 0.01 * n
+    assert abs(summary["p95"] - 0.95 * n) <= 0.01 * n
+    assert summary["max"] <= float(n - 1)
+
+
+def test_diff_positional_tail_exactly_at_cap():
+    registry = MetricsRegistry()
+    _fill(registry, "lat", RESERVOIR_CAP - 1)
+    before = registry.snapshot()
+    registry.observe("lat", -1.0)  # the observation that reaches the cap
+    delta = registry.snapshot().diff(before)
+    # Still append-only at the boundary: the diff is the exact tail.
+    assert delta.histograms["lat"] == (-1.0,)
+
+
+def test_diff_falls_back_one_past_cap():
+    registry = MetricsRegistry()
+    _fill(registry, "lat", RESERVOIR_CAP)
+    before = registry.snapshot()
+    for i in range(64):  # force replacements past the cap
+        registry.observe("lat", float(-i))
+    after = registry.snapshot()
+    delta = after.diff(before)
+    # Positional tails are meaningless once replacement starts; the
+    # diff must carry the full retained series instead.
+    assert delta.histograms["lat"] == after.histograms["lat"]
+    assert len(delta.histograms["lat"]) == RESERVOIR_CAP
+
+
+def test_diff_fallback_when_baseline_already_past_cap():
+    registry = MetricsRegistry()
+    _fill(registry, "lat", RESERVOIR_CAP + 64)
+    before = registry.snapshot()
+    registry.observe("lat", 7.5)
+    delta = registry.snapshot().diff(before)
+    # Both sides saturated: same fallback, from the other direction.
+    assert delta.histograms["lat"] == registry.snapshot().histograms["lat"]
+
+
+def test_unchanged_series_diffs_empty_on_both_sides_of_cap():
+    for n in (RESERVOIR_CAP - 1, RESERVOIR_CAP + 64):
+        registry = MetricsRegistry()
+        _fill(registry, "lat", n)
+        snap = registry.snapshot()
+        assert "lat" not in snap.diff(snap).histograms

@@ -13,6 +13,7 @@ from repro.obs import (
     validate_trace,
     write_trace,
 )
+from repro.obs.trace_io import TRACE_VERSION
 
 
 def _forest():
@@ -37,7 +38,7 @@ class TestRoundTrip:
         n = write_trace(path, _forest(), metrics=_snapshot(), meta={"cmd": "x"})
         assert n == 4
         data = read_trace(path)
-        assert data.version == 1
+        assert data.version == TRACE_VERSION
         assert data.meta == {"cmd": "x"}
         assert data.spans == _forest()
         assert data.metrics == _snapshot()
